@@ -1,0 +1,44 @@
+# Standard developer entry points. Everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test race vet fmt bench experiments ablations examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -l -w .
+
+# Full benchmark harness: one testing.B per paper table/figure + ablations
+# + per-package micro-benchmarks.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every paper artifact (tables + figures) as ASCII.
+experiments:
+	$(GO) run ./cmd/experiments -all -chart
+
+ablations:
+	$(GO) run ./cmd/experiments -ablations
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/smarthome
+	$(GO) run ./examples/healthcare
+	$(GO) run ./examples/smartcity
+	$(GO) run ./examples/custom
+
+clean:
+	$(GO) clean -testcache

@@ -1,0 +1,114 @@
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper's evaluation. Each benchmark regenerates its artifact end to end
+// (full discrete-event simulation including the real app computations), so
+// ns/op is the cost of reproducing that figure and the reported metrics are
+// attached with b.ReportMetric.
+//
+//	go test -bench=. -benchmem
+package iothub_test
+
+import (
+	"strings"
+	"testing"
+
+	"iothub/internal/experiments"
+)
+
+// benchExperiment runs one experiment per iteration and reports selected
+// metric values alongside the timing. Metric units must not contain
+// whitespace, so value keys with spaces are reported with underscores.
+func benchExperiment(b *testing.B, run func() (*experiments.Result, error), metrics ...string) {
+	b.Helper()
+	var last *experiments.Result
+	for i := 0; i < b.N; i++ {
+		res, err := run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	for _, m := range metrics {
+		if v, ok := last.Values[m]; ok {
+			b.ReportMetric(v, strings.ReplaceAll(m, " ", "_"))
+		}
+	}
+}
+
+func BenchmarkTable01Sensors(b *testing.B) {
+	benchExperiment(b, experiments.Table1, "sensors")
+}
+
+func BenchmarkTable02Workloads(b *testing.B) {
+	benchExperiment(b, experiments.Table2, "irq:A4", "bytes:A4")
+}
+
+func BenchmarkFig01IdleVsBaseline(b *testing.B) {
+	benchExperiment(b, experiments.Fig1, "ratio")
+}
+
+func BenchmarkFig03BreakdownSCM2X(b *testing.B) {
+	benchExperiment(b, experiments.Fig3, "beamSaving", "xferFracSC")
+}
+
+func BenchmarkFig04TransferSplit(b *testing.B) {
+	benchExperiment(b, experiments.Fig4, "cpuShare", "mcuShare", "wireShare")
+}
+
+func BenchmarkFig05Timeline(b *testing.B) {
+	benchExperiment(b, experiments.Fig5, "batchingSleepFraction")
+}
+
+func BenchmarkFig06Characterization(b *testing.B) {
+	benchExperiment(b, experiments.Fig6, "avgMemKB", "avgMIPS")
+}
+
+func BenchmarkFig07SCBatching(b *testing.B) {
+	benchExperiment(b, experiments.Fig7, "saving")
+}
+
+func BenchmarkFig08SCTiming(b *testing.B) {
+	benchExperiment(b, experiments.Fig8, "baselineMs", "comMs")
+}
+
+func BenchmarkFig09SCThreeSchemes(b *testing.B) {
+	benchExperiment(b, experiments.Fig9, "batchingFrac", "comFrac")
+}
+
+func BenchmarkFig10SingleApp(b *testing.B) {
+	benchExperiment(b, experiments.Fig10, "avgBatchingSaving", "avgCOMSaving")
+}
+
+func BenchmarkFig11MultiApp(b *testing.B) {
+	benchExperiment(b, experiments.Fig11, "avgBEAMSaving", "avgOffloadSaving")
+}
+
+func BenchmarkFig12HeavyWeight(b *testing.B) {
+	benchExperiment(b, experiments.Fig12, "A11:Batching", "A11+A6:BCOM")
+}
+
+func BenchmarkFig13Speedup(b *testing.B) {
+	benchExperiment(b, experiments.Fig13, "avgSpeedup", "speedup:A3", "speedup:A8")
+}
+
+// Ablation benches (DESIGN.md §6): the parameter sweeps over the design
+// choices the paper's results hinge on.
+
+func BenchmarkAblBatchRAM(b *testing.B) {
+	benchExperiment(b, experiments.AblBatchRAM, "saving:1KB", "saving:32KB")
+}
+
+func BenchmarkAblLinkBandwidth(b *testing.B) {
+	benchExperiment(b, experiments.AblLinkBandwidth, "batching:29KBps", "batching:936KBps")
+}
+
+func BenchmarkAblGovernor(b *testing.B) {
+	benchExperiment(b, experiments.AblGovernor, "withSleep", "withoutSleep")
+}
+
+func BenchmarkAblMCUSlowdown(b *testing.B) {
+	benchExperiment(b, experiments.AblMCUSlowdown, "avg:19x", "slower:19x")
+}
+
+func BenchmarkAblDMA(b *testing.B) {
+	benchExperiment(b, experiments.AblDMA, "A2 baseline")
+}

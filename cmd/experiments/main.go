@@ -1,0 +1,134 @@
+// Command experiments regenerates the paper's tables and figures from the
+// simulator.
+//
+// Usage:
+//
+//	experiments -all                 # every table and figure
+//	experiments -id fig10            # one experiment
+//	experiments -id fig11 -format csv
+//	experiments -all -format md      # markdown (EXPERIMENTS.md style)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"iothub/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	all := fs.Bool("all", false, "run every paper experiment")
+	ablations := fs.Bool("ablations", false, "run the ablation studies")
+	id := fs.String("id", "", "run one experiment (fig1..fig13, table1, table2, abl-*)")
+	format := fs.String("format", "ascii", "output format: ascii, csv, or md")
+	chart := fs.Bool("chart", false, "also render bar charts where the figure has one")
+	outDir := fs.String("out", "", "also write each artifact to <dir>/<id>.<ext>")
+	list := fs.Bool("list", false, "list available experiments")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, e := range append(experiments.All(), experiments.Ablations()...) {
+			fmt.Fprintf(out, "%-14s %s\n", e.ID, e.Title)
+		}
+		return nil
+	}
+
+	var selected []experiments.Experiment
+	switch {
+	case *all && *id != "":
+		return fmt.Errorf("-all and -id are mutually exclusive")
+	case *all:
+		selected = experiments.All()
+		if *ablations {
+			selected = append(selected, experiments.Ablations()...)
+		}
+	case *ablations:
+		selected = experiments.Ablations()
+	case *id != "":
+		e, err := experiments.ByID(*id)
+		if err != nil {
+			return err
+		}
+		selected = []experiments.Experiment{e}
+	default:
+		return fmt.Errorf("nothing to do: pass -all, -id <exp>, or -list")
+	}
+
+	// Experiments are independent simulations: run them concurrently and
+	// print in selection order so output stays deterministic.
+	results := make([]*experiments.Result, len(selected))
+	errs := make([]error, len(selected))
+	var wg sync.WaitGroup
+	for i, e := range selected {
+		wg.Add(1)
+		go func(i int, e experiments.Experiment) {
+			defer wg.Done()
+			results[i], errs[i] = e.Run()
+		}(i, e)
+	}
+	wg.Wait()
+	for i, e := range selected {
+		if errs[i] != nil {
+			return fmt.Errorf("%s: %w", e.ID, errs[i])
+		}
+		res := results[i]
+		if *outDir != "" {
+			if err := writeArtifact(*outDir, res, *format); err != nil {
+				return err
+			}
+		}
+		switch *format {
+		case "ascii":
+			fmt.Fprintln(out, res.Table.ASCII())
+			if *chart && res.Chart != nil {
+				fmt.Fprintln(out, res.Chart.ASCII())
+			}
+		case "csv":
+			fmt.Fprint(out, res.Table.CSV())
+		case "md":
+			fmt.Fprintln(out, res.Table.Markdown())
+		default:
+			return fmt.Errorf("unknown format %q", *format)
+		}
+	}
+	return nil
+}
+
+// writeArtifact persists one experiment's rendering under dir.
+func writeArtifact(dir string, res *experiments.Result, format string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	ext := map[string]string{"ascii": "txt", "csv": "csv", "md": "md"}[format]
+	if ext == "" {
+		return fmt.Errorf("unknown format %q", format)
+	}
+	var content string
+	switch format {
+	case "ascii":
+		content = res.Table.ASCII()
+		if res.Chart != nil {
+			content += "\n" + res.Chart.ASCII()
+		}
+	case "csv":
+		content = res.Table.CSV()
+	case "md":
+		content = res.Table.Markdown()
+	}
+	path := filepath.Join(dir, res.ID+"."+ext)
+	return os.WriteFile(path, []byte(content), 0o644)
+}

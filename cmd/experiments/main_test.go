@@ -1,0 +1,79 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestList(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	s := out.String()
+	for _, want := range []string{"table1", "fig13", "abl-dma"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("list missing %q", want)
+		}
+	}
+}
+
+func TestSingleExperimentFormats(t *testing.T) {
+	for format, marker := range map[string]string{
+		"ascii": "Table I: sensor specifications",
+		"csv":   "id,name,bus",
+		"md":    "| --- |",
+	} {
+		var out bytes.Buffer
+		if err := run([]string{"-id", "table1", "-format", format}, &out); err != nil {
+			t.Fatalf("%s: %v", format, err)
+		}
+		if !strings.Contains(out.String(), marker) {
+			t.Errorf("%s output missing %q:\n%s", format, marker, out.String())
+		}
+	}
+}
+
+func TestAblationByID(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-id", "abl-governor"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "sleep disabled") {
+		t.Error("ablation output missing")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out); err == nil {
+		t.Error("no action accepted")
+	}
+	if err := run([]string{"-all", "-id", "fig1"}, &out); err == nil {
+		t.Error("-all with -id accepted")
+	}
+	if err := run([]string{"-id", "fig99"}, &out); err == nil {
+		t.Error("unknown id accepted")
+	}
+	if err := run([]string{"-id", "table1", "-format", "xml"}, &out); err == nil {
+		t.Error("unknown format accepted")
+	}
+}
+
+func TestOutDirWritesArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	if err := run([]string{"-id", "table1", "-format", "csv", "-out", dir}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "table1.csv"))
+	if err != nil {
+		t.Fatalf("artifact not written: %v", err)
+	}
+	if !strings.Contains(string(data), "Accelerometer") {
+		t.Errorf("artifact content wrong:\n%s", data)
+	}
+}

@@ -1,0 +1,158 @@
+// Command iotsim runs one IoT hub scenario and prints its energy and timing
+// breakdown, the interrupt/transfer statistics, and the apps' real outputs.
+//
+// Usage:
+//
+//	iotsim -apps A2 -scheme baseline -windows 3
+//	iotsim -apps A2,A7 -scheme beam
+//	iotsim -apps A11,A6 -scheme bcom          # partitioned by the planner
+//	iotsim -apps A2 -scheme batching -timeline
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"iothub/internal/apps"
+	"iothub/internal/apps/catalog"
+	"iothub/internal/core"
+	"iothub/internal/energy"
+	"iothub/internal/hub"
+	"iothub/internal/report"
+	"iothub/internal/sensor"
+	"iothub/internal/sim"
+	"iothub/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "iotsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("iotsim", flag.ContinueOnError)
+	appsFlag := fs.String("apps", "A2", "comma-separated Table II workload IDs (A1..A11)")
+	schemeFlag := fs.String("scheme", "baseline", "baseline, batching, com, bcom, or beam")
+	windows := fs.Int("windows", 3, "number of QoS windows to simulate")
+	seed := fs.Int64("seed", 1, "synthetic signal seed")
+	timeline := fs.Bool("timeline", false, "print the CPU power timeline (Fig. 5 style)")
+	showOutputs := fs.Bool("outputs", true, "print per-window app outputs")
+	failEvery := fs.Int("fail-every", 0, "inject a sensor read failure every Nth attempt (0 = none)")
+	battery := fs.Float64("battery-mah", 0, "project battery lifetime for this workload (mAh at 5 V; single app only)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	scheme, err := hub.ParseScheme(*schemeFlag)
+	if err != nil {
+		return err
+	}
+	var list []apps.App
+	for _, raw := range strings.Split(*appsFlag, ",") {
+		id := apps.ID(strings.TrimSpace(strings.ToUpper(raw)))
+		a, err := catalog.New(id, *seed)
+		if err != nil {
+			return err
+		}
+		list = append(list, a)
+	}
+
+	cfg := hub.Config{Apps: list, Scheme: scheme, Windows: *windows, TracePower: *timeline}
+	if *failEvery > 0 {
+		plan := &hub.FaultPlan{ReadFailEvery: map[sensor.ID]int{}, MaxRetries: 1}
+		for _, a := range list {
+			for _, u := range a.Spec().Sensors {
+				plan.ReadFailEvery[u.Sensor] = *failEvery
+			}
+		}
+		cfg.Faults = plan
+	}
+	if scheme == hub.BCOM {
+		plan, err := core.PlanBCOM(list, hub.DefaultParams())
+		if err != nil {
+			return err
+		}
+		cfg.Assign = plan.Assign
+		fmt.Fprintf(out, "planner: %v\n", plan.Assign)
+	}
+	res, err := hub.Run(cfg)
+	if err != nil {
+		return err
+	}
+
+	printSummary(out, res, *windows)
+	if res.ReadRetries > 0 || res.DroppedSamples > 0 {
+		fmt.Fprintf(out, "faults: %d retries, %d dropped samples\n\n", res.ReadRetries, res.DroppedSamples)
+	}
+	if *battery > 0 {
+		if len(list) != 1 {
+			return fmt.Errorf("-battery-mah projects single-app workloads only")
+		}
+		life, err := core.Lifetime(list[0].Spec(), hub.DefaultParams(), core.Battery{CapacityMAh: *battery, Volts: 5})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "battery %.0f mAh @ 5V: baseline %v, batching %v, COM %v\n\n",
+			*battery, life.Baseline.Round(time.Minute), life.Batching.Round(time.Minute), life.COM.Round(time.Minute))
+	}
+	if *showOutputs {
+		printOutputs(out, res)
+	}
+	if *timeline {
+		printTimeline(out, res, *windows)
+	}
+	return nil
+}
+
+func printSummary(out io.Writer, res *hub.RunResult, windows int) {
+	t := &report.Table{
+		Title:  fmt.Sprintf("%v: energy per window", res.Scheme),
+		Header: []string{"routine", "energy", "share"},
+	}
+	for _, r := range energy.Routines {
+		if r == energy.Idle {
+			continue
+		}
+		t.AddRow(r.String(),
+			report.Millijoules(res.Energy[r]/float64(windows)),
+			report.Percent(res.Energy.Fraction(r)))
+	}
+	t.AddRow("total", report.Millijoules(res.Energy.Attributed()/float64(windows)), "100.0%")
+	t.Notes = append(t.Notes, fmt.Sprintf(
+		"interrupts=%d bytes=%d flushes=%d wakes=%d qosViolations=%d duration=%v",
+		res.Interrupts, res.BytesTransferred, res.BatchFlushes,
+		res.CPUWakes, res.QoSViolations, res.Duration.Round(time.Millisecond)))
+	fmt.Fprintln(out, t.ASCII())
+}
+
+func printOutputs(out io.Writer, res *hub.RunResult) {
+	ids := make([]string, 0, len(res.Outputs))
+	for id := range res.Outputs {
+		ids = append(ids, string(id))
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		for _, wr := range res.Outputs[apps.ID(id)] {
+			fmt.Fprintf(out, "%-4s window %d @ %-12v %s\n", id, wr.Window, wr.At, wr.Result.Summary)
+		}
+	}
+	fmt.Fprintln(out)
+}
+
+func printTimeline(out io.Writer, res *hub.RunResult, windows int) {
+	end := sim.Time(time.Duration(windows) * time.Second)
+	wave, err := trace.Resample(res.Traces["cpu"], 10*time.Millisecond, end)
+	if err != nil {
+		fmt.Fprintln(out, "timeline:", err)
+		return
+	}
+	fmt.Fprintf(out, "CPU power timeline (10 ms bins, %d windows):\n", windows)
+	fmt.Fprint(out, trace.RenderASCII(wave, 6))
+}

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunBaseline(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-apps", "A2", "-scheme", "baseline", "-windows", "2"}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	s := out.String()
+	for _, want := range []string{"Baseline: energy per window", "DataTransfer", "interrupts=2000", "steps"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunBCOMUsesPlanner(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-apps", "A11,A6", "-scheme", "bcom", "-windows", "1", "-outputs=false"}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "planner:") {
+		t.Errorf("planner line missing:\n%s", s)
+	}
+	if !strings.Contains(s, "A11:Batched") || !strings.Contains(s, "A6:Offloaded") {
+		t.Errorf("unexpected partition:\n%s", s)
+	}
+}
+
+func TestRunTimeline(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-apps", "A2", "-scheme", "batching", "-windows", "1", "-timeline", "-outputs=false"}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "CPU power timeline") {
+		t.Error("timeline missing")
+	}
+	if !strings.Contains(out.String(), "#") {
+		t.Error("timeline has no bars")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-scheme", "warp"}, &out); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+	if err := run([]string{"-apps", "A99"}, &out); err == nil {
+		t.Error("unknown app accepted")
+	}
+	if err := run([]string{"-apps", "A11", "-scheme", "com"}, &out); err == nil {
+		t.Error("offloading the heavy app accepted")
+	}
+	if err := run([]string{"-bogusflag"}, &out); err == nil {
+		t.Error("bogus flag accepted")
+	}
+}
+
+func TestRunFaultInjectionFlag(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-apps", "A2", "-windows", "1", "-outputs=false", "-fail-every", "10"}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "retries") {
+		t.Errorf("faults line missing:\n%s", out.String())
+	}
+}
+
+func TestRunBatteryProjection(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-apps", "A2", "-windows", "1", "-outputs=false", "-battery-mah", "10000"}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "battery 10000 mAh") {
+		t.Errorf("battery line missing:\n%s", out.String())
+	}
+	// Multi-app projection is rejected.
+	if err := run([]string{"-apps", "A2,A7", "-battery-mah", "100"}, &out); err == nil {
+		t.Error("multi-app battery projection accepted")
+	}
+}

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestDumpFormats(t *testing.T) {
+	cases := map[string]string{
+		"S4":  "index,x,y,z", // Int*3
+		"S6":  "index,value", // Int
+		"S1":  "index,value", // Double
+		"S3":  "index,bytes", // opaque signature
+		"S10": "index,bytes", // opaque frame
+	}
+	for id, header := range cases {
+		var out bytes.Buffer
+		if err := run([]string{"-sensor", id, "-n", "5"}, &out); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+		if lines[0] != header {
+			t.Errorf("%s header = %q, want %q", id, lines[0], header)
+		}
+		if len(lines) != 6 {
+			t.Errorf("%s lines = %d, want 6 (header + 5 samples)", id, len(lines))
+		}
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := run([]string{"-sensor", "S4", "-n", "20", "-seed", "9"}, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-sensor", "S4", "-n", "20", "-seed", "9"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("same seed produced different traces")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-sensor", "S99"}, &out); err == nil {
+		t.Error("unknown sensor accepted")
+	}
+	if err := run([]string{"-n", "0"}, &out); err == nil {
+		t.Error("n=0 accepted")
+	}
+}

@@ -1,0 +1,16 @@
+// Package iothub reproduces "Understanding Energy Efficiency in IoT App
+// Executions" (ICDCS 2019) as a simulation library: a discrete-event model
+// of a Raspberry Pi + ESP8266 IoT hub, the paper's eleven workloads
+// implemented as real computations over synthetic sensors, the Batching /
+// COM / BCOM / BEAM execution schemes, and a harness that regenerates every
+// table and figure of the paper's evaluation.
+//
+// Start with DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-vs-measured comparison. The entry points are:
+//
+//   - internal/hub: run workloads under an execution scheme
+//   - internal/core: the light/heavy classifier and BCOM planner
+//   - internal/experiments: one constructor per paper table/figure
+//   - cmd/iotsim, cmd/experiments, cmd/sensorgen: CLI tools
+//   - examples/: quickstart, smarthome, healthcare, smartcity, custom
+package iothub

@@ -1,0 +1,109 @@
+// Custom workload walkthrough: the adoption path for a developer deciding
+// whether their own IoT app is worth porting to the MCU. Define the app with
+// the builder, let the classifier explain the offload gates, compare the
+// schemes in simulation, and project battery lifetime — all before touching
+// embedded toolchains (the porting cost §III-B3 warns about).
+//
+//	go run ./examples/custom
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"iothub/internal/apps"
+	"iothub/internal/apps/custom"
+	"iothub/internal/core"
+	"iothub/internal/dsp"
+	"iothub/internal/hub"
+	"iothub/internal/sensor"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// newVibrationMonitor defines the user's app: a machine-health monitor that
+// watches a pump's vibration spectrum for a drifting dominant frequency.
+func newVibrationMonitor() (apps.App, error) {
+	src, err := sensor.DefaultSource(sensor.Accelerometer, 99)
+	if err != nil {
+		return nil, err
+	}
+	return custom.NewBuilder("C1", "pump vibration monitor").
+		WithSensor(sensor.Accelerometer, src, 0 /* QoS default 1 kHz */, 0).
+		WithWindow(time.Second).
+		WithCharacterization(12_000, 512, 6.5).
+		WithCompute(func(in apps.WindowInput) (apps.Result, error) {
+			zs := make([]float64, 0, 512)
+			for _, raw := range in.Samples[sensor.Accelerometer] {
+				v, err := sensor.DecodeVec3(raw)
+				if err != nil {
+					return apps.Result{}, err
+				}
+				zs = append(zs, float64(v.Z))
+				if len(zs) == 512 {
+					break
+				}
+			}
+			spectrum, err := dsp.PowerSpectrum(dsp.Detrend(zs))
+			if err != nil {
+				return apps.Result{}, err
+			}
+			bin := dsp.DominantBin(spectrum)
+			hz := float64(bin) * 1000 / 512
+			return apps.Result{
+				Summary: fmt.Sprintf("dominant vibration %.1f Hz", hz),
+				Metrics: map[string]float64{"dominantHz": hz},
+			}, nil
+		}).
+		Build()
+}
+
+func run() error {
+	app, err := newVibrationMonitor()
+	if err != nil {
+		return err
+	}
+	params := hub.DefaultParams()
+
+	// 1. Can it go to the MCU at all?
+	cls, err := core.Classify(app.Spec(), params)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("offloadable: %v (footprint %d B, MCU busy %v per window)\n\n",
+		cls.Offloadable, cls.MemoryNeedBytes, cls.MCUBusyPerWindow)
+
+	// 2. What does each scheme cost in simulation?
+	var baseline float64
+	for _, scheme := range []hub.Scheme{hub.Baseline, hub.Batching, hub.COM} {
+		fresh, err := newVibrationMonitor()
+		if err != nil {
+			return err
+		}
+		res, err := hub.Run(hub.Config{Apps: []apps.App{fresh}, Scheme: scheme, Windows: 3})
+		if err != nil {
+			return err
+		}
+		perWin := res.TotalJoules() / 3
+		if scheme == hub.Baseline {
+			baseline = perWin
+		}
+		fmt.Printf("%-9v %7.0f mJ/window (%3.0f%%)   %s\n",
+			scheme, perWin*1000, 100*perWin/baseline,
+			res.Outputs["C1"][0].Result.Summary)
+	}
+
+	// 3. What does that buy in the field?
+	life, err := core.Lifetime(app.Spec(), params, core.TypicalPowerBank())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\n10 Ah power bank: baseline %v -> batching %v -> COM %v\n",
+		life.Baseline.Round(time.Hour), life.Batching.Round(time.Hour), life.COM.Round(time.Hour))
+	return nil
+}

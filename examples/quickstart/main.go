@@ -1,0 +1,56 @@
+// Quickstart: run the paper's flagship workload — the step counter — under
+// Baseline, Batching, and COM, and print where the energy goes.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"iothub/internal/apps"
+	"iothub/internal/apps/stepcounter"
+	"iothub/internal/energy"
+	"iothub/internal/hub"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	const windows = 3
+
+	var baselineJoules float64
+	for _, scheme := range []hub.Scheme{hub.Baseline, hub.Batching, hub.COM} {
+		// A fresh app per run keeps the synthetic pedestrian identical.
+		app, err := stepcounter.New(42)
+		if err != nil {
+			return err
+		}
+		res, err := hub.Run(hub.Config{
+			Apps:    []apps.App{app},
+			Scheme:  scheme,
+			Windows: windows,
+		})
+		if err != nil {
+			return err
+		}
+		if scheme == hub.Baseline {
+			baselineJoules = res.TotalJoules()
+		}
+		fmt.Printf("=== %v ===\n", scheme)
+		fmt.Printf("  energy: %.0f mJ/window (%.0f%% of baseline)\n",
+			res.TotalJoules()*1000/windows, 100*res.TotalJoules()/baselineJoules)
+		fmt.Printf("  transfer share: %.0f%%   interrupts/window: %d   CPU wakes: %d\n",
+			100*res.Energy.Fraction(energy.DataTransfer),
+			res.Interrupts/windows, res.CPUWakes)
+		for _, out := range res.Outputs[apps.StepCounter] {
+			fmt.Printf("  window %d: %s\n", out.Window, out.Result.Summary)
+		}
+		fmt.Println()
+	}
+	return nil
+}

@@ -1,0 +1,3 @@
+module iothub
+
+go 1.24

@@ -1,0 +1,225 @@
+// Package blynk implements workload A5: the Blynk smartphone-interaction
+// platform client. It reads four environmental sensors plus the low-res
+// camera and, per window, emits Blynk-style binary pin-update frames
+// (command, message id, length, body) including a downsampled camera
+// thumbnail for the phone dashboard.
+package blynk
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strconv"
+	"time"
+
+	"iothub/internal/apps"
+	"iothub/internal/dsp"
+	"iothub/internal/sensor"
+)
+
+// Blynk protocol command codes (subset).
+const (
+	cmdHardware = 20 // virtual pin write
+	cmdImage    = 21 // thumbnail blob (extension used by this workload)
+)
+
+// thumbEdge is the thumbnail edge length in pixels.
+const thumbEdge = 8
+
+var spec = apps.Spec{
+	ID:       apps.Blynk,
+	Name:     "Blynk",
+	Category: "Smartphone Interactions",
+	Task:     "Platform interacting with Smartphones",
+	Sensors: []apps.SensorUse{
+		{Sensor: sensor.Barometer},
+		{Sensor: sensor.Temperature},
+		{Sensor: sensor.Accelerometer},
+		{Sensor: sensor.AirQuality},
+		{Sensor: sensor.LowResImage},
+	},
+	Window: time.Second,
+
+	HeapBytes:  34400,
+	StackBytes: 400,
+	MIPS:       58.3,
+}
+
+// frameWidth/frameHeight describe the raw camera geometry inside the
+// sensor's fixed-size payload.
+const (
+	frameWidth  = 96
+	frameHeight = 84
+)
+
+// App is the Blynk workload.
+type App struct {
+	sources map[sensor.ID]sensor.Source
+	msgID   uint16
+}
+
+var _ apps.App = (*App)(nil)
+
+// New returns the workload with deterministic inputs.
+func New(seed int64) (*App, error) {
+	sources := make(map[sensor.ID]sensor.Source, len(spec.Sensors))
+	for i, u := range spec.Sensors {
+		if u.Sensor == sensor.LowResImage {
+			sp, err := sensor.Lookup(sensor.LowResImage)
+			if err != nil {
+				return nil, err
+			}
+			sources[u.Sensor] = sensor.FixedSize{
+				Src: sensor.NewFrame(seed+int64(i), frameWidth, frameHeight),
+				N:   sp.SampleBytes,
+			}
+			continue
+		}
+		src, err := sensor.DefaultSource(u.Sensor, seed+int64(i))
+		if err != nil {
+			return nil, fmt.Errorf("blynk: %w", err)
+		}
+		sources[u.Sensor] = src
+	}
+	return &App{sources: sources}, nil
+}
+
+// Spec returns the workload description.
+func (a *App) Spec() apps.Spec { return spec }
+
+// Source returns the signal for one of the five sensors.
+func (a *App) Source(id sensor.ID) (sensor.Source, error) {
+	src, ok := a.sources[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", apps.ErrUnknownSensor, id)
+	}
+	return src, nil
+}
+
+// virtualPin maps scalar sensors to dashboard pins.
+var virtualPin = map[sensor.ID]byte{
+	sensor.Barometer:     0,
+	sensor.Temperature:   1,
+	sensor.Accelerometer: 2,
+	sensor.AirQuality:    3,
+}
+
+// Compute emits one pin-update frame per scalar sensor plus a thumbnail.
+func (a *App) Compute(in apps.WindowInput) (apps.Result, error) {
+	var out []byte
+	frames := 0
+	for _, u := range spec.Sensors[:4] {
+		vals, err := scalarize(u.Sensor, in.Samples[u.Sensor])
+		if err != nil {
+			return apps.Result{}, fmt.Errorf("blynk: %s: %w", u.Sensor, err)
+		}
+		body := []byte("vw\x00" + strconv.Itoa(int(virtualPin[u.Sensor])) + "\x00" +
+			strconv.FormatFloat(dsp.Mean(vals), 'f', 3, 64))
+		a.msgID++
+		out = append(out, frame(cmdHardware, a.msgID, body)...)
+		frames++
+	}
+	imgs := in.Samples[sensor.LowResImage]
+	if len(imgs) == 0 {
+		return apps.Result{}, fmt.Errorf("blynk: window %d has no camera frame", in.Window)
+	}
+	thumb, err := thumbnail(imgs[0])
+	if err != nil {
+		return apps.Result{}, fmt.Errorf("blynk: %w", err)
+	}
+	a.msgID++
+	out = append(out, frame(cmdImage, a.msgID, thumb)...)
+	frames++
+
+	return apps.Result{
+		Summary:  fmt.Sprintf("%d Blynk frames (%d bytes)", frames, len(out)),
+		Upstream: out,
+		Metrics: map[string]float64{
+			"frames":     float64(frames),
+			"frameBytes": float64(len(out)),
+		},
+	}, nil
+}
+
+// frame packs one Blynk wire frame: cmd(1) | msgID(2) | len(2) | body.
+func frame(cmd byte, msgID uint16, body []byte) []byte {
+	out := make([]byte, 0, 5+len(body))
+	out = append(out, cmd)
+	out = binary.BigEndian.AppendUint16(out, msgID)
+	out = binary.BigEndian.AppendUint16(out, uint16(len(body)))
+	return append(out, body...)
+}
+
+// ParseFrames decodes a concatenation of Blynk frames (used by tests and the
+// smartphone-side examples).
+func ParseFrames(b []byte) (count int, err error) {
+	for len(b) > 0 {
+		if len(b) < 5 {
+			return count, fmt.Errorf("blynk: truncated frame header (%d bytes)", len(b))
+		}
+		n := int(binary.BigEndian.Uint16(b[3:5]))
+		if len(b) < 5+n {
+			return count, fmt.Errorf("blynk: truncated frame body: want %d bytes", n)
+		}
+		b = b[5+n:]
+		count++
+	}
+	return count, nil
+}
+
+// thumbnail block-averages the raw RGB frame to an 8×8 grayscale tile.
+func thumbnail(rgb []byte) ([]byte, error) {
+	need := frameWidth * frameHeight * 3
+	if len(rgb) < need {
+		return nil, fmt.Errorf("blynk: frame %d bytes, need %d", len(rgb), need)
+	}
+	out := make([]byte, thumbEdge*thumbEdge)
+	cellW := frameWidth / thumbEdge
+	cellH := frameHeight / thumbEdge
+	for ty := 0; ty < thumbEdge; ty++ {
+		for tx := 0; tx < thumbEdge; tx++ {
+			var sum, n int
+			for y := ty * cellH; y < (ty+1)*cellH; y++ {
+				for x := tx * cellW; x < (tx+1)*cellW; x++ {
+					o := (y*frameWidth + x) * 3
+					sum += int(rgb[o]) + int(rgb[o+1]) + int(rgb[o+2])
+					n += 3
+				}
+			}
+			out[ty*thumbEdge+tx] = byte(sum / n)
+		}
+	}
+	return out, nil
+}
+
+func scalarize(id sensor.ID, raw [][]byte) ([]float64, error) {
+	sp, err := sensor.Lookup(id)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, 0, len(raw))
+	for i, smp := range raw {
+		var v float64
+		switch {
+		case id == sensor.Accelerometer:
+			vec, err := sensor.DecodeVec3(smp)
+			if err != nil {
+				return nil, fmt.Errorf("sample %d: %w", i, err)
+			}
+			v = float64(vec.Z)
+		case sp.SampleBytes == 4:
+			iv, err := sensor.DecodeI32(smp)
+			if err != nil {
+				return nil, fmt.Errorf("sample %d: %w", i, err)
+			}
+			v = float64(iv)
+		default:
+			fv, err := sensor.DecodeF64(smp)
+			if err != nil {
+				return nil, fmt.Errorf("sample %d: %w", i, err)
+			}
+			v = fv
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -1,0 +1,159 @@
+package blynk
+
+import (
+	"testing"
+
+	"iothub/internal/apps"
+	"iothub/internal/sensor"
+)
+
+func TestEmitsParseableFrames(t *testing.T) {
+	a, err := New(41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := apps.CollectWindow(a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := a.Compute(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics["frames"] != 5 {
+		t.Errorf("frames = %v, want 5 (4 pins + thumbnail)", res.Metrics["frames"])
+	}
+	n, err := ParseFrames(res.Upstream)
+	if err != nil {
+		t.Fatalf("ParseFrames: %v", err)
+	}
+	if n != 5 {
+		t.Errorf("parsed %d frames, want 5", n)
+	}
+}
+
+func TestParseFramesErrors(t *testing.T) {
+	if _, err := ParseFrames([]byte{1, 2}); err == nil {
+		t.Error("truncated header accepted")
+	}
+	if _, err := ParseFrames([]byte{20, 0, 1, 0, 10, 'x'}); err == nil {
+		t.Error("truncated body accepted")
+	}
+	if n, err := ParseFrames(nil); err != nil || n != 0 {
+		t.Errorf("empty stream: %d, %v", n, err)
+	}
+}
+
+func TestThumbnailAveraging(t *testing.T) {
+	// A uniform white frame must produce a uniform white thumbnail.
+	rgb := make([]byte, frameWidth*frameHeight*3)
+	for i := range rgb {
+		rgb[i] = 200
+	}
+	thumb, err := thumbnail(rgb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(thumb) != thumbEdge*thumbEdge {
+		t.Fatalf("thumbnail size = %d", len(thumb))
+	}
+	for i, p := range thumb {
+		if p != 200 {
+			t.Fatalf("pixel %d = %d, want 200", i, p)
+		}
+	}
+	if _, err := thumbnail(rgb[:100]); err == nil {
+		t.Error("short frame accepted")
+	}
+}
+
+func TestComputeNeedsCameraFrame(t *testing.T) {
+	a, err := New(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := apps.CollectWindow(a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.Samples[sensor.LowResImage] = nil
+	if _, err := a.Compute(in); err == nil {
+		t.Error("missing camera frame accepted")
+	}
+}
+
+func TestSpecMatchesTableII(t *testing.T) {
+	a, err := New(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := a.Spec()
+	irq, err := sp.InterruptsPerWindow()
+	if err != nil || irq != 1221 {
+		t.Errorf("interrupts = %d, want 1221", irq)
+	}
+	if len(sp.Sensors) != 5 {
+		t.Errorf("sensors = %d, want 5", len(sp.Sensors))
+	}
+}
+
+func TestDashboardMirrorsComputeOutput(t *testing.T) {
+	a, err := New(41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := apps.CollectWindow(a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := a.Compute(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDashboard()
+	if err := d.Apply(res.Upstream); err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if d.Frames() != 5 {
+		t.Errorf("frames = %d, want 5", d.Frames())
+	}
+	// Pin 0 is the barometer: ~101 kPa.
+	p, ok := d.Pin(0)
+	if !ok || p < 100000 || p > 103000 {
+		t.Errorf("pressure pin = %v, %v", p, ok)
+	}
+	// Pin 2 is the accelerometer's Z mean: ~1000 milli-g.
+	z, ok := d.Pin(2)
+	if !ok || z < 800 || z > 1200 {
+		t.Errorf("motion pin = %v, %v", z, ok)
+	}
+	if _, ok := d.Pin(9); ok {
+		t.Error("unwritten pin reported a value")
+	}
+	thumb := d.Thumbnail()
+	if len(thumb) != thumbEdge*thumbEdge {
+		t.Errorf("thumbnail = %d bytes, want %d", len(thumb), thumbEdge*thumbEdge)
+	}
+}
+
+func TestDashboardErrors(t *testing.T) {
+	d := NewDashboard()
+	if err := d.Apply([]byte{1, 2}); err == nil {
+		t.Error("truncated header accepted")
+	}
+	if err := d.Apply(frame(99, 1, []byte("x"))); err == nil {
+		t.Error("unknown command accepted")
+	}
+	if err := d.Apply(frame(cmdHardware, 1, []byte("nope"))); err == nil {
+		t.Error("malformed pin write accepted")
+	}
+	if err := d.Apply(frame(cmdHardware, 1, []byte("vw\x00300\x001"))); err == nil {
+		t.Error("out-of-range pin accepted")
+	}
+	if err := d.Apply(frame(cmdHardware, 1, []byte("vw\x001\x00abc"))); err == nil {
+		t.Error("non-numeric value accepted")
+	}
+	if d.Thumbnail() != nil {
+		t.Error("thumbnail before any image frame")
+	}
+}

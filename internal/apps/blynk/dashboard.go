@@ -1,0 +1,87 @@
+package blynk
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Dashboard is the smartphone-side state the Blynk frames drive: the latest
+// value per virtual pin and the most recent camera thumbnail. It decodes the
+// same wire format the workload emits, closing the protocol loop.
+type Dashboard struct {
+	pins      map[byte]float64
+	thumbnail []byte
+	frames    int
+}
+
+// NewDashboard returns an empty dashboard.
+func NewDashboard() *Dashboard {
+	return &Dashboard{pins: make(map[byte]float64)}
+}
+
+// Frames reports how many frames have been applied.
+func (d *Dashboard) Frames() int { return d.frames }
+
+// Pin returns the latest value written to a virtual pin.
+func (d *Dashboard) Pin(pin byte) (float64, bool) {
+	v, ok := d.pins[pin]
+	return v, ok
+}
+
+// Thumbnail returns the most recent camera tile (nil before the first).
+func (d *Dashboard) Thumbnail() []byte {
+	if d.thumbnail == nil {
+		return nil
+	}
+	out := make([]byte, len(d.thumbnail))
+	copy(out, d.thumbnail)
+	return out
+}
+
+// Apply decodes a concatenation of Blynk frames and updates the dashboard.
+func (d *Dashboard) Apply(stream []byte) error {
+	for len(stream) > 0 {
+		if len(stream) < 5 {
+			return fmt.Errorf("blynk: truncated frame header (%d bytes)", len(stream))
+		}
+		cmd := stream[0]
+		n := int(binary.BigEndian.Uint16(stream[3:5]))
+		if len(stream) < 5+n {
+			return fmt.Errorf("blynk: truncated frame body: want %d bytes", n)
+		}
+		body := stream[5 : 5+n]
+		switch cmd {
+		case cmdHardware:
+			if err := d.applyPinWrite(body); err != nil {
+				return err
+			}
+		case cmdImage:
+			d.thumbnail = append([]byte(nil), body...)
+		default:
+			return fmt.Errorf("blynk: unknown command %d", cmd)
+		}
+		d.frames++
+		stream = stream[5+n:]
+	}
+	return nil
+}
+
+// applyPinWrite parses a "vw\0<pin>\0<value>" body.
+func (d *Dashboard) applyPinWrite(body []byte) error {
+	parts := strings.Split(string(body), "\x00")
+	if len(parts) != 3 || parts[0] != "vw" {
+		return fmt.Errorf("blynk: malformed pin write %q", body)
+	}
+	pin, err := strconv.Atoi(parts[1])
+	if err != nil || pin < 0 || pin > 255 {
+		return fmt.Errorf("blynk: pin %q", parts[1])
+	}
+	v, err := strconv.ParseFloat(parts[2], 64)
+	if err != nil {
+		return fmt.Errorf("blynk: value %q: %v", parts[2], err)
+	}
+	d.pins[byte(pin)] = v
+	return nil
+}

@@ -1,0 +1,153 @@
+// Package custom builds user-defined workloads: pick sensors and rates,
+// provide the computation, and get an apps.App the hub, the planner, and the
+// experiments accept exactly like the paper's eleven. This is the extension
+// point a downstream adopter uses to evaluate Batching/COM for *their* app
+// before committing to an MCU port.
+package custom
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"iothub/internal/apps"
+	"iothub/internal/sensor"
+)
+
+// ComputeFunc is the user-level task run once per QoS window.
+type ComputeFunc func(in apps.WindowInput) (apps.Result, error)
+
+// Builder assembles a custom workload.
+type Builder struct {
+	spec    apps.Spec
+	sources map[sensor.ID]sensor.Source
+	compute ComputeFunc
+	err     error
+}
+
+// NewBuilder starts a workload definition. The ID should not collide with
+// the Table II IDs (A1..A11) when run alongside catalog apps.
+func NewBuilder(id apps.ID, name string) *Builder {
+	return &Builder{
+		spec: apps.Spec{
+			ID:       id,
+			Name:     name,
+			Category: "Custom",
+			Task:     "user-defined",
+		},
+		sources: make(map[sensor.ID]sensor.Source),
+	}
+}
+
+func (b *Builder) fail(err error) *Builder {
+	if b.err == nil {
+		b.err = err
+	}
+	return b
+}
+
+// WithWindow sets the QoS period (must match any co-scheduled apps).
+func (b *Builder) WithWindow(w time.Duration) *Builder {
+	if w <= 0 {
+		return b.fail(fmt.Errorf("custom: window %v", w))
+	}
+	b.spec.Window = w
+	return b
+}
+
+// WithSensor attaches a sensor with a synthetic source. rateHz 0 uses the
+// sensor's QoS default; bytesPerSample 0 uses the spec default.
+func (b *Builder) WithSensor(id sensor.ID, src sensor.Source, rateHz float64, bytesPerSample int) *Builder {
+	if src == nil {
+		return b.fail(fmt.Errorf("custom: nil source for %s", id))
+	}
+	if _, ok := b.sources[id]; ok {
+		return b.fail(fmt.Errorf("custom: sensor %s attached twice", id))
+	}
+	b.spec.Sensors = append(b.spec.Sensors, apps.SensorUse{
+		Sensor: id, RateHz: rateHz, BytesPerSmp: bytesPerSample,
+	})
+	b.sources[id] = src
+	return b
+}
+
+// WithDefaultSensor attaches a sensor with its package-default generator.
+func (b *Builder) WithDefaultSensor(id sensor.ID, seed int64) *Builder {
+	src, err := sensor.DefaultSource(id, seed)
+	if err != nil {
+		return b.fail(err)
+	}
+	return b.WithSensor(id, src, 0, 0)
+}
+
+// WithCharacterization sets the Figure 6 cost constants the simulator and
+// the planner price the app with.
+func (b *Builder) WithCharacterization(heapBytes, stackBytes int, mips float64) *Builder {
+	b.spec.HeapBytes = heapBytes
+	b.spec.StackBytes = stackBytes
+	b.spec.MIPS = mips
+	return b
+}
+
+// WithFPPenalty marks the computation floating-point heavy (>1 multiplies
+// the MCU slowdown; the ESP8266 class has no FPU).
+func (b *Builder) WithFPPenalty(penalty float64) *Builder {
+	b.spec.FPPenalty = penalty
+	return b
+}
+
+// Heavy marks the workload non-offloadable regardless of its numbers.
+func (b *Builder) Heavy(effectiveMIPS float64) *Builder {
+	b.spec.Heavy = true
+	b.spec.EffectiveMIPS = effectiveMIPS
+	return b
+}
+
+// WithCompute sets the user-level task.
+func (b *Builder) WithCompute(fn ComputeFunc) *Builder {
+	if fn == nil {
+		return b.fail(errors.New("custom: nil compute"))
+	}
+	b.compute = fn
+	return b
+}
+
+// Build validates and returns the workload.
+func (b *Builder) Build() (apps.App, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if b.compute == nil {
+		return nil, errors.New("custom: missing compute (use WithCompute)")
+	}
+	if b.spec.Window == 0 {
+		// Default to the catalog's 1 s QoS window.
+		b.spec.Window = time.Second
+	}
+	if err := b.spec.Validate(); err != nil {
+		return nil, err
+	}
+	return &app{spec: b.spec, sources: b.sources, compute: b.compute}, nil
+}
+
+type app struct {
+	spec    apps.Spec
+	sources map[sensor.ID]sensor.Source
+	compute ComputeFunc
+}
+
+var _ apps.App = (*app)(nil)
+
+func (a *app) Spec() apps.Spec { return a.spec }
+
+func (a *app) Source(id sensor.ID) (sensor.Source, error) {
+	src, ok := a.sources[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", apps.ErrUnknownSensor, id)
+	}
+	return src, nil
+}
+
+func (a *app) Compute(in apps.WindowInput) (apps.Result, error) {
+	return a.compute(in)
+}

@@ -1,0 +1,159 @@
+package custom
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"iothub/internal/apps"
+	"iothub/internal/core"
+	"iothub/internal/dsp"
+	"iothub/internal/hub"
+	"iothub/internal/sensor"
+)
+
+// newTiltMonitor builds a simple custom workload: 100 Hz accelerometer,
+// mean-tilt computation.
+func newTiltMonitor(t *testing.T) apps.App {
+	t.Helper()
+	a, err := NewBuilder("C1", "tilt monitor").
+		WithDefaultSensor(sensor.Accelerometer, 5).
+		WithCharacterization(8_000, 256, 2.5).
+		WithCompute(func(in apps.WindowInput) (apps.Result, error) {
+			zs := make([]float64, 0, len(in.Samples[sensor.Accelerometer]))
+			for _, raw := range in.Samples[sensor.Accelerometer] {
+				v, err := sensor.DecodeVec3(raw)
+				if err != nil {
+					return apps.Result{}, err
+				}
+				zs = append(zs, float64(v.Z))
+			}
+			mean := dsp.Mean(zs)
+			return apps.Result{
+				Summary: fmt.Sprintf("tilt %.0f milli-g over %d samples", mean, len(zs)),
+				Metrics: map[string]float64{"meanZ": mean, "n": float64(len(zs))},
+			}, nil
+		}).
+		Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return a
+}
+
+func TestCustomAppRunsUnderEverySingleAppScheme(t *testing.T) {
+	for _, scheme := range []hub.Scheme{hub.Baseline, hub.Batching, hub.COM} {
+		res, err := hub.Run(hub.Config{
+			Apps: []apps.App{newTiltMonitor(t)}, Scheme: scheme, Windows: 2,
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", scheme, err)
+		}
+		outs := res.Outputs["C1"]
+		if len(outs) != 2 {
+			t.Fatalf("%v outputs = %d", scheme, len(outs))
+		}
+		if n := outs[0].Result.Metrics["n"]; n != 1000 {
+			t.Errorf("%v samples = %v, want 1000 (sensor QoS default)", scheme, n)
+		}
+		if z := outs[0].Result.Metrics["meanZ"]; z < 800 || z > 1200 {
+			t.Errorf("%v meanZ = %v", scheme, z)
+		}
+	}
+}
+
+func TestCustomAppWithRateOverride(t *testing.T) {
+	src, err := sensor.DefaultSource(sensor.Accelerometer, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewBuilder("C2", "slow tilt").
+		WithSensor(sensor.Accelerometer, src, 50, 0).
+		WithWindow(time.Second).
+		WithCharacterization(4_000, 256, 1).
+		WithCompute(func(in apps.WindowInput) (apps.Result, error) {
+			return apps.Result{
+				Summary: "ok",
+				Metrics: map[string]float64{"n": float64(len(in.Samples[sensor.Accelerometer]))},
+			}, nil
+		}).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := hub.Run(hub.Config{Apps: []apps.App{a}, Scheme: hub.Baseline, Windows: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Interrupts != 50 {
+		t.Errorf("interrupts = %d, want 50", res.Interrupts)
+	}
+	if n := res.Outputs["C2"][0].Result.Metrics["n"]; n != 50 {
+		t.Errorf("samples = %v, want 50", n)
+	}
+}
+
+func TestCustomAppClassifiesAndPlans(t *testing.T) {
+	light := newTiltMonitor(t)
+	cls, err := core.Classify(light.Spec(), hub.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cls.Offloadable {
+		t.Errorf("light custom app not offloadable: %v", cls.Reasons)
+	}
+	heavy, err := NewBuilder("C3", "heavy custom").
+		WithDefaultSensor(sensor.Sound, 1).
+		WithCharacterization(2_000_000_000, 4096, 3000).
+		Heavy(5000).
+		WithCompute(func(in apps.WindowInput) (apps.Result, error) {
+			return apps.Result{Summary: "ok"}, nil
+		}).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := core.PlanBCOM([]apps.App{light, heavy}, hub.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Assign["C1"] != hub.Offloaded || plan.Assign["C3"] != hub.Batched {
+		t.Errorf("plan = %v", plan.Assign)
+	}
+}
+
+func TestBuilderValidation(t *testing.T) {
+	if _, err := NewBuilder("CX", "x").Build(); err == nil {
+		t.Error("missing compute accepted")
+	}
+	noop := func(apps.WindowInput) (apps.Result, error) { return apps.Result{}, nil }
+	if _, err := NewBuilder("CX", "x").WithCompute(noop).Build(); err == nil {
+		t.Error("no sensors accepted")
+	}
+	if _, err := NewBuilder("CX", "x").
+		WithSensor(sensor.Sound, nil, 0, 0).WithCompute(noop).Build(); err == nil {
+		t.Error("nil source accepted")
+	}
+	if _, err := NewBuilder("CX", "x").
+		WithDefaultSensor(sensor.Sound, 1).
+		WithDefaultSensor(sensor.Sound, 2).
+		WithCompute(noop).Build(); err == nil {
+		t.Error("duplicate sensor accepted")
+	}
+	if _, err := NewBuilder("CX", "x").
+		WithDefaultSensor(sensor.Sound, 1).
+		WithWindow(-time.Second).
+		WithCompute(noop).Build(); err == nil {
+		t.Error("negative window accepted")
+	}
+	if _, err := NewBuilder("CX", "x").
+		WithDefaultSensor(sensor.Sound, 1).
+		WithCompute(nil).Build(); err == nil {
+		t.Error("nil compute accepted")
+	}
+	if _, err := NewBuilder("", "x").
+		WithDefaultSensor(sensor.Sound, 1).
+		WithCompute(noop).Build(); err == nil {
+		t.Error("empty ID accepted")
+	}
+}

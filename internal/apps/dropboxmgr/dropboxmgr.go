@@ -1,0 +1,175 @@
+// Package dropboxmgr implements workload A6: the Web Control "Dropbox
+// Manager". It records the sound and distance sensors, packs each window
+// into a content-addressed file object (fixed-size blocks with rolling
+// checksums), and computes the delta-sync manifest against the previously
+// uploaded version — upload only the blocks whose checksums changed.
+package dropboxmgr
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"time"
+
+	"iothub/internal/apps"
+	"iothub/internal/httplite"
+	"iothub/internal/jsonlite"
+	"iothub/internal/sensor"
+)
+
+// BlockBytes is the sync block size.
+const BlockBytes = 1024
+
+var spec = apps.Spec{
+	ID:       apps.DropboxMgr,
+	Name:     "Dropbox Manager",
+	Category: "Web Control",
+	Task:     "File Sync, Upload, etc.",
+	Sensors: []apps.SensorUse{
+		{Sensor: sensor.Sound},
+		{Sensor: sensor.Distance},
+	},
+	Window: time.Second,
+
+	HeapBytes:  28200,
+	StackBytes: 400,
+	MIPS:       41.9,
+}
+
+// App is the Dropbox-manager workload.
+type App struct {
+	sound    *sensor.Scalar
+	distance *sensor.Scalar
+	prev     []uint32 // block checksums of the last synced window
+}
+
+var _ apps.App = (*App)(nil)
+
+// New returns the workload with deterministic inputs.
+func New(seed int64) (*App, error) {
+	return &App{
+		sound:    sensor.NewScalar(seed, sensor.ScalarSoundLevel),
+		distance: sensor.NewScalar(seed+1, sensor.ScalarDistance),
+	}, nil
+}
+
+// Spec returns the workload description.
+func (a *App) Spec() apps.Spec { return spec }
+
+// Source returns the requested signal.
+func (a *App) Source(id sensor.ID) (sensor.Source, error) {
+	switch id {
+	case sensor.Sound:
+		return a.sound, nil
+	case sensor.Distance:
+		return a.distance, nil
+	default:
+		return nil, fmt.Errorf("%w: %s", apps.ErrUnknownSensor, id)
+	}
+}
+
+// Compute packs the window into a file image, blocks it, computes the delta
+// against the previous sync, and builds the real upload call: a POST whose
+// body carries only the changed blocks and whose Dropbox-API-Arg header
+// carries the JSON manifest.
+func (a *App) Compute(in apps.WindowInput) (apps.Result, error) {
+	file := packFile(in)
+	sums := blockChecksums(file)
+	var changedIdx []int
+	for i, s := range sums {
+		if i >= len(a.prev) || a.prev[i] != s {
+			changedIdx = append(changedIdx, i)
+		}
+	}
+	manifest, err := buildManifest(in.Window, len(file), sums, len(changedIdx))
+	if err != nil {
+		return apps.Result{}, fmt.Errorf("dropboxmgr: %w", err)
+	}
+	a.prev = sums
+
+	var body []byte
+	for _, i := range changedIdx {
+		lo := i * BlockBytes
+		hi := lo + BlockBytes
+		if hi > len(file) {
+			hi = len(file)
+		}
+		body = append(body, file[lo:hi]...)
+	}
+	var wire []byte
+	if len(changedIdx) > 0 {
+		req := &httplite.Request{
+			Method: "POST",
+			Path:   "/2/files/upload_session/append_v2",
+			Host:   "content.dropboxapi.com",
+			Headers: map[string]string{
+				"Authorization":   "Bearer sim-token",
+				"Content-Type":    "application/octet-stream",
+				"Dropbox-API-Arg": string(manifest),
+			},
+			Body: body,
+		}
+		if wire, err = req.Marshal(); err != nil {
+			return apps.Result{}, fmt.Errorf("dropboxmgr: marshal upload: %w", err)
+		}
+		// The service's acknowledgement closes the loop.
+		if _, err := httplite.ParseRequest(wire); err != nil {
+			return apps.Result{}, fmt.Errorf("dropboxmgr: self-check: %w", err)
+		}
+	}
+	return apps.Result{
+		Summary: fmt.Sprintf("file %d B in %d blocks, %d uploaded (%d B on the wire)",
+			len(file), len(sums), len(changedIdx), len(wire)),
+		Upstream: wire,
+		Metrics: map[string]float64{
+			"fileBytes":     float64(len(file)),
+			"blocks":        float64(len(sums)),
+			"changedBlocks": float64(len(changedIdx)),
+			"wireBytes":     float64(len(wire)),
+		},
+	}, nil
+}
+
+// packFile serializes the window's raw samples into one file image with a
+// small header per sensor section.
+func packFile(in apps.WindowInput) []byte {
+	var out []byte
+	for _, u := range spec.Sensors {
+		samples := in.Samples[u.Sensor]
+		out = append(out, []byte(u.Sensor)...)
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(samples)))
+		for _, s := range samples {
+			out = append(out, s...)
+		}
+	}
+	return out
+}
+
+// blockChecksums computes one CRC32 per fixed-size block.
+func blockChecksums(file []byte) []uint32 {
+	n := (len(file) + BlockBytes - 1) / BlockBytes
+	out := make([]uint32, 0, n)
+	for i := 0; i < n; i++ {
+		lo := i * BlockBytes
+		hi := lo + BlockBytes
+		if hi > len(file) {
+			hi = len(file)
+		}
+		out = append(out, crc32.ChecksumIEEE(file[lo:hi]))
+	}
+	return out
+}
+
+func buildManifest(window, fileBytes int, sums []uint32, changed int) ([]byte, error) {
+	b := jsonlite.NewBuilder(512)
+	b.BeginObject().
+		Key("path").Str(fmt.Sprintf("/recordings/window-%05d.bin", window)).
+		Key("bytes").Int(int64(fileBytes)).
+		Key("changed").Int(int64(changed)).
+		Key("blocks").BeginArray()
+	for _, s := range sums {
+		b.Int(int64(s))
+	}
+	b.EndArray().EndObject()
+	return b.Bytes()
+}

@@ -1,0 +1,143 @@
+package dropboxmgr
+
+import (
+	"testing"
+
+	"iothub/internal/apps"
+	"iothub/internal/httplite"
+	"iothub/internal/jsonlite"
+)
+
+func compute(t *testing.T, a *App, w int) apps.Result {
+	t.Helper()
+	in, err := apps.CollectWindow(a, w)
+	if err != nil {
+		t.Fatalf("collect: %v", err)
+	}
+	res, err := a.Compute(in)
+	if err != nil {
+		t.Fatalf("compute: %v", err)
+	}
+	return res
+}
+
+func TestFirstWindowUploadsEverything(t *testing.T) {
+	a, err := New(51)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := compute(t, a, 0)
+	// 12 KB + section headers → 12 blocks of 1 KB.
+	if res.Metrics["blocks"] < 12 || res.Metrics["blocks"] > 13 {
+		t.Errorf("blocks = %v, want 12..13", res.Metrics["blocks"])
+	}
+	if res.Metrics["changedBlocks"] != res.Metrics["blocks"] {
+		t.Errorf("first sync uploads %v of %v blocks, want all",
+			res.Metrics["changedBlocks"], res.Metrics["blocks"])
+	}
+}
+
+func TestDeltaSyncUploadsOnlyChanges(t *testing.T) {
+	a, err := New(51)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compute(t, a, 0)
+	res := compute(t, a, 1)
+	// New window: fresh sensor data, so most blocks change again — but the
+	// delta logic must compare against window 0's sums, not re-upload by
+	// default. Verify by syncing the *same* window twice.
+	_ = res
+	in, err := apps.CollectWindow(a, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := a.Compute(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Metrics["changedBlocks"] == 0 {
+		t.Error("fresh window produced zero changed blocks")
+	}
+	second, err := a.Compute(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Metrics["changedBlocks"] != 0 {
+		t.Errorf("re-sync of identical window changed %v blocks, want 0",
+			second.Metrics["changedBlocks"])
+	}
+}
+
+func TestUploadRequestCarriesManifestAndBlocks(t *testing.T) {
+	a, err := New(51)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := compute(t, a, 0)
+	req, err := httplite.ParseRequest(res.Upstream)
+	if err != nil {
+		t.Fatalf("upload not valid HTTP: %v", err)
+	}
+	if req.Method != "POST" || req.Host != "content.dropboxapi.com" {
+		t.Errorf("request %s to %s", req.Method, req.Host)
+	}
+	if req.Headers["Authorization"] == "" {
+		t.Error("Authorization header missing")
+	}
+	v, err := jsonlite.Parse([]byte(req.Headers["Dropbox-API-Arg"]))
+	if err != nil {
+		t.Fatalf("manifest header: %v", err)
+	}
+	doc := v.(map[string]any)
+	if doc["path"] != "/recordings/window-00000.bin" {
+		t.Errorf("path = %v", doc["path"])
+	}
+	blocks, ok := doc["blocks"].([]any)
+	if !ok || float64(len(blocks)) != res.Metrics["blocks"] {
+		t.Errorf("manifest blocks = %v, metrics %v", len(blocks), res.Metrics["blocks"])
+	}
+	// The body carries exactly the changed blocks' bytes.
+	wantBody := int(res.Metrics["changedBlocks"]) * BlockBytes
+	slack := BlockBytes // final partial block
+	if len(req.Body) > wantBody || len(req.Body) < wantBody-slack {
+		t.Errorf("body = %d bytes, want ~%d", len(req.Body), wantBody)
+	}
+}
+
+func TestNoUploadWhenNothingChanged(t *testing.T) {
+	a, err := New(51)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := apps.CollectWindow(a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Compute(in); err != nil {
+		t.Fatal(err)
+	}
+	res, err := a.Compute(in) // identical content: delta sync sends nothing
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Upstream) != 0 {
+		t.Errorf("re-sync produced %d upstream bytes, want 0", len(res.Upstream))
+	}
+}
+
+func TestSpecMatchesTableII(t *testing.T) {
+	a, err := New(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := a.Spec()
+	irq, err := sp.InterruptsPerWindow()
+	if err != nil || irq != 2000 {
+		t.Errorf("interrupts = %d, want 2000", irq)
+	}
+	data, err := sp.DataBytesPerWindow()
+	if err != nil || data != 12000 {
+		t.Errorf("data = %d, want 12000", data)
+	}
+}

@@ -1,0 +1,119 @@
+// Package fingerprint implements workload A10: the Security-domain
+// fingerprint register. Each window delivers one 512-byte signature from the
+// optical reader; the workload identifies it against the enrolled set
+// (Table II: "Fingerprint Enroll, Identify, etc").
+package fingerprint
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"iothub/internal/apps"
+	"iothub/internal/fpmatch"
+	"iothub/internal/sensor"
+)
+
+var spec = apps.Spec{
+	ID:       apps.Fingerprint,
+	Name:     "Fingerprint Register",
+	Category: "Security",
+	Task:     "Fingerprint Enroll, Identify, etc",
+	Sensors:  []apps.SensorUse{{Sensor: sensor.Fingerprint}},
+	Window:   time.Second,
+
+	HeapBytes:  29400,
+	StackBytes: 400,
+	MIPS:       5.0,
+}
+
+// App is the fingerprint workload.
+type App struct {
+	db         *fpmatch.DB
+	scanner    *sensor.Signature
+	autoEnroll bool
+	nextUser   int
+}
+
+var _ apps.App = (*App)(nil)
+
+// New returns the workload with fingers 1..enrolled pre-registered and a
+// scanner presenting scanFinger's prints.
+func New(seed int64, enrolled, scanFinger int) (*App, error) {
+	if enrolled < 1 {
+		return nil, fmt.Errorf("fingerprint: enrolled %d, want >= 1", enrolled)
+	}
+	db, err := fpmatch.NewDB(0)
+	if err != nil {
+		return nil, err
+	}
+	for f := 1; f <= enrolled; f++ {
+		if err := db.Enroll(fmt.Sprintf("user-%d", f), sensor.FingerTemplate(f)); err != nil {
+			return nil, fmt.Errorf("fingerprint: enroll %d: %w", f, err)
+		}
+	}
+	return &App{db: db, scanner: sensor.NewSignature(seed, scanFinger), nextUser: enrolled + 1}, nil
+}
+
+// NewAutoEnroll returns the workload in registration mode (the Table II
+// task's "Enroll" path): a scan that matches nobody is enrolled as a new
+// user, so the first window registers the finger and later windows identify
+// it.
+func NewAutoEnroll(seed int64, scanFinger int) (*App, error) {
+	db, err := fpmatch.NewDB(0)
+	if err != nil {
+		return nil, err
+	}
+	return &App{
+		db:         db,
+		scanner:    sensor.NewSignature(seed, scanFinger),
+		autoEnroll: true,
+		nextUser:   1,
+	}, nil
+}
+
+// Spec returns the workload description.
+func (a *App) Spec() apps.Spec { return spec }
+
+// Source returns the signature scanner.
+func (a *App) Source(id sensor.ID) (sensor.Source, error) {
+	if id != sensor.Fingerprint {
+		return nil, fmt.Errorf("%w: %s", apps.ErrUnknownSensor, id)
+	}
+	return a.scanner, nil
+}
+
+// Compute identifies the window's scan against the enrolled set.
+func (a *App) Compute(in apps.WindowInput) (apps.Result, error) {
+	scans := in.Samples[sensor.Fingerprint]
+	if len(scans) == 0 {
+		return apps.Result{}, fmt.Errorf("fingerprint: window %d has no scan", in.Window)
+	}
+	name, score, err := a.db.Identify(scans[0])
+	switch {
+	case errors.Is(err, fpmatch.ErrNoMatch) && a.autoEnroll:
+		user := fmt.Sprintf("user-%d", a.nextUser)
+		if err := a.db.Enroll(user, scans[0]); err != nil {
+			return apps.Result{}, fmt.Errorf("fingerprint: enroll: %w", err)
+		}
+		a.nextUser++
+		return apps.Result{
+			Summary:  fmt.Sprintf("enrolled %s (best prior %.3f)", user, score),
+			Upstream: []byte(user),
+			Metrics:  map[string]float64{"matched": 0, "enrolled": 1, "score": score},
+		}, nil
+	case errors.Is(err, fpmatch.ErrNoMatch):
+		return apps.Result{
+			Summary: fmt.Sprintf("no match (best %.3f)", score),
+			Metrics: map[string]float64{"matched": 0, "score": score},
+		}, nil
+	case err != nil:
+		return apps.Result{}, fmt.Errorf("fingerprint: %w", err)
+	default:
+		return apps.Result{
+			Summary:  fmt.Sprintf("identified %s (%.3f)", name, score),
+			Upstream: []byte(name),
+			Metrics:  map[string]float64{"matched": 1, "score": score},
+		}, nil
+	}
+}

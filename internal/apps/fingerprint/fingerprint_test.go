@@ -1,0 +1,119 @@
+package fingerprint
+
+import (
+	"testing"
+
+	"iothub/internal/apps"
+	"iothub/internal/sensor"
+)
+
+func TestIdentifiesEnrolledFinger(t *testing.T) {
+	a, err := New(71, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := apps.CollectWindow(a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := a.Compute(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics["matched"] != 1 {
+		t.Fatalf("no match: %s", res.Summary)
+	}
+	if string(res.Upstream) != "user-2" {
+		t.Errorf("identified %q, want user-2", res.Upstream)
+	}
+	if res.Metrics["score"] < 0.95 {
+		t.Errorf("score = %v, want >= 0.95", res.Metrics["score"])
+	}
+}
+
+func TestRejectsUnenrolledFinger(t *testing.T) {
+	a, err := New(71, 2, 9) // finger 9 not in {1, 2}
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := apps.CollectWindow(a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := a.Compute(in)
+	if err != nil {
+		t.Fatalf("no-match should not be an error: %v", err)
+	}
+	if res.Metrics["matched"] != 0 {
+		t.Errorf("impostor matched: %s", res.Summary)
+	}
+}
+
+func TestNewValidatesEnrollment(t *testing.T) {
+	if _, err := New(1, 0, 1); err == nil {
+		t.Error("zero enrollment accepted")
+	}
+}
+
+func TestComputeRejectsEmptyWindow(t *testing.T) {
+	a, err := New(1, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Compute(apps.WindowInput{Samples: map[sensor.ID][][]byte{}}); err == nil {
+		t.Error("empty window accepted")
+	}
+}
+
+func TestSpecMatchesTableII(t *testing.T) {
+	a, err := New(1, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := a.Spec()
+	irq, err := sp.InterruptsPerWindow()
+	if err != nil || irq != 1 {
+		t.Errorf("interrupts = %d, want 1", irq)
+	}
+	data, err := sp.DataBytesPerWindow()
+	if err != nil || data != 512 {
+		t.Errorf("data = %d B, want 512 (0.5 KB)", data)
+	}
+}
+
+func TestAutoEnrollThenIdentify(t *testing.T) {
+	a, err := NewAutoEnroll(91, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Window 0: the empty database matches nothing, so the scan enrolls.
+	in0, err := apps.CollectWindow(a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res0, err := a.Compute(in0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res0.Metrics["enrolled"] != 1 {
+		t.Fatalf("window 0: %s", res0.Summary)
+	}
+	if string(res0.Upstream) != "user-1" {
+		t.Errorf("enrolled as %q", res0.Upstream)
+	}
+	// Window 1: a fresh scan of the same finger now identifies.
+	in1, err := apps.CollectWindow(a, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res1, err := a.Compute(in1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.Metrics["matched"] != 1 || string(res1.Upstream) != "user-1" {
+		t.Errorf("window 1: %s", res1.Summary)
+	}
+	if res1.Metrics["enrolled"] == 1 {
+		t.Error("window 1 re-enrolled an identified finger")
+	}
+}

@@ -1,0 +1,148 @@
+// Package heartbeat implements workload A8: Health Care heartbeat
+// irregularity detection. It samples the pulse sensor at 1 kHz, extracts the
+// R-peak train (the ECG feature-extraction task of Table II), and flags
+// RR intervals that deviate strongly from the running median — the paper's
+// heaviest light-weight workload (108.80 MIPS in Fig. 6), and one of the two
+// apps COM slows down because its double-precision feature extraction hits
+// the MCU's missing FPU (Fig. 13).
+package heartbeat
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"iothub/internal/apps"
+	"iothub/internal/dsp"
+	"iothub/internal/sensor"
+)
+
+// IrregularDeviation is the fractional RR deviation flagged as irregular.
+const IrregularDeviation = 0.3
+
+var spec = apps.Spec{
+	ID:       apps.Heartbeat,
+	Name:     "Heartbeat Irregularity Detection",
+	Category: "Health Care",
+	Task:     "ECG Feature-extraction",
+	Sensors:  []apps.SensorUse{{Sensor: sensor.Pulse}},
+	Window:   time.Second,
+
+	HeapBytes:  22500,
+	StackBytes: 400,
+	MIPS:       108.80, // Fig. 6: the largest compute demand of A1–A10
+	FPPenalty:  3,      // double-precision ECG math on an FPU-less MCU
+}
+
+// App is the heartbeat-irregularity workload.
+type App struct {
+	ecg *sensor.ECGWave
+}
+
+var _ apps.App = (*App)(nil)
+
+// New returns a detector over a synthetic ECG at the given BPM whose listed
+// beats have stretched RR intervals.
+func New(seed int64, bpm float64, irregularBeats ...int) (*App, error) {
+	sp, err := sensor.Lookup(sensor.Pulse)
+	if err != nil {
+		return nil, err
+	}
+	if bpm <= 20 || bpm > 250 {
+		return nil, fmt.Errorf("heartbeat: bpm %v outside (20, 250]", bpm)
+	}
+	return &App{ecg: sensor.NewECGWave(seed, sp.QoSRateHz, bpm, irregularBeats...)}, nil
+}
+
+// Spec returns the workload description.
+func (a *App) Spec() apps.Spec { return spec }
+
+// Source returns the pulse waveform.
+func (a *App) Source(id sensor.ID) (sensor.Source, error) {
+	if id != sensor.Pulse {
+		return nil, fmt.Errorf("%w: %s", apps.ErrUnknownSensor, id)
+	}
+	return a.ecg, nil
+}
+
+// TrueBeats reports the ground-truth beat count in the first n samples.
+func (a *App) TrueBeats(n int) int { return a.ecg.TrueBeats(n) }
+
+// Compute extracts R peaks and flags irregular RR intervals in one window.
+func (a *App) Compute(in apps.WindowInput) (apps.Result, error) {
+	raw := in.Samples[sensor.Pulse]
+	if len(raw) < 100 {
+		return apps.Result{}, fmt.Errorf("heartbeat: window %d has %d samples, need >= 100", in.Window, len(raw))
+	}
+	xs := make([]float64, len(raw))
+	for i, b := range raw {
+		v, err := sensor.DecodeI32(b)
+		if err != nil {
+			return apps.Result{}, fmt.Errorf("heartbeat: sample %d: %w", i, err)
+		}
+		xs[i] = float64(v)
+	}
+	detrended := dsp.Detrend(dsp.MovingAverage(xs, 5))
+	// R peaks are prominent; require at least half the max excursion and a
+	// 250 ms refractory period (240 BPM ceiling).
+	maxV := 0.0
+	for _, v := range detrended {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	peaks := dsp.FindPeaks(detrended, maxV*0.5, 250)
+	var irregular int
+	if len(peaks) >= 3 {
+		rr := make([]float64, 0, len(peaks)-1)
+		for i := 1; i < len(peaks); i++ {
+			rr = append(rr, float64(peaks[i]-peaks[i-1]))
+		}
+		med := median(rr)
+		for _, iv := range rr {
+			if med > 0 && abs(iv-med)/med > IrregularDeviation {
+				irregular++
+			}
+		}
+	}
+	// Independent rate estimate from the waveform's dominant period
+	// (autocorrelation pitch tracking), robust when peak detection is
+	// marginal. Lags span 250..1500 ms, i.e. 40..240 BPM.
+	sampleRate := float64(len(xs)) / spec.Window.Seconds()
+	bpm := 0.0
+	minLag := int(sampleRate * 60 / 240)
+	maxLag := int(sampleRate * 60 / 40)
+	if maxLag >= len(detrended) {
+		maxLag = len(detrended) - 1 // a 1 s window bounds detection to >=60 BPM
+	}
+	if minLag >= 1 && maxLag > minLag {
+		if period, err := dsp.DominantPeriod(detrended, minLag, maxLag); err == nil && period > 0 {
+			bpm = 60 * sampleRate / float64(period)
+		}
+	}
+	return apps.Result{
+		Summary: fmt.Sprintf("%d beats, %d irregular intervals", len(peaks), irregular),
+		Metrics: map[string]float64{
+			"beats":     float64(len(peaks)),
+			"irregular": float64(irregular),
+			"bpm":       bpm,
+		},
+	}, nil
+}
+
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	return s[len(s)/2]
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

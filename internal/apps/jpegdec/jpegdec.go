@@ -1,0 +1,107 @@
+// Package jpegdec implements workload A9: the Security-domain JPEG decoder.
+// Each window delivers one raw low-resolution camera frame; the workload
+// compresses it and runs the decode pipeline — Huffman decode, dequantize,
+// and the inverse DCT that Table II names as the user-level task — then
+// verifies reconstruction fidelity.
+package jpegdec
+
+import (
+	"fmt"
+	"time"
+
+	"iothub/internal/apps"
+	"iothub/internal/jpegcodec"
+	"iothub/internal/sensor"
+)
+
+// Quality is the compression quality used for the round trip.
+const Quality = 85
+
+// MinPSNR is the reconstruction fidelity the workload requires.
+const MinPSNR = 25.0
+
+// frame geometry inside the sensor's fixed-size payload.
+const (
+	frameWidth  = 96
+	frameHeight = 84
+)
+
+var spec = apps.Spec{
+	ID:       apps.JPEGDecoder,
+	Name:     "JPEG Decoder",
+	Category: "Security",
+	Task:     "Inverse Discrete Cosine Transform (IDCT)",
+	Sensors:  []apps.SensorUse{{Sensor: sensor.LowResImage}},
+	Window:   time.Second,
+
+	HeapBytes:  35900, // Fig. 6: the largest footprint of A1–A10
+	StackBytes: 400,
+	MIPS:       75.1,
+}
+
+// App is the JPEG-decoder workload.
+type App struct {
+	camera sensor.Source
+}
+
+var _ apps.App = (*App)(nil)
+
+// New returns the workload with a deterministic camera.
+func New(seed int64) (*App, error) {
+	sp, err := sensor.Lookup(sensor.LowResImage)
+	if err != nil {
+		return nil, err
+	}
+	return &App{camera: sensor.FixedSize{
+		Src: sensor.NewFrame(seed, frameWidth, frameHeight),
+		N:   sp.SampleBytes,
+	}}, nil
+}
+
+// Spec returns the workload description.
+func (a *App) Spec() apps.Spec { return spec }
+
+// Source returns the camera.
+func (a *App) Source(id sensor.ID) (sensor.Source, error) {
+	if id != sensor.LowResImage {
+		return nil, fmt.Errorf("%w: %s", apps.ErrUnknownSensor, id)
+	}
+	return a.camera, nil
+}
+
+// Compute runs the codec round trip on the window's frame.
+func (a *App) Compute(in apps.WindowInput) (apps.Result, error) {
+	frames := in.Samples[sensor.LowResImage]
+	if len(frames) == 0 {
+		return apps.Result{}, fmt.Errorf("jpegdec: window %d has no frame", in.Window)
+	}
+	img, err := jpegcodec.FromRGB(frames[0], frameWidth, frameHeight)
+	if err != nil {
+		return apps.Result{}, fmt.Errorf("jpegdec: %w", err)
+	}
+	compressed, err := jpegcodec.Encode(img, Quality)
+	if err != nil {
+		return apps.Result{}, fmt.Errorf("jpegdec: encode: %w", err)
+	}
+	decoded, err := jpegcodec.Decode(compressed)
+	if err != nil {
+		return apps.Result{}, fmt.Errorf("jpegdec: decode: %w", err)
+	}
+	psnr, err := jpegcodec.PSNR(img, decoded)
+	if err != nil {
+		return apps.Result{}, fmt.Errorf("jpegdec: %w", err)
+	}
+	if psnr < MinPSNR {
+		return apps.Result{}, fmt.Errorf("jpegdec: window %d PSNR %.1f dB below %.1f", in.Window, psnr, MinPSNR)
+	}
+	ratio := float64(len(frames[0])) / float64(len(compressed))
+	return apps.Result{
+		Summary:  fmt.Sprintf("decoded %dx%d frame: %.1f dB PSNR, %.1fx compression", frameWidth, frameHeight, psnr, ratio),
+		Upstream: compressed,
+		Metrics: map[string]float64{
+			"psnrDB":          psnr,
+			"compressedBytes": float64(len(compressed)),
+			"ratio":           ratio,
+		},
+	}, nil
+}

@@ -1,0 +1,101 @@
+package jpegdec
+
+import (
+	"testing"
+
+	"iothub/internal/apps"
+	"iothub/internal/jpegcodec"
+	"iothub/internal/sensor"
+)
+
+func TestRoundTripMeetsFidelity(t *testing.T) {
+	a, err := New(61)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := apps.CollectWindow(a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := a.Compute(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics["psnrDB"] < MinPSNR {
+		t.Errorf("PSNR = %v, want >= %v", res.Metrics["psnrDB"], MinPSNR)
+	}
+	if res.Metrics["ratio"] < 2 {
+		t.Errorf("compression ratio = %v, want >= 2", res.Metrics["ratio"])
+	}
+	// The upstream payload must itself be a decodable JPEG stream.
+	img, err := jpegcodec.Decode(res.Upstream)
+	if err != nil {
+		t.Fatalf("upstream stream: %v", err)
+	}
+	if img.Width != 96 || img.Height != 84 {
+		t.Errorf("decoded %dx%d", img.Width, img.Height)
+	}
+}
+
+func TestDistinctFramesPerWindow(t *testing.T) {
+	a, err := New(61)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r0, err := a.Compute(mustCollect(t, a, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := a.Compute(mustCollect(t, a, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(r0.Upstream) == string(r1.Upstream) {
+		t.Error("windows 0 and 1 produced identical streams")
+	}
+}
+
+func TestComputeRejectsEmptyWindow(t *testing.T) {
+	a, err := New(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Compute(apps.WindowInput{Samples: map[sensor.ID][][]byte{}}); err == nil {
+		t.Error("empty window accepted")
+	}
+	short := apps.WindowInput{Samples: map[sensor.ID][][]byte{
+		sensor.LowResImage: {make([]byte, 100)},
+	}}
+	if _, err := a.Compute(short); err == nil {
+		t.Error("short frame accepted")
+	}
+}
+
+func TestSpecMatchesTableII(t *testing.T) {
+	a, err := New(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := a.Spec()
+	irq, err := sp.InterruptsPerWindow()
+	if err != nil || irq != 1 {
+		t.Errorf("interrupts = %d, want 1", irq)
+	}
+	data, err := sp.DataBytesPerWindow()
+	if err != nil || data != 24380 {
+		t.Errorf("data = %d B, want 24380 (23.81 KB)", data)
+	}
+	// Fig. 6: JPEG has the largest memory footprint.
+	if sp.MemoryBytes() != 36300 {
+		t.Errorf("memory = %d, want 36300", sp.MemoryBytes())
+	}
+}
+
+func mustCollect(t *testing.T, a apps.App, w int) apps.WindowInput {
+	t.Helper()
+	in, err := apps.CollectWindow(a, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}

@@ -1,0 +1,105 @@
+// Package jsonfmt implements workload A3: the ArduinoJson protocol-library
+// benchmark. It reads the barometer and temperature sensors at 10 Hz and
+// formats the window's readings into a JSON document (string-to-double
+// conversion and buffer management dominate — tiny data, pure formatting).
+package jsonfmt
+
+import (
+	"fmt"
+	"time"
+
+	"iothub/internal/apps"
+	"iothub/internal/jsonlite"
+	"iothub/internal/sensor"
+)
+
+var spec = apps.Spec{
+	ID:       apps.ArduinoJSON,
+	Name:     "arduinoJSON",
+	Category: "Protocol Library",
+	Task:     "JSON Formatting",
+	Sensors: []apps.SensorUse{
+		{Sensor: sensor.Barometer},
+		{Sensor: sensor.Temperature},
+	},
+	Window: time.Second,
+
+	HeapBytes:  17800,
+	StackBytes: 400,
+	MIPS:       7.2,
+}
+
+// App is the JSON-formatting workload.
+type App struct {
+	pressure *sensor.Scalar
+	temp     *sensor.Scalar
+}
+
+var _ apps.App = (*App)(nil)
+
+// New returns the workload with deterministic environmental inputs.
+func New(seed int64) (*App, error) {
+	return &App{
+		pressure: sensor.NewScalar(seed, sensor.ScalarPressure),
+		temp:     sensor.NewScalar(seed+1, sensor.ScalarTemperature),
+	}, nil
+}
+
+// Spec returns the workload description.
+func (a *App) Spec() apps.Spec { return spec }
+
+// Source returns the requested environmental signal.
+func (a *App) Source(id sensor.ID) (sensor.Source, error) {
+	switch id {
+	case sensor.Barometer:
+		return a.pressure, nil
+	case sensor.Temperature:
+		return a.temp, nil
+	default:
+		return nil, fmt.Errorf("%w: %s", apps.ErrUnknownSensor, id)
+	}
+}
+
+// Compute formats the window's readings as a JSON document and validates it
+// by parsing it back.
+func (a *App) Compute(in apps.WindowInput) (apps.Result, error) {
+	b := jsonlite.NewBuilder(512)
+	b.BeginObject().
+		Key("window").Int(int64(in.Window)).
+		Key("readings").BeginObject()
+	count := 0
+	for _, entry := range []struct {
+		key string
+		id  sensor.ID
+	}{
+		{"pressure_pa", sensor.Barometer},
+		{"temperature_c", sensor.Temperature},
+	} {
+		b.Key(entry.key).BeginArray()
+		for i, raw := range in.Samples[entry.id] {
+			v, err := sensor.DecodeF64(raw)
+			if err != nil {
+				return apps.Result{}, fmt.Errorf("jsonfmt: %s sample %d: %w", entry.id, i, err)
+			}
+			b.Num(v)
+			count++
+		}
+		b.EndArray()
+	}
+	b.EndObject().EndObject()
+	doc, err := b.Bytes()
+	if err != nil {
+		return apps.Result{}, fmt.Errorf("jsonfmt: build: %w", err)
+	}
+	if _, err := jsonlite.Parse(doc); err != nil {
+		return apps.Result{}, fmt.Errorf("jsonfmt: self-check: %w", err)
+	}
+	return apps.Result{
+		Summary:  fmt.Sprintf("formatted %d readings into %d bytes", count, len(doc)),
+		Upstream: doc,
+		Metrics: map[string]float64{
+			"readings": float64(count),
+			"docBytes": float64(len(doc)),
+		},
+	}, nil
+}

@@ -1,0 +1,97 @@
+package jsonfmt
+
+import (
+	"testing"
+
+	"iothub/internal/apps"
+	"iothub/internal/jsonlite"
+	"iothub/internal/sensor"
+)
+
+func TestFormatsWindowToValidJSON(t *testing.T) {
+	a, err := New(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := apps.CollectWindow(a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := a.Compute(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics["readings"] != 20 {
+		t.Errorf("readings = %v, want 20 (10 Hz × 2 sensors)", res.Metrics["readings"])
+	}
+	v, err := jsonlite.Parse(res.Upstream)
+	if err != nil {
+		t.Fatalf("output not valid JSON: %v", err)
+	}
+	doc, ok := v.(map[string]any)
+	if !ok {
+		t.Fatalf("document is %T", v)
+	}
+	readings, ok := doc["readings"].(map[string]any)
+	if !ok {
+		t.Fatalf("readings missing: %v", doc)
+	}
+	pressures, ok := readings["pressure_pa"].([]any)
+	if !ok || len(pressures) != 10 {
+		t.Errorf("pressure array = %v", readings["pressure_pa"])
+	}
+	if p, ok := pressures[0].(float64); !ok || p < 100000 || p > 103000 {
+		t.Errorf("pressure value = %v", pressures[0])
+	}
+}
+
+func TestWindowIndexInDocument(t *testing.T) {
+	a, err := New(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := apps.CollectWindow(a, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := a.Compute(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := jsonlite.Parse(res.Upstream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := v.(map[string]any)["window"]; w != 7.0 {
+		t.Errorf("window = %v, want 7", w)
+	}
+}
+
+func TestComputeRejectsBadSamples(t *testing.T) {
+	a, err := New(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := apps.WindowInput{Samples: map[sensor.ID][][]byte{
+		sensor.Barometer: {make([]byte, 2)},
+	}}
+	if _, err := a.Compute(in); err == nil {
+		t.Error("malformed sample accepted")
+	}
+}
+
+func TestSpecTiny(t *testing.T) {
+	a, err := New(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := a.Spec()
+	data, err := sp.DataBytesPerWindow()
+	if err != nil || data != 160 {
+		t.Errorf("data = %d B, want 160 (Table II: 0.16 KB)", data)
+	}
+	irq, err := sp.InterruptsPerWindow()
+	if err != nil || irq != 20 {
+		t.Errorf("interrupts = %d, want 20", irq)
+	}
+}

@@ -1,0 +1,203 @@
+// Package m2x implements workload A4: the AT&T M2X cloud-interfacing client.
+// It reads five sensors (barometer, temperature, accelerometer, air quality,
+// light) and once per window assembles the vendor's device-report document —
+// one named stream per sensor with summary statistics — ready for upload.
+package m2x
+
+import (
+	"fmt"
+	"time"
+
+	"iothub/internal/apps"
+	"iothub/internal/dsp"
+	"iothub/internal/httplite"
+	"iothub/internal/jsonlite"
+	"iothub/internal/sensor"
+)
+
+var spec = apps.Spec{
+	ID:       apps.M2X,
+	Name:     "M2X",
+	Category: "Cloud Communication",
+	Task:     "Cloud Interfacing with AT&T",
+	Sensors: []apps.SensorUse{
+		{Sensor: sensor.Barometer},
+		{Sensor: sensor.Temperature},
+		{Sensor: sensor.Accelerometer},
+		{Sensor: sensor.AirQuality},
+		{Sensor: sensor.Light},
+	},
+	Window: time.Second,
+
+	HeapBytes:  29700,
+	StackBytes: 400,
+	MIPS:       52.6,
+}
+
+// App is the M2X workload.
+type App struct {
+	sources map[sensor.ID]sensor.Source
+}
+
+var _ apps.App = (*App)(nil)
+
+// New returns the workload with deterministic inputs on all five sensors.
+func New(seed int64) (*App, error) {
+	sources := make(map[sensor.ID]sensor.Source, len(spec.Sensors))
+	for i, u := range spec.Sensors {
+		src, err := sensor.DefaultSource(u.Sensor, seed+int64(i))
+		if err != nil {
+			return nil, fmt.Errorf("m2x: %w", err)
+		}
+		sources[u.Sensor] = src
+	}
+	return &App{sources: sources}, nil
+}
+
+// Spec returns the workload description.
+func (a *App) Spec() apps.Spec { return spec }
+
+// Source returns the signal for one of the five sensors.
+func (a *App) Source(id sensor.ID) (sensor.Source, error) {
+	src, ok := a.sources[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", apps.ErrUnknownSensor, id)
+	}
+	return src, nil
+}
+
+// streamName maps sensors to M2X stream identifiers.
+var streamName = map[sensor.ID]string{
+	sensor.Barometer:     "pressure",
+	sensor.Temperature:   "temperature",
+	sensor.Accelerometer: "motion",
+	sensor.AirQuality:    "air-quality",
+	sensor.Light:         "ambient-light",
+}
+
+// Compute builds the device report: per-stream value counts and statistics.
+func (a *App) Compute(in apps.WindowInput) (apps.Result, error) {
+	b := jsonlite.NewBuilder(1024)
+	b.BeginObject().
+		Key("device").Str("iothub-sim-001").
+		Key("window").Int(int64(in.Window)).
+		Key("streams").BeginArray()
+	values := 0
+	for _, u := range spec.Sensors {
+		vals, err := toScalars(u.Sensor, in.Samples[u.Sensor])
+		if err != nil {
+			return apps.Result{}, fmt.Errorf("m2x: %s: %w", u.Sensor, err)
+		}
+		values += len(vals)
+		b.BeginObject().
+			Key("name").Str(streamName[u.Sensor]).
+			Key("count").Int(int64(len(vals))).
+			Key("mean").Num(round6(dsp.Mean(vals))).
+			Key("stddev").Num(round6(dsp.Std(vals))).
+			EndObject()
+	}
+	b.EndArray().EndObject()
+	doc, err := b.Bytes()
+	if err != nil {
+		return apps.Result{}, fmt.Errorf("m2x: build report: %w", err)
+	}
+	if _, err := jsonlite.Parse(doc); err != nil {
+		return apps.Result{}, fmt.Errorf("m2x: self-check: %w", err)
+	}
+
+	// Wrap the report in the vendor's REST call: POST the update document
+	// with the account key, then verify the cloud's acknowledgement.
+	req := &httplite.Request{
+		Method: "POST",
+		Path:   "/v2/devices/iothub-sim-001/updates",
+		Host:   "api-m2x.att.com",
+		Headers: map[string]string{
+			"X-M2X-KEY":    "0123456789abcdef0123456789abcdef",
+			"Content-Type": "application/json",
+		},
+		Body: doc,
+	}
+	wire, err := req.Marshal()
+	if err != nil {
+		return apps.Result{}, fmt.Errorf("m2x: marshal request: %w", err)
+	}
+	ack, err := cloudAck(wire)
+	if err != nil {
+		return apps.Result{}, fmt.Errorf("m2x: %w", err)
+	}
+	return apps.Result{
+		Summary: fmt.Sprintf("POST %d-stream update (%d values, %d B) -> %d",
+			len(spec.Sensors), values, len(wire), ack.Status),
+		Upstream: wire,
+		Metrics: map[string]float64{
+			"streams":    float64(len(spec.Sensors)),
+			"values":     float64(values),
+			"httpStatus": float64(ack.Status),
+		},
+	}, nil
+}
+
+// cloudAck models the M2X endpoint: it parses the device's request and
+// returns the service's 202 Accepted acknowledgement, exercising both wire
+// directions.
+func cloudAck(wire []byte) (*httplite.Response, error) {
+	req, err := httplite.ParseRequest(wire)
+	if err != nil {
+		return nil, fmt.Errorf("cloud rejected request: %w", err)
+	}
+	if req.Headers["X-M2X-KEY"] == "" {
+		return nil, fmt.Errorf("cloud rejected request: missing API key")
+	}
+	if _, err := jsonlite.Parse(req.Body); err != nil {
+		return nil, fmt.Errorf("cloud rejected body: %w", err)
+	}
+	raw, err := httplite.MarshalResponse(202, "Accepted",
+		map[string]string{"Content-Type": "application/json"},
+		[]byte(`{"status":"accepted"}`))
+	if err != nil {
+		return nil, err
+	}
+	return httplite.ParseResponse(raw)
+}
+
+// toScalars reduces raw samples to scalar magnitudes per sensor type.
+func toScalars(id sensor.ID, raw [][]byte) ([]float64, error) {
+	sp, err := sensor.Lookup(id)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, 0, len(raw))
+	for i, smp := range raw {
+		var v float64
+		switch {
+		case id == sensor.Accelerometer:
+			vec, err := sensor.DecodeVec3(smp)
+			if err != nil {
+				return nil, fmt.Errorf("sample %d: %w", i, err)
+			}
+			v = float64(vec.Z)
+		case sp.SampleBytes == 4:
+			iv, err := sensor.DecodeI32(smp)
+			if err != nil {
+				return nil, fmt.Errorf("sample %d: %w", i, err)
+			}
+			v = float64(iv)
+		default:
+			fv, err := sensor.DecodeF64(smp)
+			if err != nil {
+				return nil, fmt.Errorf("sample %d: %w", i, err)
+			}
+			v = fv
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func round6(v float64) float64 {
+	const k = 1e6
+	if v >= 0 {
+		return float64(int64(v*k+0.5)) / k
+	}
+	return float64(int64(v*k-0.5)) / k
+}

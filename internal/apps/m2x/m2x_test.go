@@ -1,0 +1,131 @@
+package m2x
+
+import (
+	"testing"
+
+	"iothub/internal/apps"
+	"iothub/internal/httplite"
+	"iothub/internal/jsonlite"
+	"iothub/internal/sensor"
+)
+
+func TestReportStructure(t *testing.T) {
+	a, err := New(31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := apps.CollectWindow(a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := a.Compute(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics["streams"] != 5 {
+		t.Errorf("streams = %v, want 5", res.Metrics["streams"])
+	}
+	// Table II: 2220 values per window across the five sensors.
+	if res.Metrics["values"] != 2220 {
+		t.Errorf("values = %v, want 2220", res.Metrics["values"])
+	}
+	req, err := httplite.ParseRequest(res.Upstream)
+	if err != nil {
+		t.Fatalf("upstream not valid HTTP: %v", err)
+	}
+	if req.Method != "POST" || req.Host != "api-m2x.att.com" {
+		t.Errorf("request %s %s to %s", req.Method, req.Path, req.Host)
+	}
+	if req.Headers["X-M2X-KEY"] == "" {
+		t.Error("API key header missing")
+	}
+	if res.Metrics["httpStatus"] != 202 {
+		t.Errorf("cloud status = %v, want 202", res.Metrics["httpStatus"])
+	}
+	v, err := jsonlite.Parse(req.Body)
+	if err != nil {
+		t.Fatalf("report not valid JSON: %v", err)
+	}
+	doc := v.(map[string]any)
+	streams, ok := doc["streams"].([]any)
+	if !ok || len(streams) != 5 {
+		t.Fatalf("streams = %v", doc["streams"])
+	}
+	names := map[string]bool{}
+	for _, s := range streams {
+		entry := s.(map[string]any)
+		name, _ := entry["name"].(string)
+		names[name] = true
+		if c, ok := entry["count"].(float64); !ok || c < 1 {
+			t.Errorf("stream %q count = %v", name, entry["count"])
+		}
+	}
+	for _, want := range []string{"pressure", "temperature", "motion", "air-quality", "ambient-light"} {
+		if !names[want] {
+			t.Errorf("stream %q missing from report", want)
+		}
+	}
+}
+
+func TestAccelStreamStatisticsPlausible(t *testing.T) {
+	a, err := New(31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := apps.CollectWindow(a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := a.Compute(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := httplite.ParseRequest(res.Upstream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := jsonlite.Parse(req.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range v.(map[string]any)["streams"].([]any) {
+		entry := s.(map[string]any)
+		if entry["name"] == "motion" {
+			mean := entry["mean"].(float64)
+			if mean < 800 || mean > 1200 {
+				t.Errorf("motion mean = %v, want ~1000 milli-g", mean)
+			}
+			return
+		}
+	}
+	t.Fatal("motion stream missing")
+}
+
+func TestComputeRejectsMalformed(t *testing.T) {
+	a, err := New(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := apps.WindowInput{Samples: map[sensor.ID][][]byte{
+		sensor.Accelerometer: {make([]byte, 1)},
+	}}
+	if _, err := a.Compute(in); err == nil {
+		t.Error("malformed sample accepted")
+	}
+}
+
+func TestSpecMatchesTableII(t *testing.T) {
+	a, err := New(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := a.Spec()
+	irq, err := sp.InterruptsPerWindow()
+	if err != nil || irq != 2220 {
+		t.Errorf("interrupts = %d, want 2220", irq)
+	}
+	data, err := sp.DataBytesPerWindow()
+	if err != nil || data != 20960 {
+		t.Errorf("data = %d B, want 20960 (20.47 KB)", data)
+	}
+}

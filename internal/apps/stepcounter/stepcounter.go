@@ -1,0 +1,88 @@
+// Package stepcounter implements workload A2: the Health Care step counter
+// the paper uses as its running example (Fig. 2b). It samples the
+// accelerometer at 1 kHz for one second and runs a step-detection algorithm
+// over the 1000-sample buffer.
+package stepcounter
+
+import (
+	"fmt"
+	"time"
+
+	"iothub/internal/apps"
+	"iothub/internal/dsp"
+	"iothub/internal/sensor"
+)
+
+// StepRateHz is the walking cadence of the synthetic pedestrian.
+const StepRateHz = 2
+
+var spec = apps.Spec{
+	ID:       apps.StepCounter,
+	Name:     "Step counter",
+	Category: "Health Care",
+	Task:     "Step-detection Algorithm",
+	Sensors:  []apps.SensorUse{{Sensor: sensor.Accelerometer}},
+	Window:   time.Second,
+
+	HeapBytes:  20100,
+	StackBytes: 400,
+	MIPS:       3.94,
+}
+
+// App is the step-counter workload.
+type App struct {
+	walk *sensor.AccelWalk
+}
+
+var _ apps.App = (*App)(nil)
+
+// New returns a step counter fed by a deterministic walking signal.
+func New(seed int64) (*App, error) {
+	sp, err := sensor.Lookup(sensor.Accelerometer)
+	if err != nil {
+		return nil, err
+	}
+	return &App{walk: sensor.NewAccelWalk(seed, sp.QoSRateHz, StepRateHz)}, nil
+}
+
+// Spec returns the workload description.
+func (a *App) Spec() apps.Spec { return spec }
+
+// Source returns the accelerometer signal.
+func (a *App) Source(id sensor.ID) (sensor.Source, error) {
+	if id != sensor.Accelerometer {
+		return nil, fmt.Errorf("%w: %s", apps.ErrUnknownSensor, id)
+	}
+	return a.walk, nil
+}
+
+// TrueSteps reports the ground-truth step count for the first n samples.
+func (a *App) TrueSteps(n int) int { return a.walk.TrueSteps(n) }
+
+// Compute runs the step-detection algorithm of Fig. 2b: decode the vertical
+// axis, remove gravity, smooth, and count positive-going zero crossings of
+// the oscillation.
+func (a *App) Compute(in apps.WindowInput) (apps.Result, error) {
+	raw := in.Samples[sensor.Accelerometer]
+	if len(raw) == 0 {
+		return apps.Result{}, fmt.Errorf("stepcounter: window %d has no samples", in.Window)
+	}
+	z := make([]float64, len(raw))
+	for i, b := range raw {
+		v, err := sensor.DecodeVec3(b)
+		if err != nil {
+			return apps.Result{}, fmt.Errorf("stepcounter: sample %d: %w", i, err)
+		}
+		z[i] = float64(v.Z)
+	}
+	detrended := dsp.Detrend(z)
+	smooth, err := dsp.LowPass(detrended, 0.05)
+	if err != nil {
+		return apps.Result{}, fmt.Errorf("stepcounter: %w", err)
+	}
+	steps := dsp.ZeroCrossingsUp(smooth)
+	return apps.Result{
+		Summary: fmt.Sprintf("%d steps", steps),
+		Metrics: map[string]float64{"steps": float64(steps)},
+	}, nil
+}

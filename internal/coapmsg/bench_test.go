@@ -1,0 +1,50 @@
+package coapmsg
+
+import "testing"
+
+// BenchmarkMarshalUnmarshal measures one full request round trip — the unit
+// of work A1 performs thousands of times per window under observe + blocks.
+func BenchmarkMarshalUnmarshal(b *testing.B) {
+	m := &Message{
+		Type:      Confirmable,
+		Code:      CodeGET,
+		MessageID: 7,
+		Token:     []byte{1, 2},
+		Payload:   []byte(`{"resource":"light","mean":312.5}`),
+	}
+	m.AddOption(OptUriPath, []byte("sensors"))
+	m.AddOption(OptUriPath, []byte("light"))
+	m.AddOption(OptContentFormat, []byte{0, 50})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		wire, err := m.Marshal()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := Unmarshal(wire); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBlockwiseTransfer measures assembling a 6 KB representation from
+// 64-byte blocks.
+func BenchmarkBlockwiseTransfer(b *testing.B) {
+	full := make([]byte, 6000)
+	for i := range full {
+		full[i] = byte(i)
+	}
+	for i := 0; i < b.N; i++ {
+		var asm Assembler
+		for j := 0; !asm.Done(); j++ {
+			req := &Message{Type: Confirmable, Code: CodeGET, MessageID: uint16(j)}
+			reply, err := ServeBlock2(req, CodeContent, FormatText, full, asm.Next(2))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := asm.Add(reply); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -1,0 +1,197 @@
+package coapmsg
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Blockwise transfer options (RFC 7959): large representations are split
+// into blocks a constrained endpoint can buffer.
+const (
+	// OptBlock2 carries the descriptive block option of a response body.
+	OptBlock2 OptionID = 23
+	// OptBlock1 carries the block option of a request body.
+	OptBlock1 OptionID = 27
+	// OptSize2 announces the full representation size.
+	OptSize2 OptionID = 28
+)
+
+// Block is a decoded Block1/Block2 option value.
+type Block struct {
+	// Num is the block number (0-based).
+	Num uint32
+	// More reports whether further blocks follow.
+	More bool
+	// SZX encodes the block size as 2^(SZX+4) bytes; valid values 0..6
+	// (16..1024 bytes).
+	SZX uint8
+}
+
+// Errors callers match with errors.Is.
+var (
+	ErrBadBlock  = errors.New("coapmsg: malformed block option")
+	ErrBlockSize = errors.New("coapmsg: unsupported block size")
+)
+
+// BlockSizeFor returns the SZX exponent for a byte size, which must be a
+// power of two in [16, 1024].
+func BlockSizeFor(bytes int) (uint8, error) {
+	for szx := uint8(0); szx <= 6; szx++ {
+		if 16<<szx == bytes {
+			return szx, nil
+		}
+	}
+	return 0, fmt.Errorf("%w: %d bytes", ErrBlockSize, bytes)
+}
+
+// Size is the block's payload size in bytes.
+func (b Block) Size() int { return 16 << b.SZX }
+
+// Offset is the block's byte offset within the full representation.
+func (b Block) Offset() int { return int(b.Num) * b.Size() }
+
+// Marshal encodes the block option value (RFC 7959 §2.2): an unsigned
+// integer NUM<<4 | M<<3 | SZX in 0-3 bytes, minimal length.
+func (b Block) Marshal() ([]byte, error) {
+	if b.SZX > 6 {
+		return nil, fmt.Errorf("%w: szx %d", ErrBlockSize, b.SZX)
+	}
+	if b.Num >= 1<<20 {
+		return nil, fmt.Errorf("%w: block number %d", ErrBadBlock, b.Num)
+	}
+	v := b.Num<<4 | uint32(b.SZX)
+	if b.More {
+		v |= 1 << 3
+	}
+	switch {
+	case v == 0:
+		return []byte{}, nil
+	case v < 1<<8:
+		return []byte{byte(v)}, nil
+	case v < 1<<16:
+		return []byte{byte(v >> 8), byte(v)}, nil
+	default:
+		return []byte{byte(v >> 16), byte(v >> 8), byte(v)}, nil
+	}
+}
+
+// ParseBlock decodes a block option value.
+func ParseBlock(value []byte) (Block, error) {
+	if len(value) > 3 {
+		return Block{}, fmt.Errorf("%w: %d bytes", ErrBadBlock, len(value))
+	}
+	var v uint32
+	for _, c := range value {
+		v = v<<8 | uint32(c)
+	}
+	b := Block{
+		Num:  v >> 4,
+		More: v&(1<<3) != 0,
+		SZX:  uint8(v & 0x7),
+	}
+	if b.SZX == 7 {
+		return Block{}, fmt.Errorf("%w: reserved szx 7", ErrBlockSize)
+	}
+	return b, nil
+}
+
+// BlockOption extracts a parsed Block1/Block2 option from a message, with
+// found=false when absent.
+func (m *Message) BlockOption(id OptionID) (blk Block, found bool, err error) {
+	for _, o := range m.Options {
+		if o.ID != id {
+			continue
+		}
+		b, err := ParseBlock(o.Value)
+		if err != nil {
+			return Block{}, true, err
+		}
+		return b, true, nil
+	}
+	return Block{}, false, nil
+}
+
+// ServeBlock2 builds the response for one block of a large representation:
+// it slices the payload at the requested block and sets Block2 and Size2.
+// Requests beyond the end yield 4.00 Bad Request.
+func ServeBlock2(req *Message, code Code, contentFormat uint16, full []byte, requested Block) (*Message, error) {
+	size := requested.Size()
+	offset := requested.Offset()
+	if offset > len(full) || (offset == len(full) && len(full) > 0) {
+		return NewReply(req, CodeBadReq, FormatText, nil), nil
+	}
+	end := offset + size
+	more := true
+	if end >= len(full) {
+		end = len(full)
+		more = false
+	}
+	reply := NewReply(req, code, contentFormat, full[offset:end])
+	blockVal, err := Block{Num: requested.Num, More: more, SZX: requested.SZX}.Marshal()
+	if err != nil {
+		return nil, err
+	}
+	reply.AddOption(OptBlock2, blockVal)
+	reply.AddOption(OptSize2, encodeUint(uint32(len(full))))
+	return reply, nil
+}
+
+// Assembler reconstructs a representation from sequential Block2 responses.
+type Assembler struct {
+	buf     []byte
+	nextNum uint32
+	done    bool
+}
+
+// Done reports whether the final block has been added.
+func (a *Assembler) Done() bool { return a.done }
+
+// Bytes returns the assembled representation (valid once Done).
+func (a *Assembler) Bytes() []byte { return a.buf }
+
+// Add ingests one Block2 response in order. Out-of-order or post-final
+// blocks are rejected.
+func (a *Assembler) Add(reply *Message) error {
+	if a.done {
+		return fmt.Errorf("%w: block after final", ErrBadBlock)
+	}
+	blk, found, err := reply.BlockOption(OptBlock2)
+	if err != nil {
+		return err
+	}
+	if !found {
+		// Non-blockwise reply: the whole representation at once.
+		a.buf = append(a.buf, reply.Payload...)
+		a.done = true
+		return nil
+	}
+	if blk.Num != a.nextNum {
+		return fmt.Errorf("%w: got block %d, want %d", ErrBadBlock, blk.Num, a.nextNum)
+	}
+	a.buf = append(a.buf, reply.Payload...)
+	a.nextNum++
+	if !blk.More {
+		a.done = true
+	}
+	return nil
+}
+
+// Next returns the block to request after the blocks added so far.
+func (a *Assembler) Next(szx uint8) Block {
+	return Block{Num: a.nextNum, SZX: szx}
+}
+
+func encodeUint(v uint32) []byte {
+	switch {
+	case v == 0:
+		return []byte{}
+	case v < 1<<8:
+		return []byte{byte(v)}
+	case v < 1<<16:
+		return []byte{byte(v >> 8), byte(v)}
+	case v < 1<<24:
+		return []byte{byte(v >> 16), byte(v >> 8), byte(v)}
+	default:
+		return []byte{byte(v >> 24), byte(v >> 16), byte(v >> 8), byte(v)}
+	}
+}

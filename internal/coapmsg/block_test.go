@@ -1,0 +1,207 @@
+package coapmsg
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestBlockMarshalParseRoundTrip(t *testing.T) {
+	cases := []Block{
+		{Num: 0, More: false, SZX: 0},
+		{Num: 0, More: true, SZX: 2},
+		{Num: 1, More: true, SZX: 6},
+		{Num: 300, More: false, SZX: 4},
+		{Num: 1<<20 - 1, More: true, SZX: 3},
+	}
+	for _, b := range cases {
+		raw, err := b.Marshal()
+		if err != nil {
+			t.Fatalf("%+v: %v", b, err)
+		}
+		got, err := ParseBlock(raw)
+		if err != nil {
+			t.Fatalf("%+v: parse: %v", b, err)
+		}
+		if got != b {
+			t.Errorf("round trip %+v -> %+v", b, got)
+		}
+	}
+}
+
+func TestBlockMarshalValidation(t *testing.T) {
+	if _, err := (Block{SZX: 7}).Marshal(); !errors.Is(err, ErrBlockSize) {
+		t.Errorf("szx 7: %v", err)
+	}
+	if _, err := (Block{Num: 1 << 20}).Marshal(); !errors.Is(err, ErrBadBlock) {
+		t.Errorf("huge num: %v", err)
+	}
+}
+
+func TestParseBlockValidation(t *testing.T) {
+	if _, err := ParseBlock([]byte{1, 2, 3, 4}); !errors.Is(err, ErrBadBlock) {
+		t.Errorf("4 bytes: %v", err)
+	}
+	if _, err := ParseBlock([]byte{0x17}); !errors.Is(err, ErrBlockSize) {
+		t.Errorf("szx 7: %v", err)
+	}
+	// Empty value is block 0, no more, szx 0.
+	b, err := ParseBlock(nil)
+	if err != nil || b != (Block{}) {
+		t.Errorf("empty value: %+v, %v", b, err)
+	}
+}
+
+func TestBlockSizeFor(t *testing.T) {
+	szx, err := BlockSizeFor(64)
+	if err != nil || szx != 2 {
+		t.Errorf("64 bytes -> %d, %v", szx, err)
+	}
+	if _, err := BlockSizeFor(100); !errors.Is(err, ErrBlockSize) {
+		t.Errorf("100 bytes: %v", err)
+	}
+	if got := (Block{SZX: 2}).Size(); got != 64 {
+		t.Errorf("Size = %d", got)
+	}
+	if got := (Block{Num: 3, SZX: 2}).Offset(); got != 192 {
+		t.Errorf("Offset = %d", got)
+	}
+}
+
+func blockFetch(t *testing.T, full []byte, szx uint8) []byte {
+	t.Helper()
+	var asm Assembler
+	for i := 0; !asm.Done(); i++ {
+		if i > 1000 {
+			t.Fatal("assembler never finished")
+		}
+		req := &Message{Type: Confirmable, Code: CodeGET, MessageID: uint16(i)}
+		req.AddOption(OptUriPath, []byte("big"))
+		want := asm.Next(szx)
+		reqVal, err := want.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.AddOption(OptBlock2, reqVal)
+
+		// Server side: parse the request's Block2 and slice.
+		parsedReq, err := Unmarshal(mustMarshal(t, req))
+		if err != nil {
+			t.Fatal(err)
+		}
+		blk, _, err := parsedReq.BlockOption(OptBlock2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reply, err := ServeBlock2(parsedReq, CodeContent, FormatText, full, blk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parsedReply, err := Unmarshal(mustMarshal(t, reply))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := asm.Add(parsedReply); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return asm.Bytes()
+}
+
+func mustMarshal(t *testing.T, m *Message) []byte {
+	t.Helper()
+	b, err := m.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestBlockwiseEndToEnd(t *testing.T) {
+	full := bytes.Repeat([]byte("sensor-history;"), 40) // 600 bytes
+	got := blockFetch(t, full, 2)                       // 64-byte blocks
+	if !bytes.Equal(got, full) {
+		t.Fatalf("assembled %d bytes != original %d", len(got), len(full))
+	}
+}
+
+func TestBlockwiseExactMultiple(t *testing.T) {
+	full := bytes.Repeat([]byte{7}, 128) // exactly two 64-byte blocks
+	got := blockFetch(t, full, 2)
+	if !bytes.Equal(got, full) {
+		t.Fatal("exact-multiple payload corrupted")
+	}
+}
+
+func TestServeBlock2PastEnd(t *testing.T) {
+	req := &Message{Type: Confirmable, Code: CodeGET, MessageID: 1}
+	reply, err := ServeBlock2(req, CodeContent, FormatText, make([]byte, 10), Block{Num: 5, SZX: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Code != CodeBadReq {
+		t.Errorf("past-end code = %v, want 4.00", reply.Code)
+	}
+}
+
+func TestAssemblerRejectsOutOfOrder(t *testing.T) {
+	var asm Assembler
+	reply := &Message{Type: Acknowledgement, Code: CodeContent, MessageID: 1, Payload: []byte("x")}
+	v, err := (Block{Num: 3, More: true, SZX: 2}).Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reply.AddOption(OptBlock2, v)
+	if err := asm.Add(reply); !errors.Is(err, ErrBadBlock) {
+		t.Errorf("out of order: %v", err)
+	}
+}
+
+func TestAssemblerNonBlockwiseReply(t *testing.T) {
+	var asm Assembler
+	reply := &Message{Type: Acknowledgement, Code: CodeContent, MessageID: 1, Payload: []byte("all")}
+	if err := asm.Add(reply); err != nil {
+		t.Fatal(err)
+	}
+	if !asm.Done() || string(asm.Bytes()) != "all" {
+		t.Error("single-shot reply not assembled")
+	}
+	if err := asm.Add(reply); !errors.Is(err, ErrBadBlock) {
+		t.Errorf("block after final: %v", err)
+	}
+}
+
+// Property: ServeBlock2 + Assembler reconstruct any payload at any valid
+// block size.
+func TestPropertyBlockwiseReassembly(t *testing.T) {
+	f := func(payload []byte, szx uint8) bool {
+		szx %= 7
+		if len(payload) > 4096 {
+			payload = payload[:4096]
+		}
+		var asm Assembler
+		for i := 0; !asm.Done(); i++ {
+			if i > 300 {
+				return false
+			}
+			req := &Message{Type: Confirmable, Code: CodeGET, MessageID: uint16(i)}
+			reply, err := ServeBlock2(req, CodeContent, FormatText, payload, asm.Next(szx))
+			if err != nil {
+				return false
+			}
+			if reply.Code == CodeBadReq {
+				// Only acceptable for a request past the end, which the
+				// assembler never issues.
+				return false
+			}
+			if err := asm.Add(reply); err != nil {
+				return false
+			}
+		}
+		return bytes.Equal(asm.Bytes(), payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,268 @@
+// Package coapmsg implements the Constrained Application Protocol (CoAP,
+// RFC 7252) message wire format used by the CoAP-server workload (A1): the
+// 4-byte fixed header, token, delta-encoded options, and payload marker.
+//
+// The subset covers everything the workload needs — confirmable/ack
+// exchanges, Uri-Path and Content-Format options, and piggybacked responses.
+package coapmsg
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Version is the protocol version this package implements.
+const Version = 1
+
+// Type is the CoAP message type.
+type Type uint8
+
+// CoAP message types (RFC 7252 §3).
+const (
+	Confirmable Type = iota
+	NonConfirmable
+	Acknowledgement
+	Reset
+)
+
+// String names the type.
+func (t Type) String() string {
+	switch t {
+	case Confirmable:
+		return "CON"
+	case NonConfirmable:
+		return "NON"
+	case Acknowledgement:
+		return "ACK"
+	case Reset:
+		return "RST"
+	default:
+		return fmt.Sprintf("Type(%d)", uint8(t))
+	}
+}
+
+// Code is the CoAP method/response code, encoded class.detail.
+type Code uint8
+
+// Request and response codes (RFC 7252 §12.1).
+const (
+	CodeEmpty    Code = 0
+	CodeGET      Code = 1
+	CodePOST     Code = 2
+	CodePUT      Code = 3
+	CodeDELETE   Code = 4
+	CodeCreated  Code = 2<<5 | 1 // 2.01
+	CodeContent  Code = 2<<5 | 5 // 2.05
+	CodeNotFound Code = 4<<5 | 4 // 4.04
+	CodeBadReq   Code = 4<<5 | 0 // 4.00
+)
+
+// String formats the code as class.detail.
+func (c Code) String() string { return fmt.Sprintf("%d.%02d", c>>5, c&0x1f) }
+
+// OptionID identifies a CoAP option.
+type OptionID uint16
+
+// Options used by the workload (RFC 7252 §5.10).
+const (
+	OptUriPath       OptionID = 11
+	OptContentFormat OptionID = 12
+	OptUriQuery      OptionID = 15
+)
+
+// Content-Format registry values.
+const (
+	FormatText uint16 = 0
+	FormatJSON uint16 = 50
+)
+
+// Option is one option instance.
+type Option struct {
+	ID    OptionID
+	Value []byte
+}
+
+// Message is a parsed CoAP message.
+type Message struct {
+	Type      Type
+	Code      Code
+	MessageID uint16
+	Token     []byte
+	Options   []Option
+	Payload   []byte
+}
+
+// Errors callers match with errors.Is.
+var (
+	ErrTruncated  = errors.New("coapmsg: truncated message")
+	ErrBadVersion = errors.New("coapmsg: unsupported version")
+	ErrBadToken   = errors.New("coapmsg: token length > 8")
+	ErrBadOption  = errors.New("coapmsg: malformed option")
+)
+
+// AddOption appends an option.
+func (m *Message) AddOption(id OptionID, value []byte) {
+	m.Options = append(m.Options, Option{ID: id, Value: value})
+}
+
+// PathOptions returns the Uri-Path segments in order.
+func (m *Message) PathOptions() []string {
+	var out []string
+	for _, o := range m.Options {
+		if o.ID == OptUriPath {
+			out = append(out, string(o.Value))
+		}
+	}
+	return out
+}
+
+// Marshal encodes the message to its RFC 7252 wire form.
+func (m *Message) Marshal() ([]byte, error) {
+	if len(m.Token) > 8 {
+		return nil, ErrBadToken
+	}
+	buf := make([]byte, 0, 16+len(m.Payload))
+	buf = append(buf, byte(Version<<6)|byte(m.Type&3)<<4|byte(len(m.Token)))
+	buf = append(buf, byte(m.Code))
+	buf = binary.BigEndian.AppendUint16(buf, m.MessageID)
+	buf = append(buf, m.Token...)
+
+	opts := make([]Option, len(m.Options))
+	copy(opts, m.Options)
+	sort.SliceStable(opts, func(i, j int) bool { return opts[i].ID < opts[j].ID })
+	prev := OptionID(0)
+	for _, o := range opts {
+		delta := int(o.ID) - int(prev)
+		prev = o.ID
+		db, dx, err := extendable(delta)
+		if err != nil {
+			return nil, fmt.Errorf("option %d: %w", o.ID, err)
+		}
+		lb, lx, err := extendable(len(o.Value))
+		if err != nil {
+			return nil, fmt.Errorf("option %d length: %w", o.ID, err)
+		}
+		buf = append(buf, db<<4|lb)
+		buf = append(buf, dx...)
+		buf = append(buf, lx...)
+		buf = append(buf, o.Value...)
+	}
+	if len(m.Payload) > 0 {
+		buf = append(buf, 0xFF)
+		buf = append(buf, m.Payload...)
+	}
+	return buf, nil
+}
+
+// extendable encodes a CoAP option delta/length nibble with its extension
+// bytes (RFC 7252 §3.1).
+func extendable(v int) (nibble byte, ext []byte, err error) {
+	switch {
+	case v < 0:
+		return 0, nil, ErrBadOption
+	case v < 13:
+		return byte(v), nil, nil
+	case v < 269:
+		return 13, []byte{byte(v - 13)}, nil
+	case v < 269+65536:
+		ext = binary.BigEndian.AppendUint16(nil, uint16(v-269))
+		return 14, ext, nil
+	default:
+		return 0, nil, ErrBadOption
+	}
+}
+
+// Unmarshal parses an RFC 7252 wire-format message.
+func Unmarshal(b []byte) (*Message, error) {
+	if len(b) < 4 {
+		return nil, ErrTruncated
+	}
+	if b[0]>>6 != Version {
+		return nil, ErrBadVersion
+	}
+	tkl := int(b[0] & 0x0f)
+	if tkl > 8 {
+		return nil, ErrBadToken
+	}
+	m := &Message{
+		Type:      Type(b[0] >> 4 & 3),
+		Code:      Code(b[1]),
+		MessageID: binary.BigEndian.Uint16(b[2:4]),
+	}
+	p := 4
+	if len(b) < p+tkl {
+		return nil, ErrTruncated
+	}
+	if tkl > 0 {
+		m.Token = append([]byte(nil), b[p:p+tkl]...)
+		p += tkl
+	}
+	prev := OptionID(0)
+	for p < len(b) {
+		if b[p] == 0xFF {
+			p++
+			if p == len(b) {
+				return nil, fmt.Errorf("%w: empty payload after marker", ErrBadOption)
+			}
+			m.Payload = append([]byte(nil), b[p:]...)
+			return m, nil
+		}
+		dn := int(b[p] >> 4)
+		ln := int(b[p] & 0x0f)
+		p++
+		delta, n, err := readExtendable(b, p, dn)
+		if err != nil {
+			return nil, err
+		}
+		p += n
+		length, n, err := readExtendable(b, p, ln)
+		if err != nil {
+			return nil, err
+		}
+		p += n
+		if p+length > len(b) {
+			return nil, ErrTruncated
+		}
+		prev += OptionID(delta)
+		m.Options = append(m.Options, Option{ID: prev, Value: append([]byte(nil), b[p:p+length]...)})
+		p += length
+	}
+	return m, nil
+}
+
+func readExtendable(b []byte, p, nibble int) (value, consumed int, err error) {
+	switch nibble {
+	case 15:
+		return 0, 0, ErrBadOption
+	case 14:
+		if p+2 > len(b) {
+			return 0, 0, ErrTruncated
+		}
+		return int(binary.BigEndian.Uint16(b[p:p+2])) + 269, 2, nil
+	case 13:
+		if p+1 > len(b) {
+			return 0, 0, ErrTruncated
+		}
+		return int(b[p]) + 13, 1, nil
+	default:
+		return nibble, 0, nil
+	}
+}
+
+// NewReply builds the piggybacked acknowledgement to a confirmable request:
+// same message ID and token, ACK type, the given response code and payload.
+func NewReply(req *Message, code Code, contentFormat uint16, payload []byte) *Message {
+	reply := &Message{
+		Type:      Acknowledgement,
+		Code:      code,
+		MessageID: req.MessageID,
+		Token:     append([]byte(nil), req.Token...),
+		Payload:   payload,
+	}
+	if len(payload) > 0 {
+		reply.AddOption(OptContentFormat, binary.BigEndian.AppendUint16(nil, contentFormat))
+	}
+	return reply
+}

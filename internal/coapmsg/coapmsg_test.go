@@ -1,0 +1,231 @@
+package coapmsg
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTripBasicRequest(t *testing.T) {
+	m := &Message{
+		Type:      Confirmable,
+		Code:      CodeGET,
+		MessageID: 0xBEEF,
+		Token:     []byte{1, 2, 3},
+	}
+	m.AddOption(OptUriPath, []byte("sensors"))
+	m.AddOption(OptUriPath, []byte("light"))
+	b, err := m.Marshal()
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	got, err := Unmarshal(b)
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if got.Type != Confirmable || got.Code != CodeGET || got.MessageID != 0xBEEF {
+		t.Errorf("header = %+v", got)
+	}
+	if !bytes.Equal(got.Token, m.Token) {
+		t.Errorf("token = %v", got.Token)
+	}
+	path := got.PathOptions()
+	if len(path) != 2 || path[0] != "sensors" || path[1] != "light" {
+		t.Errorf("path = %v", path)
+	}
+}
+
+func TestRoundTripWithPayload(t *testing.T) {
+	m := &Message{Type: Acknowledgement, Code: CodeContent, MessageID: 7, Payload: []byte(`{"v":1}`)}
+	b, err := m.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Payload, m.Payload) {
+		t.Errorf("payload = %q", got.Payload)
+	}
+}
+
+func TestHeaderByteLayout(t *testing.T) {
+	m := &Message{Type: NonConfirmable, Code: CodePOST, MessageID: 0x0102}
+	b, err := m.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b[0] != 0x50 { // ver=1, type=1(NON), tkl=0
+		t.Errorf("byte0 = %#x, want 0x50", b[0])
+	}
+	if b[1] != 0x02 {
+		t.Errorf("code byte = %#x, want 0x02", b[1])
+	}
+	if b[2] != 0x01 || b[3] != 0x02 {
+		t.Errorf("message id bytes = %#x %#x", b[2], b[3])
+	}
+}
+
+func TestLargeOptionDeltaAndLength(t *testing.T) {
+	m := &Message{Type: Confirmable, Code: CodeGET, MessageID: 1}
+	long := bytes.Repeat([]byte{'x'}, 300) // needs 14-nibble length encoding
+	m.AddOption(OptionID(2000), long)      // needs 14-nibble delta encoding
+	m.AddOption(OptUriPath, []byte("p"))
+	b, err := m.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Options) != 2 {
+		t.Fatalf("options = %d, want 2", len(got.Options))
+	}
+	// Options are sorted by ID on the wire.
+	if got.Options[0].ID != OptUriPath || got.Options[1].ID != OptionID(2000) {
+		t.Errorf("option ids = %v, %v", got.Options[0].ID, got.Options[1].ID)
+	}
+	if !bytes.Equal(got.Options[1].Value, long) {
+		t.Error("long option value corrupted")
+	}
+}
+
+func TestMediumOptionDelta(t *testing.T) {
+	m := &Message{Type: Confirmable, Code: CodeGET, MessageID: 1}
+	m.AddOption(OptionID(100), []byte("v")) // 13-nibble delta encoding
+	b, err := m.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Options[0].ID != OptionID(100) {
+		t.Errorf("id = %v, want 100", got.Options[0].ID)
+	}
+}
+
+func TestMarshalRejectsLongToken(t *testing.T) {
+	m := &Message{Token: bytes.Repeat([]byte{1}, 9)}
+	if _, err := m.Marshal(); !errors.Is(err, ErrBadToken) {
+		t.Errorf("err = %v, want ErrBadToken", err)
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	if _, err := Unmarshal([]byte{0x40}); !errors.Is(err, ErrTruncated) {
+		t.Errorf("short header: %v", err)
+	}
+	if _, err := Unmarshal([]byte{0x00, 0, 0, 0}); !errors.Is(err, ErrBadVersion) {
+		t.Errorf("bad version: %v", err)
+	}
+	if _, err := Unmarshal([]byte{0x49, 0, 0, 0}); !errors.Is(err, ErrBadToken) {
+		t.Errorf("tkl 9: %v", err)
+	}
+	if _, err := Unmarshal([]byte{0x42, 0, 0, 0, 1}); !errors.Is(err, ErrTruncated) {
+		t.Errorf("truncated token: %v", err)
+	}
+	// Payload marker with nothing after it.
+	if _, err := Unmarshal([]byte{0x40, 0, 0, 0, 0xFF}); err == nil {
+		t.Error("empty payload after marker accepted")
+	}
+	// Option with reserved nibble 15.
+	if _, err := Unmarshal([]byte{0x40, 0, 0, 0, 0xF0}); !errors.Is(err, ErrBadOption) {
+		t.Errorf("reserved nibble: %v", err)
+	}
+	// Option value longer than the buffer.
+	if _, err := Unmarshal([]byte{0x40, 0, 0, 0, 0x15, 'a'}); !errors.Is(err, ErrTruncated) {
+		t.Errorf("truncated option: %v", err)
+	}
+}
+
+func TestNewReplyMirrorsRequest(t *testing.T) {
+	req := &Message{Type: Confirmable, Code: CodeGET, MessageID: 99, Token: []byte{9}}
+	rep := NewReply(req, CodeContent, FormatJSON, []byte(`{}`))
+	if rep.Type != Acknowledgement || rep.MessageID != 99 {
+		t.Errorf("reply header = %+v", rep)
+	}
+	if !bytes.Equal(rep.Token, req.Token) {
+		t.Error("token not mirrored")
+	}
+	if len(rep.Options) != 1 || rep.Options[0].ID != OptContentFormat {
+		t.Errorf("options = %v", rep.Options)
+	}
+	empty := NewReply(req, CodeNotFound, FormatText, nil)
+	if len(empty.Options) != 0 {
+		t.Error("content-format added to empty payload")
+	}
+}
+
+func TestCodeAndTypeStrings(t *testing.T) {
+	if CodeContent.String() != "2.05" || CodeNotFound.String() != "4.04" {
+		t.Error("code strings wrong")
+	}
+	if Confirmable.String() != "CON" || Reset.String() != "RST" {
+		t.Error("type strings wrong")
+	}
+	if Type(9).String() == "" {
+		t.Error("unknown type string empty")
+	}
+}
+
+// Property: Marshal → Unmarshal is the identity for generated messages
+// (with options sorted by ID, which Marshal canonicalizes).
+func TestPropertyRoundTrip(t *testing.T) {
+	f := func(mid uint16, token []byte, path []byte, payload []byte, typ uint8) bool {
+		if len(token) > 8 {
+			token = token[:8]
+		}
+		m := &Message{
+			Type:      Type(typ % 4),
+			Code:      CodeGET,
+			MessageID: mid,
+			Token:     token,
+		}
+		if len(path) > 0 {
+			m.AddOption(OptUriPath, path)
+		}
+		if len(payload) > 0 {
+			m.Payload = payload
+		}
+		b, err := m.Marshal()
+		if err != nil {
+			return false
+		}
+		got, err := Unmarshal(b)
+		if err != nil {
+			return false
+		}
+		if got.MessageID != mid || got.Type != m.Type {
+			return false
+		}
+		if len(token) > 0 && !bytes.Equal(got.Token, token) {
+			return false
+		}
+		if len(payload) > 0 && !bytes.Equal(got.Payload, payload) {
+			return false
+		}
+		if len(path) > 0 && !bytes.Equal(got.Options[0].Value, path) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Unmarshal never panics on arbitrary bytes.
+func TestPropertyUnmarshalRobust(t *testing.T) {
+	f := func(b []byte) bool {
+		_, _ = Unmarshal(b) //nolint:errcheck // only exercising for panics
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

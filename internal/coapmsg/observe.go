@@ -1,0 +1,154 @@
+package coapmsg
+
+import (
+	"errors"
+	"fmt"
+)
+
+// OptObserve is the Observe option (RFC 7641): a client registers interest
+// in a resource and the server pushes notifications as the state changes.
+const OptObserve OptionID = 6
+
+// Observe option register/deregister values (RFC 7641 §2).
+const (
+	ObserveRegister   uint32 = 0
+	ObserveDeregister uint32 = 1
+)
+
+// ErrNotObserve is returned when a message carries no Observe option.
+var ErrNotObserve = errors.New("coapmsg: no observe option")
+
+// SetObserve adds an Observe option with the given value (minimal-length
+// big-endian encoding; values are at most 24 bits per the RFC).
+func (m *Message) SetObserve(v uint32) error {
+	if v >= 1<<24 {
+		return fmt.Errorf("coapmsg: observe value %d exceeds 24 bits", v)
+	}
+	m.AddOption(OptObserve, encodeUint(v))
+	return nil
+}
+
+// ObserveValue extracts the Observe option value.
+func (m *Message) ObserveValue() (uint32, error) {
+	for _, o := range m.Options {
+		if o.ID != OptObserve {
+			continue
+		}
+		if len(o.Value) > 3 {
+			return 0, fmt.Errorf("%w: observe option %d bytes", ErrBadOption, len(o.Value))
+		}
+		var v uint32
+		for _, c := range o.Value {
+			v = v<<8 | uint32(c)
+		}
+		return v, nil
+	}
+	return 0, ErrNotObserve
+}
+
+// Observer is one registered observation relation.
+type Observer struct {
+	Token    []byte
+	Resource string
+	seq      uint32
+}
+
+// ObserveRegistry tracks observation relations server-side and mints
+// sequence-numbered notifications.
+type ObserveRegistry struct {
+	observers []*Observer
+	nextSeq   uint32
+}
+
+// NewObserveRegistry returns an empty registry. Sequence numbers start at 2
+// so the registration response's Observe value (1 is reserved for
+// deregister) never collides with a notification.
+func NewObserveRegistry() *ObserveRegistry {
+	return &ObserveRegistry{nextSeq: 2}
+}
+
+// Len reports the number of active relations.
+func (r *ObserveRegistry) Len() int { return len(r.observers) }
+
+// HandleRequest processes a GET carrying an Observe option: register (0)
+// adds a relation and returns the confirmation reply; deregister (1) removes
+// it. Non-observe requests return ErrNotObserve.
+func (r *ObserveRegistry) HandleRequest(req *Message, resource string, payload []byte) (*Message, error) {
+	v, err := req.ObserveValue()
+	if err != nil {
+		return nil, err
+	}
+	switch v {
+	case ObserveRegister:
+		r.observers = append(r.observers, &Observer{
+			Token:    append([]byte(nil), req.Token...),
+			Resource: resource,
+		})
+		reply := NewReply(req, CodeContent, FormatJSON, payload)
+		if err := reply.SetObserve(r.bumpSeq()); err != nil {
+			return nil, err
+		}
+		return reply, nil
+	case ObserveDeregister:
+		r.remove(req.Token, resource)
+		return NewReply(req, CodeContent, FormatJSON, payload), nil
+	default:
+		return NewReply(req, CodeBadReq, FormatText, nil), nil
+	}
+}
+
+// Notify builds one notification per relation on the resource: a CON 2.05
+// carrying the observer's token, a fresh sequence number, and the payload.
+func (r *ObserveRegistry) Notify(resource string, messageID *uint16, payload []byte) ([]*Message, error) {
+	var out []*Message
+	for _, ob := range r.observers {
+		if ob.Resource != resource {
+			continue
+		}
+		*messageID++
+		note := &Message{
+			Type:      Confirmable,
+			Code:      CodeContent,
+			MessageID: *messageID,
+			Token:     append([]byte(nil), ob.Token...),
+			Payload:   payload,
+		}
+		if err := note.SetObserve(r.bumpSeq()); err != nil {
+			return nil, err
+		}
+		ob.seq = r.nextSeq
+		out = append(out, note)
+	}
+	return out, nil
+}
+
+func (r *ObserveRegistry) bumpSeq() uint32 {
+	r.nextSeq++
+	if r.nextSeq >= 1<<24 {
+		r.nextSeq = 2
+	}
+	return r.nextSeq
+}
+
+func (r *ObserveRegistry) remove(token []byte, resource string) {
+	kept := r.observers[:0]
+	for _, ob := range r.observers {
+		if ob.Resource == resource && bytesEqual(ob.Token, token) {
+			continue
+		}
+		kept = append(kept, ob)
+	}
+	r.observers = kept
+}
+
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

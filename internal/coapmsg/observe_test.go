@@ -1,0 +1,141 @@
+package coapmsg
+
+import (
+	"errors"
+	"testing"
+)
+
+func observeRequest(t *testing.T, token []byte, v uint32) *Message {
+	t.Helper()
+	req := &Message{Type: Confirmable, Code: CodeGET, MessageID: 1, Token: token}
+	req.AddOption(OptUriPath, []byte("sensors"))
+	req.AddOption(OptUriPath, []byte("light"))
+	if err := req.SetObserve(v); err != nil {
+		t.Fatal(err)
+	}
+	return req
+}
+
+func TestObserveValueRoundTrip(t *testing.T) {
+	for _, v := range []uint32{0, 1, 2, 255, 65536, 1<<24 - 1} {
+		m := &Message{Type: Confirmable, Code: CodeGET, MessageID: 1}
+		if err := m.SetObserve(v); err != nil {
+			t.Fatalf("SetObserve(%d): %v", v, err)
+		}
+		wire, err := m.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		parsed, err := Unmarshal(wire)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := parsed.ObserveValue()
+		if err != nil || got != v {
+			t.Errorf("observe %d -> %d, %v", v, got, err)
+		}
+	}
+	m := &Message{}
+	if err := m.SetObserve(1 << 24); err == nil {
+		t.Error("25-bit observe accepted")
+	}
+	plain := &Message{Type: Confirmable, Code: CodeGET, MessageID: 1}
+	if _, err := plain.ObserveValue(); !errors.Is(err, ErrNotObserve) {
+		t.Errorf("plain message: %v", err)
+	}
+}
+
+func TestRegistryRegisterAndNotify(t *testing.T) {
+	reg := NewObserveRegistry()
+	reply, err := reg.HandleRequest(observeRequest(t, []byte{0xAA}, ObserveRegister), "light", []byte(`{"lux":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Code != CodeContent {
+		t.Errorf("register reply = %v", reply.Code)
+	}
+	if _, err := reply.ObserveValue(); err != nil {
+		t.Errorf("register reply missing observe: %v", err)
+	}
+	if reg.Len() != 1 {
+		t.Fatalf("relations = %d", reg.Len())
+	}
+
+	var mid uint16 = 100
+	notes, err := reg.Notify("light", &mid, []byte(`{"lux":2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(notes) != 1 {
+		t.Fatalf("notes = %d", len(notes))
+	}
+	n := notes[0]
+	if string(n.Token) != "\xaa" {
+		t.Errorf("token = %x", n.Token)
+	}
+	seq1, err := n.ObserveValue()
+	if err != nil {
+		t.Fatal(err)
+	}
+	notes2, err := reg.Notify("light", &mid, []byte(`{"lux":3}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq2, err := notes2[0].ObserveValue()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq2 <= seq1 {
+		t.Errorf("sequence not increasing: %d then %d", seq1, seq2)
+	}
+	if mid != 102 {
+		t.Errorf("message id = %d, want 102", mid)
+	}
+}
+
+func TestRegistryNotifyFiltersByResource(t *testing.T) {
+	reg := NewObserveRegistry()
+	if _, err := reg.HandleRequest(observeRequest(t, []byte{1}, ObserveRegister), "light", nil); err != nil {
+		t.Fatal(err)
+	}
+	var mid uint16
+	notes, err := reg.Notify("sound", &mid, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(notes) != 0 {
+		t.Errorf("notified %d observers of an unrelated resource", len(notes))
+	}
+}
+
+func TestRegistryDeregister(t *testing.T) {
+	reg := NewObserveRegistry()
+	if _, err := reg.HandleRequest(observeRequest(t, []byte{7}, ObserveRegister), "light", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.HandleRequest(observeRequest(t, []byte{7}, ObserveDeregister), "light", nil); err != nil {
+		t.Fatal(err)
+	}
+	if reg.Len() != 0 {
+		t.Errorf("relations after deregister = %d", reg.Len())
+	}
+	// Deregistering a token that was never registered is a no-op.
+	if _, err := reg.HandleRequest(observeRequest(t, []byte{9}, ObserveDeregister), "light", nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegistryRejectsBadObserveValue(t *testing.T) {
+	reg := NewObserveRegistry()
+	reply, err := reg.HandleRequest(observeRequest(t, []byte{1}, 7), "light", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Code != CodeBadReq {
+		t.Errorf("bad observe value reply = %v", reply.Code)
+	}
+	plain := &Message{Type: Confirmable, Code: CodeGET, MessageID: 1}
+	if _, err := reg.HandleRequest(plain, "light", nil); !errors.Is(err, ErrNotObserve) {
+		t.Errorf("plain request: %v", err)
+	}
+}

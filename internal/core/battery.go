@@ -1,0 +1,76 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"iothub/internal/apps"
+	"iothub/internal/hub"
+)
+
+// Battery describes the energy source powering a deployed hub — the unit
+// deployment planning actually cares about (the paper's motivation: billions
+// of devices whose batteries someone has to change).
+type Battery struct {
+	// CapacityMAh is the rated capacity in milliamp-hours.
+	CapacityMAh float64
+	// Volts is the nominal pack voltage.
+	Volts float64
+	// DerateFraction discounts usable capacity for aging/temperature
+	// (0 = use a typical 0.85).
+	DerateFraction float64
+}
+
+// TypicalPowerBank returns a common 10 Ah, 5 V USB pack.
+func TypicalPowerBank() Battery {
+	return Battery{CapacityMAh: 10_000, Volts: 5}
+}
+
+// UsableJoules is the battery's deliverable energy.
+func (b Battery) UsableJoules() (float64, error) {
+	if b.CapacityMAh <= 0 || b.Volts <= 0 {
+		return 0, fmt.Errorf("core: battery %v mAh @ %v V", b.CapacityMAh, b.Volts)
+	}
+	derate := b.DerateFraction
+	if derate == 0 {
+		derate = 0.85
+	}
+	if derate <= 0 || derate > 1 {
+		return 0, fmt.Errorf("core: derate %v outside (0, 1]", derate)
+	}
+	return b.CapacityMAh / 1000 * 3600 * b.Volts * derate, nil
+}
+
+// LifetimeEstimate is the projected runtime per scheme for one workload.
+type LifetimeEstimate struct {
+	Baseline time.Duration
+	Batching time.Duration
+	COM      time.Duration
+}
+
+// Lifetime projects how long a battery powers the hub running one workload
+// under each scheme, using the analytic energy model (validated against the
+// simulator by the Estimate tests).
+func Lifetime(spec apps.Spec, params hub.Params, battery Battery) (LifetimeEstimate, error) {
+	joules, err := battery.UsableJoules()
+	if err != nil {
+		return LifetimeEstimate{}, err
+	}
+	est, err := Estimate(spec, params)
+	if err != nil {
+		return LifetimeEstimate{}, err
+	}
+	perWindow := spec.Window.Seconds()
+	toLife := func(perWindowJ float64) time.Duration {
+		if perWindowJ <= 0 {
+			return 0
+		}
+		seconds := joules / (perWindowJ / perWindow)
+		return time.Duration(seconds * float64(time.Second))
+	}
+	return LifetimeEstimate{
+		Baseline: toLife(est.BaselineJoules),
+		Batching: toLife(est.BatchingJoules),
+		COM:      toLife(est.COMJoules),
+	}, nil
+}

@@ -1,0 +1,56 @@
+package core_test
+
+import (
+	"fmt"
+	"log"
+
+	"iothub/internal/apps"
+	"iothub/internal/apps/dropboxmgr"
+	"iothub/internal/apps/speech2text"
+	"iothub/internal/core"
+	"iothub/internal/hub"
+)
+
+// ExamplePlanBCOM partitions a heavy/light mix the way the paper's §IV-E3
+// scenario does: speech-to-text stays on the CPU (batched), the Dropbox
+// manager offloads to the MCU.
+func ExamplePlanBCOM() {
+	heavy, err := speech2text.New(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	light, err := dropboxmgr.New(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	plan, err := core.PlanBCOM([]apps.App{heavy, light}, hub.DefaultParams())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("scheme:", plan.Scheme)
+	fmt.Println("A11:", plan.Assign[apps.SpeechToTxt])
+	fmt.Println("A6:", plan.Assign[apps.DropboxMgr])
+	fmt.Println("A11 offloadable:", plan.Classifications[apps.SpeechToTxt].Offloadable)
+	// Output:
+	// scheme: BCOM
+	// A11: Batched
+	// A6: Offloaded
+	// A11 offloadable: false
+}
+
+// ExampleClassify shows the offload gate analysis for a light workload.
+func ExampleClassify() {
+	light, err := dropboxmgr.New(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cls, err := core.Classify(light.Spec(), hub.DefaultParams())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("offloadable:", cls.Offloadable)
+	fmt.Println("batch bytes per window:", cls.BatchBytesPerWindow)
+	// Output:
+	// offloadable: true
+	// batch bytes per window: 12000
+}

@@ -1,0 +1,248 @@
+// Package dsp provides the signal-processing primitives shared by the
+// workload implementations: filters, spectral analysis, peak detection, and
+// the short-term/long-term average ratio used by seismic triggers.
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// Mean returns the arithmetic mean of xs (0 for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Std returns the population standard deviation of xs.
+func Std(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	var sum float64
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(xs)))
+}
+
+// RMS returns the root mean square of xs.
+func RMS(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x * x
+	}
+	return math.Sqrt(sum / float64(len(xs)))
+}
+
+// MovingAverage returns xs smoothed with a centered window of the given
+// (odd or even) width; edges use the available neighborhood.
+func MovingAverage(xs []float64, width int) []float64 {
+	if width < 1 {
+		width = 1
+	}
+	out := make([]float64, len(xs))
+	half := width / 2
+	for i := range xs {
+		lo := i - half
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + half + 1
+		if hi > len(xs) {
+			hi = len(xs)
+		}
+		out[i] = Mean(xs[lo:hi])
+	}
+	return out
+}
+
+// LowPass applies a single-pole IIR low-pass filter with smoothing factor
+// alpha in (0, 1]: out[i] = alpha*xs[i] + (1-alpha)*out[i-1].
+func LowPass(xs []float64, alpha float64) ([]float64, error) {
+	if alpha <= 0 || alpha > 1 {
+		return nil, fmt.Errorf("dsp: low-pass alpha %v outside (0,1]", alpha)
+	}
+	out := make([]float64, len(xs))
+	var prev float64
+	for i, x := range xs {
+		if i == 0 {
+			prev = x
+		}
+		prev = alpha*x + (1-alpha)*prev
+		out[i] = prev
+	}
+	return out, nil
+}
+
+// Detrend subtracts the mean from xs.
+func Detrend(xs []float64) []float64 {
+	m := Mean(xs)
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = x - m
+	}
+	return out
+}
+
+// FindPeaks returns the indices of local maxima that rise at least
+// minHeight above zero and are at least minDistance samples apart. When two
+// candidate peaks are closer than minDistance, the taller one wins.
+func FindPeaks(xs []float64, minHeight float64, minDistance int) []int {
+	if minDistance < 1 {
+		minDistance = 1
+	}
+	var peaks []int
+	for i := 1; i < len(xs)-1; i++ {
+		if xs[i] < minHeight {
+			continue
+		}
+		if xs[i] < xs[i-1] || xs[i] <= xs[i+1] {
+			continue
+		}
+		if n := len(peaks); n > 0 && i-peaks[n-1] < minDistance {
+			if xs[i] > xs[peaks[n-1]] {
+				peaks[n-1] = i
+			}
+			continue
+		}
+		peaks = append(peaks, i)
+	}
+	return peaks
+}
+
+// ZeroCrossingsUp counts positive-going zero crossings of xs.
+func ZeroCrossingsUp(xs []float64) int {
+	count := 0
+	for i := 1; i < len(xs); i++ {
+		if xs[i-1] <= 0 && xs[i] > 0 {
+			count++
+		}
+	}
+	return count
+}
+
+// STALTA computes the classic short-term-average / long-term-average ratio
+// trigger used by earthquake detectors: for each sample, the mean absolute
+// amplitude over the trailing sta window divided by that over the trailing
+// lta window (lta > sta). The first lta samples are zero (warm-up).
+func STALTA(xs []float64, sta, lta int) ([]float64, error) {
+	if sta < 1 || lta <= sta {
+		return nil, fmt.Errorf("dsp: STALTA windows sta=%d lta=%d, want 1 <= sta < lta", sta, lta)
+	}
+	abs := make([]float64, len(xs))
+	for i, x := range xs {
+		abs[i] = math.Abs(x)
+	}
+	out := make([]float64, len(xs))
+	var staSum, ltaSum float64
+	for i := range abs {
+		staSum += abs[i]
+		ltaSum += abs[i]
+		if i >= sta {
+			staSum -= abs[i-sta]
+		}
+		if i >= lta {
+			ltaSum -= abs[i-lta]
+		}
+		if i >= lta {
+			ltaAvg := ltaSum / float64(lta)
+			if ltaAvg > 1e-12 {
+				out[i] = (staSum / float64(sta)) / ltaAvg
+			}
+		}
+	}
+	return out, nil
+}
+
+// FFT computes the in-order discrete Fourier transform of xs using an
+// iterative radix-2 Cooley-Tukey algorithm. len(xs) must be a power of two.
+func FFT(xs []complex128) ([]complex128, error) {
+	n := len(xs)
+	if n == 0 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("dsp: FFT length %d is not a power of two", n)
+	}
+	out := make([]complex128, n)
+	copy(out, xs)
+	// Bit-reversal permutation.
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j ^= bit
+		if i < j {
+			out[i], out[j] = out[j], out[i]
+		}
+	}
+	for length := 2; length <= n; length <<= 1 {
+		ang := -2 * math.Pi / float64(length)
+		wl := cmplx.Exp(complex(0, ang))
+		for i := 0; i < n; i += length {
+			w := complex(1, 0)
+			for j := 0; j < length/2; j++ {
+				u := out[i+j]
+				v := out[i+j+length/2] * w
+				out[i+j] = u + v
+				out[i+j+length/2] = u - v
+				w *= wl
+			}
+		}
+	}
+	return out, nil
+}
+
+// PowerSpectrum returns |FFT(xs)|² of a real signal, length n/2+1 bins.
+// len(xs) must be a power of two.
+func PowerSpectrum(xs []float64) ([]float64, error) {
+	cs := make([]complex128, len(xs))
+	for i, x := range xs {
+		cs[i] = complex(x, 0)
+	}
+	fs, err := FFT(cs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(xs)/2+1)
+	for i := range out {
+		out[i] = real(fs[i])*real(fs[i]) + imag(fs[i])*imag(fs[i])
+	}
+	return out, nil
+}
+
+// Hamming returns an n-point Hamming window.
+func Hamming(n int) []float64 {
+	out := make([]float64, n)
+	if n == 1 {
+		out[0] = 1
+		return out
+	}
+	for i := range out {
+		out[i] = 0.54 - 0.46*math.Cos(2*math.Pi*float64(i)/float64(n-1))
+	}
+	return out
+}
+
+// DominantBin returns the index of the largest element of spectrum,
+// ignoring bin 0 (DC). It returns 0 for degenerate inputs.
+func DominantBin(spectrum []float64) int {
+	best, bestI := math.Inf(-1), 0
+	for i := 1; i < len(spectrum); i++ {
+		if spectrum[i] > best {
+			best, bestI = spectrum[i], i
+		}
+	}
+	return bestI
+}

@@ -1,0 +1,295 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMeanStdRMS(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if got := Mean(xs); !almost(got, 2.5, 1e-12) {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := Std(xs); !almost(got, math.Sqrt(1.25), 1e-12) {
+		t.Errorf("Std = %v", got)
+	}
+	if got := RMS([]float64{3, 4}); !almost(got, math.Sqrt(12.5), 1e-12) {
+		t.Errorf("RMS = %v", got)
+	}
+	if Mean(nil) != 0 || Std(nil) != 0 || RMS(nil) != 0 {
+		t.Error("empty-slice statistics not zero")
+	}
+}
+
+func TestMovingAverageSmooths(t *testing.T) {
+	xs := []float64{0, 10, 0, 10, 0, 10}
+	out := MovingAverage(xs, 3)
+	if len(out) != len(xs) {
+		t.Fatalf("length %d", len(out))
+	}
+	for i := 1; i < len(out)-1; i++ {
+		if out[i] < 2 || out[i] > 8 {
+			t.Errorf("out[%d] = %v, want smoothed toward 5", i, out[i])
+		}
+	}
+	// Width 1 (and clamped 0) is identity.
+	id := MovingAverage(xs, 0)
+	for i := range xs {
+		if id[i] != xs[i] {
+			t.Errorf("width-1 not identity at %d", i)
+		}
+	}
+}
+
+func TestLowPassValidatesAlpha(t *testing.T) {
+	if _, err := LowPass(nil, 0); err == nil {
+		t.Error("alpha 0 accepted")
+	}
+	if _, err := LowPass(nil, 1.5); err == nil {
+		t.Error("alpha 1.5 accepted")
+	}
+	out, err := LowPass([]float64{1, 1, 1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range out {
+		if v != 1 {
+			t.Errorf("alpha=1 not identity: %v", out)
+		}
+	}
+}
+
+func TestLowPassAttenuatesAlternation(t *testing.T) {
+	xs := make([]float64, 100)
+	for i := range xs {
+		if i%2 == 0 {
+			xs[i] = 1
+		} else {
+			xs[i] = -1
+		}
+	}
+	out, err := LowPass(xs, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := RMS(out[10:]); r > 0.2 {
+		t.Errorf("high-frequency RMS after low-pass = %v, want < 0.2", r)
+	}
+}
+
+func TestDetrendZeroMean(t *testing.T) {
+	out := Detrend([]float64{5, 6, 7})
+	if got := Mean(out); !almost(got, 0, 1e-12) {
+		t.Errorf("mean after detrend = %v", got)
+	}
+}
+
+func TestFindPeaksBasic(t *testing.T) {
+	xs := []float64{0, 1, 0, 0, 3, 0, 0, 2, 0}
+	got := FindPeaks(xs, 0.5, 1)
+	want := []int{1, 4, 7}
+	if len(got) != len(want) {
+		t.Fatalf("peaks = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("peaks = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestFindPeaksMinHeightAndDistance(t *testing.T) {
+	xs := []float64{0, 1, 0, 3, 0, 0.2, 0}
+	if got := FindPeaks(xs, 2, 1); len(got) != 1 || got[0] != 3 {
+		t.Errorf("height-filtered peaks = %v, want [3]", got)
+	}
+	// Peaks at 1 and 3 are 2 apart; with minDistance 3 the taller wins.
+	if got := FindPeaks(xs, 0.5, 3); len(got) != 1 || got[0] != 3 {
+		t.Errorf("distance-filtered peaks = %v, want [3]", got)
+	}
+}
+
+func TestZeroCrossingsUp(t *testing.T) {
+	xs := []float64{-1, 1, -1, 1, 1, -1}
+	if got := ZeroCrossingsUp(xs); got != 2 {
+		t.Errorf("ZeroCrossingsUp = %d, want 2", got)
+	}
+}
+
+func TestSTALTAValidates(t *testing.T) {
+	if _, err := STALTA(nil, 0, 10); err == nil {
+		t.Error("sta=0 accepted")
+	}
+	if _, err := STALTA(nil, 10, 10); err == nil {
+		t.Error("lta==sta accepted")
+	}
+}
+
+func TestSTALTATriggersOnBurst(t *testing.T) {
+	xs := make([]float64, 600)
+	for i := range xs {
+		xs[i] = 1 // quiescent
+		if i >= 400 && i < 450 {
+			xs[i] = 20 // burst
+		}
+	}
+	ratio, err := STALTA(xs, 10, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var before, during float64
+	for i := 300; i < 390; i++ {
+		before = math.Max(before, ratio[i])
+	}
+	for i := 405; i < 450; i++ {
+		during = math.Max(during, ratio[i])
+	}
+	if before > 1.5 {
+		t.Errorf("quiescent ratio = %v, want near 1", before)
+	}
+	if during < 3 {
+		t.Errorf("burst ratio = %v, want >= 3", during)
+	}
+}
+
+func TestFFTRejectsNonPowerOfTwo(t *testing.T) {
+	if _, err := FFT(make([]complex128, 3)); err == nil {
+		t.Error("length 3 accepted")
+	}
+	if _, err := FFT(nil); err == nil {
+		t.Error("empty accepted")
+	}
+}
+
+func TestFFTImpulse(t *testing.T) {
+	xs := make([]complex128, 8)
+	xs[0] = 1
+	out, err := FFT(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if !almost(real(v), 1, 1e-9) || !almost(imag(v), 0, 1e-9) {
+			t.Errorf("bin %d = %v, want 1", i, v)
+		}
+	}
+}
+
+func TestFFTSinePeak(t *testing.T) {
+	const n = 64
+	xs := make([]complex128, n)
+	for i := range xs {
+		xs[i] = complex(math.Sin(2*math.Pi*5*float64(i)/n), 0)
+	}
+	out, err := FFT(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, bestI := 0.0, 0
+	for i := 1; i < n/2; i++ {
+		if m := cmplx.Abs(out[i]); m > best {
+			best, bestI = m, i
+		}
+	}
+	if bestI != 5 {
+		t.Errorf("dominant bin = %d, want 5", bestI)
+	}
+}
+
+func TestPowerSpectrumDominantBin(t *testing.T) {
+	const n = 128
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = math.Sin(2 * math.Pi * 9 * float64(i) / n)
+	}
+	ps, err := PowerSpectrum(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != n/2+1 {
+		t.Fatalf("spectrum length = %d, want %d", len(ps), n/2+1)
+	}
+	if got := DominantBin(ps); got != 9 {
+		t.Errorf("DominantBin = %d, want 9", got)
+	}
+}
+
+func TestHammingShape(t *testing.T) {
+	w := Hamming(11)
+	if !almost(w[5], 1, 1e-9) {
+		t.Errorf("center = %v, want 1", w[5])
+	}
+	if w[0] > 0.1 || !almost(w[0], w[10], 1e-12) {
+		t.Errorf("edges = %v, %v", w[0], w[10])
+	}
+	if got := Hamming(1); got[0] != 1 {
+		t.Errorf("Hamming(1) = %v", got)
+	}
+}
+
+// Property: FFT preserves energy (Parseval): sum|x|² == sum|X|²/N.
+func TestPropertyFFTParseval(t *testing.T) {
+	f := func(vals []float64) bool {
+		n := 1
+		for n < len(vals) {
+			n <<= 1
+		}
+		if n > 256 {
+			n = 256
+		}
+		xs := make([]complex128, n)
+		for i := 0; i < n && i < len(vals); i++ {
+			v := math.Mod(vals[i], 1000)
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = 0
+			}
+			xs[i] = complex(v, 0)
+		}
+		out, err := FFT(xs)
+		if err != nil {
+			return false
+		}
+		var et, ef float64
+		for i := range xs {
+			et += real(xs[i])*real(xs[i]) + imag(xs[i])*imag(xs[i])
+			ef += real(out[i])*real(out[i]) + imag(out[i])*imag(out[i])
+		}
+		ef /= float64(n)
+		return math.Abs(et-ef) <= 1e-6*(1+et)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every reported peak index is a strict local maximum above the
+// threshold, and consecutive peaks respect the distance constraint.
+func TestPropertyFindPeaksInvariants(t *testing.T) {
+	f := func(raw []int8, minH int8, dist uint8) bool {
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		d := int(dist%10) + 1
+		peaks := FindPeaks(xs, float64(minH), d)
+		for k, p := range peaks {
+			if p <= 0 || p >= len(xs)-1 {
+				return false
+			}
+			if xs[p] < float64(minH) || xs[p] < xs[p-1] || xs[p] <= xs[p+1] {
+				return false
+			}
+			if k > 0 && p-peaks[k-1] < d {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,221 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// tone renders a sinusoid at freq Hz for n samples at rate Hz.
+func tone(n int, rate, freq, amplitude float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = amplitude * math.Sin(2*math.Pi*freq*float64(i)/rate)
+	}
+	return out
+}
+
+func add(a, b []float64) []float64 {
+	out := make([]float64, len(a))
+	for i := range a {
+		out[i] = a[i] + b[i]
+	}
+	return out
+}
+
+func TestBandpassDesignValidation(t *testing.T) {
+	if _, err := NewBandpass(0, 10, 1); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if _, err := NewBandpass(100, 60, 1); err == nil {
+		t.Error("center above Nyquist accepted")
+	}
+	if _, err := NewBandpass(100, 10, 0); err == nil {
+		t.Error("zero q accepted")
+	}
+}
+
+func TestBandpassSelectsBand(t *testing.T) {
+	const rate = 1000.0
+	f, err := NewBandpass(rate, 50, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := add(tone(2000, rate, 50, 1), add(tone(2000, rate, 5, 1), tone(2000, rate, 400, 1)))
+	out := f.Apply(in)
+	// Steady-state: the 50 Hz component passes, 5 Hz and 400 Hz attenuate.
+	steady := out[500:]
+	passed := RMS(steady)
+	if passed < 0.4 || passed > 1.0 {
+		t.Errorf("band RMS = %.3f, want ~0.7 (unit 50 Hz tone)", passed)
+	}
+	// Compare against each interferer alone.
+	f.Reset()
+	lowOnly := f.Apply(tone(2000, rate, 5, 1))
+	if r := RMS(lowOnly[500:]); r > 0.15 {
+		t.Errorf("5 Hz leakage RMS = %.3f", r)
+	}
+	f.Reset()
+	highOnly := f.Apply(tone(2000, rate, 400, 1))
+	if r := RMS(highOnly[500:]); r > 0.15 {
+		t.Errorf("400 Hz leakage RMS = %.3f", r)
+	}
+}
+
+func TestLowpassBiquad(t *testing.T) {
+	const rate = 1000.0
+	f, err := NewLowpassBiquad(rate, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := f.Apply(add(tone(2000, rate, 2, 1), tone(2000, rate, 200, 1)))
+	low, err := Goertzel(out[500:], rate, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := Goertzel(out[500:], rate, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if low < 100*high {
+		t.Errorf("low-pass: 2 Hz power %.3g not ≫ 200 Hz power %.3g", low, high)
+	}
+	if _, err := NewLowpassBiquad(0, 10); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if _, err := NewLowpassBiquad(100, 60); err == nil {
+		t.Error("cutoff above Nyquist accepted")
+	}
+}
+
+func TestBiquadReset(t *testing.T) {
+	f, err := NewBandpass(1000, 50, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := f.Step(1)
+	f.Reset()
+	b := f.Step(1)
+	if a != b {
+		t.Errorf("Reset did not clear state: %v vs %v", a, b)
+	}
+}
+
+func TestGoertzelDetectsTone(t *testing.T) {
+	const rate = 1000.0
+	sig := tone(500, rate, 100, 1)
+	at100, err := Goertzel(sig, rate, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at250, err := Goertzel(sig, rate, 250)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if at100 < 50*at250 {
+		t.Errorf("target power %.3g not ≫ off-target %.3g", at100, at250)
+	}
+	if _, err := Goertzel(nil, rate, 100); err == nil {
+		t.Error("empty signal accepted")
+	}
+	if _, err := Goertzel(sig, rate, 600); err == nil {
+		t.Error("target above Nyquist accepted")
+	}
+}
+
+func TestAutocorrelationPeriodic(t *testing.T) {
+	const rate = 1000.0
+	sig := tone(1000, rate, 50, 1) // period 20 samples
+	ac, err := Autocorrelation(sig, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ac[0]-1) > 1e-9 {
+		t.Errorf("lag 0 = %v, want 1", ac[0])
+	}
+	if ac[20] < 0.8 {
+		t.Errorf("lag 20 = %v, want near 1 for a 20-sample period", ac[20])
+	}
+	if ac[10] > 0 {
+		t.Errorf("lag 10 (half period) = %v, want negative", ac[10])
+	}
+	if _, err := Autocorrelation(sig, len(sig)); err == nil {
+		t.Error("maxLag >= len accepted")
+	}
+}
+
+func TestAutocorrelationFlatSignal(t *testing.T) {
+	flat := make([]float64, 100)
+	for i := range flat {
+		flat[i] = 7
+	}
+	ac, err := Autocorrelation(flat, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for lag, v := range ac {
+		if v != 0 {
+			t.Errorf("flat signal lag %d = %v, want 0", lag, v)
+		}
+	}
+}
+
+func TestDominantPeriod(t *testing.T) {
+	sig := tone(1000, 1000, 40, 1) // period 25
+	p, err := DominantPeriod(sig, 5, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 24 || p > 26 {
+		t.Errorf("period = %d, want ~25", p)
+	}
+	if _, err := DominantPeriod(sig, 0, 10); err == nil {
+		t.Error("minLag 0 accepted")
+	}
+	if _, err := DominantPeriod(sig, 10, 5); err == nil {
+		t.Error("inverted range accepted")
+	}
+}
+
+func TestMedianFilterRejectsImpulses(t *testing.T) {
+	xs := make([]float64, 50)
+	for i := range xs {
+		xs[i] = 10
+	}
+	xs[25] = 1000 // impulse
+	out := MedianFilter(xs, 5)
+	if out[25] != 10 {
+		t.Errorf("impulse survived: %v", out[25])
+	}
+	// Even width is promoted to odd; width<1 clamps to identity-ish.
+	if got := MedianFilter(xs, 4)[25]; got != 10 {
+		t.Errorf("even width: %v", got)
+	}
+	id := MedianFilter(xs, 0)
+	if id[25] != 1000 {
+		t.Errorf("width 1 should be identity, got %v", id[25])
+	}
+}
+
+// Property: the median filter's output values always come from the input's
+// value set, and the filter is idempotent on constant signals.
+func TestPropertyMedianFromInput(t *testing.T) {
+	f := func(raw []int8, w uint8) bool {
+		xs := make([]float64, len(raw))
+		set := map[float64]bool{}
+		for i, v := range raw {
+			xs[i] = float64(v)
+			set[float64(v)] = true
+		}
+		out := MedianFilter(xs, int(w%9))
+		for _, v := range out {
+			if !set[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,265 @@
+// Package energy implements the power/energy accounting used throughout the
+// simulator — the software analog of the Monsoon power monitor the paper
+// attaches to the IoT hub's power-delivery socket.
+//
+// Each hardware component (CPU, MCU, link, individual sensors) owns a Track.
+// The component reports every power-level change as it happens on the virtual
+// timeline; the meter integrates power over time and attributes the resulting
+// energy to one of the paper's four routines (plus Idle). A Breakdown can be
+// taken at any instant and is exact: no sampling error, because the power
+// waveform is piecewise constant between reported transitions.
+package energy
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"iothub/internal/sim"
+)
+
+// Routine identifies which of the paper's execution routines energy is
+// attributed to (§II-B). Idle covers time outside any app's window.
+type Routine int
+
+const (
+	// DataCollection is sensor reading and driver formatting on the MCU.
+	DataCollection Routine = iota + 1
+	// Interrupt is MCU→CPU interrupt raising and CPU interrupt handling.
+	Interrupt
+	// DataTransfer is moving sensor data over the link, including CPU time
+	// spent stalling for sensor data (the paper charges stalls here, §III-A).
+	DataTransfer
+	// AppCompute is the app-specific user-level computation.
+	AppCompute
+	// Idle is baseline draw outside any attributable routine.
+	Idle
+)
+
+// Routines lists all routines in display order.
+var Routines = []Routine{DataCollection, Interrupt, DataTransfer, AppCompute, Idle}
+
+// String returns the paper's label for the routine.
+func (r Routine) String() string {
+	switch r {
+	case DataCollection:
+		return "DataCollection"
+	case Interrupt:
+		return "Interrupt"
+	case DataTransfer:
+		return "DataTransfer"
+	case AppCompute:
+		return "AppCompute"
+	case Idle:
+		return "Idle"
+	default:
+		return fmt.Sprintf("Routine(%d)", int(r))
+	}
+}
+
+// Sample is one point of a recorded power trace.
+type Sample struct {
+	At    sim.Time
+	Watts float64
+	R     Routine
+}
+
+// Track accumulates the energy of a single component.
+type Track struct {
+	name    string
+	clock   *sim.Scheduler
+	lastAt  sim.Time
+	watts   float64
+	routine Routine
+	joules  map[Routine]float64
+	trace   []Sample
+	tracing bool
+}
+
+// Meter owns the tracks of all components on one virtual timeline.
+type Meter struct {
+	clock  *sim.Scheduler
+	tracks map[string]*Track
+	order  []string
+}
+
+// NewMeter returns a meter bound to the given virtual clock.
+func NewMeter(clock *sim.Scheduler) *Meter {
+	return &Meter{clock: clock, tracks: make(map[string]*Track)}
+}
+
+// Track returns the named component track, creating it (at zero watts,
+// routine Idle) on first use.
+func (m *Meter) Track(name string) *Track {
+	if tr, ok := m.tracks[name]; ok {
+		return tr
+	}
+	tr := &Track{
+		name:    name,
+		clock:   m.clock,
+		lastAt:  m.clock.Now(),
+		routine: Idle,
+		joules:  make(map[Routine]float64),
+	}
+	m.tracks[name] = tr
+	m.order = append(m.order, name)
+	return tr
+}
+
+// Components lists track names in creation order.
+func (m *Meter) Components() []string {
+	out := make([]string, len(m.order))
+	copy(out, m.order)
+	return out
+}
+
+// Set reports that the component now draws watts attributed to routine r.
+// The interval since the previous report is integrated at the previous level.
+func (tr *Track) Set(watts float64, r Routine) {
+	tr.settle()
+	tr.watts = watts
+	tr.routine = r
+	if tr.tracing {
+		tr.trace = append(tr.trace, Sample{At: tr.clock.Now(), Watts: watts, R: r})
+	}
+}
+
+// Watts reports the component's current power draw.
+func (tr *Track) Watts() float64 { return tr.watts }
+
+// Routine reports the routine the current draw is attributed to.
+func (tr *Track) Routine() Routine { return tr.routine }
+
+// settle integrates energy up to the current instant.
+func (tr *Track) settle() {
+	now := tr.clock.Now()
+	dt := now - tr.lastAt
+	if dt > 0 {
+		tr.joules[tr.routine] += tr.watts * float64(dt) / float64(time.Second)
+	}
+	tr.lastAt = now
+}
+
+// EnableTrace starts recording every Set call (plus an initial sample) so a
+// power-state timeline (Figure 5) can be rendered afterwards.
+func (tr *Track) EnableTrace() {
+	if tr.tracing {
+		return
+	}
+	tr.tracing = true
+	tr.trace = append(tr.trace, Sample{At: tr.clock.Now(), Watts: tr.watts, R: tr.routine})
+}
+
+// TraceSamples returns a copy of the recorded power trace.
+func (tr *Track) TraceSamples() []Sample {
+	out := make([]Sample, len(tr.trace))
+	copy(out, tr.trace)
+	return out
+}
+
+// Breakdown is energy per routine, in joules.
+type Breakdown map[Routine]float64
+
+// Total sums all routines. Summation follows the fixed Routines order so
+// identical breakdowns always total to the bit-identical float.
+func (b Breakdown) Total() float64 {
+	var sum float64
+	for _, r := range Routines {
+		sum += b[r]
+	}
+	return sum
+}
+
+// Attributed sums all routines except Idle — the energy the paper's
+// normalized figures account for.
+func (b Breakdown) Attributed() float64 {
+	return b.Total() - b[Idle]
+}
+
+// Fraction reports routine r's share of the attributed (non-idle) energy,
+// or 0 when nothing was attributed.
+func (b Breakdown) Fraction(r Routine) float64 {
+	att := b.Attributed()
+	if att <= 0 {
+		return 0
+	}
+	if r == Idle {
+		return 0
+	}
+	return b[r] / att
+}
+
+// Add returns the element-wise sum of b and other.
+func (b Breakdown) Add(other Breakdown) Breakdown {
+	out := make(Breakdown, len(Routines))
+	for _, r := range Routines {
+		if v := b[r] + other[r]; v != 0 {
+			out[r] = v
+		}
+	}
+	return out
+}
+
+// Scale returns b with every entry multiplied by k.
+func (b Breakdown) Scale(k float64) Breakdown {
+	out := make(Breakdown, len(b))
+	for r, v := range b {
+		out[r] = v * k
+	}
+	return out
+}
+
+// String formats the breakdown in millijoules for logs and CLI output.
+func (b Breakdown) String() string {
+	s := ""
+	for _, r := range Routines {
+		if v, ok := b[r]; ok {
+			if s != "" {
+				s += " "
+			}
+			s += fmt.Sprintf("%s=%.2fmJ", r, v*1e3)
+		}
+	}
+	if s == "" {
+		return "(empty)"
+	}
+	return s
+}
+
+// Breakdown integrates up to now and returns the component's per-routine
+// energy so far.
+func (tr *Track) Breakdown() Breakdown {
+	tr.settle()
+	out := make(Breakdown, len(tr.joules))
+	for r, j := range tr.joules {
+		out[r] = j
+	}
+	return out
+}
+
+// Total integrates up to now and returns the meter-wide per-routine energy
+// summed over all components.
+func (m *Meter) Total() Breakdown {
+	out := make(Breakdown, len(Routines))
+	names := make([]string, 0, len(m.tracks))
+	for name := range m.tracks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		for r, j := range m.tracks[name].Breakdown() {
+			out[r] += j
+		}
+	}
+	return out
+}
+
+// ByComponent integrates up to now and returns per-component totals (all
+// routines summed), keyed by track name.
+func (m *Meter) ByComponent() map[string]float64 {
+	out := make(map[string]float64, len(m.tracks))
+	for name, tr := range m.tracks {
+		out[name] = tr.Breakdown().Total()
+	}
+	return out
+}

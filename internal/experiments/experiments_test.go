@@ -1,0 +1,248 @@
+package experiments
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// band asserts a value lies inside [lo, hi] — the tolerance bands encode the
+// paper's headline numbers with room for the simulator substitution.
+func band(t *testing.T, values map[string]float64, key string, lo, hi float64) {
+	t.Helper()
+	v, ok := values[key]
+	if !ok {
+		t.Fatalf("value %q missing", key)
+	}
+	if v < lo || v > hi {
+		t.Errorf("%s = %.3f, want [%.3f, %.3f]", key, v, lo, hi)
+	}
+}
+
+func mustRun(t *testing.T, f func() (*Result, error)) *Result {
+	t.Helper()
+	res, err := f()
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if res.Table == nil || len(res.Table.Rows) == 0 {
+		t.Fatal("experiment produced no table rows")
+	}
+	return res
+}
+
+func TestAllAndByID(t *testing.T) {
+	all := All()
+	if len(all) != 14 {
+		t.Fatalf("experiments = %d, want 14 (12 figures-worth + 2 tables)", len(all))
+	}
+	for _, e := range all {
+		got, err := ByID(e.ID)
+		if err != nil || got.ID != e.ID {
+			t.Errorf("ByID(%s): %v", e.ID, err)
+		}
+	}
+	if _, err := ByID("fig99"); !errors.Is(err, ErrUnknown) {
+		t.Errorf("unknown id err = %v", err)
+	}
+}
+
+func TestTable1(t *testing.T) {
+	res := mustRun(t, Table1)
+	if res.Values["sensors"] != 11 {
+		t.Errorf("sensors = %v, want 11", res.Values["sensors"])
+	}
+}
+
+// TestTable2MatchesPaperExactly pins the interrupt counts and data volumes
+// of Table II.
+func TestTable2MatchesPaperExactly(t *testing.T) {
+	res := mustRun(t, Table2)
+	wantIrq := map[string]float64{
+		"A1": 2000, "A2": 1000, "A3": 20, "A4": 2220, "A5": 1221,
+		"A6": 2000, "A7": 1000, "A8": 1000, "A9": 1, "A10": 1, "A11": 1000,
+	}
+	for id, want := range wantIrq {
+		if got := res.Values["irq:"+id]; got != want {
+			t.Errorf("irq %s = %v, want %v", id, got, want)
+		}
+	}
+	wantBytes := map[string]float64{
+		"A2": 12000, "A3": 160, "A4": 20960, "A8": 4000, "A9": 24380,
+		"A10": 512, "A11": 6000,
+	}
+	for id, want := range wantBytes {
+		if got := res.Values["bytes:"+id]; got != want {
+			t.Errorf("bytes %s = %v, want %v", id, got, want)
+		}
+	}
+}
+
+func TestFig1IdleRatio(t *testing.T) {
+	res := mustRun(t, Fig1)
+	band(t, res.Values, "ratio", 7, 13) // paper: 9.5x
+}
+
+func TestFig3Shape(t *testing.T) {
+	res := mustRun(t, Fig3)
+	// M2X costs more than SC (paper: 9071 vs 1902 mJ; our substrate
+	// compresses the gap but preserves the ordering).
+	band(t, res.Values, "m2xOverSC", 1.1, 6)
+	// Concurrent baseline ~ sum of individuals, BEAM saves a modest slice.
+	band(t, res.Values, "beamSaving", 0.05, 0.35) // paper: 9%
+	// §II-C: 70-80% transfer, 10-12% interrupt, <5% collection+compute.
+	band(t, res.Values, "xferFracSC", 0.70, 0.90)
+	band(t, res.Values, "irqFracSC", 0.05, 0.15)
+	band(t, res.Values, "collFracSC", 0.01, 0.08)
+}
+
+func TestFig4TransferSplit(t *testing.T) {
+	res := mustRun(t, Fig4)
+	band(t, res.Values, "cpuShare", 0.70, 0.85)  // paper: 77%
+	band(t, res.Values, "mcuShare", 0.08, 0.20)  // paper: 13%
+	band(t, res.Values, "wireShare", 0.05, 0.15) // paper: 10%
+}
+
+func TestFig5SleepFractions(t *testing.T) {
+	res := mustRun(t, Fig5)
+	// Baseline: the CPU never sleeps (gaps below break-even).
+	band(t, res.Values, "baselineSleepFraction", 0, 0.01)
+	// Batching: the CPU sleeps ~93% of the time (Fig. 7 caption).
+	band(t, res.Values, "batchingSleepFraction", 0.85, 0.97)
+}
+
+func TestFig6Characterization(t *testing.T) {
+	res := mustRun(t, Fig6)
+	band(t, res.Values, "avgMemKB", 26.15, 26.25) // paper: 26.2 KB
+	band(t, res.Values, "avgMIPS", 47.40, 47.50)  // paper: 47.45
+	band(t, res.Values, "mips:A2", 3.94, 3.94)
+	band(t, res.Values, "mips:A8", 108.80, 108.80)
+}
+
+func TestFig7Batching(t *testing.T) {
+	res := mustRun(t, Fig7)
+	band(t, res.Values, "saving", 0.45, 0.70) // paper: 63% for SC
+	if res.Values["baselineInterrupts"] != 1000 || res.Values["batchingInterrupts"] != 1 {
+		t.Errorf("interrupt reduction %v -> %v, want 1000 -> 1",
+			res.Values["baselineInterrupts"], res.Values["batchingInterrupts"])
+	}
+}
+
+func TestFig8Timing(t *testing.T) {
+	res := mustRun(t, Fig8)
+	band(t, res.Values, "baselineMs", 280, 400) // paper: ~342 ms
+	band(t, res.Values, "comMs", 80, 160)       // paper: ~122 ms
+}
+
+func TestFig9ThreeSchemes(t *testing.T) {
+	res := mustRun(t, Fig9)
+	band(t, res.Values, "batchingFrac", 0.30, 0.60)
+	band(t, res.Values, "comFrac", 0.05, 0.30) // paper: 27% for SC
+	if res.Values["comFrac"] >= res.Values["batchingFrac"] {
+		t.Error("COM not below Batching")
+	}
+}
+
+func TestFig10Averages(t *testing.T) {
+	res := mustRun(t, Fig10)
+	band(t, res.Values, "avgBatchingSaving", 0.35, 0.60) // paper: 52%
+	band(t, res.Values, "avgCOMSaving", 0.65, 0.90)      // paper: 85%
+	// Per-app shape: every app saves with COM; batching can be ~0 for
+	// single-shot sensors (A9/A10) but never negative.
+	for _, id := range []string{"A1", "A2", "A3", "A4", "A5", "A6", "A7", "A8", "A9", "A10"} {
+		if v := res.Values["com:"+id]; v <= 0.1 {
+			t.Errorf("COM saving for %s = %.2f, want > 0.1", id, v)
+		}
+		if v := res.Values["batching:"+id]; v < -0.01 {
+			t.Errorf("batching saving for %s = %.2f, want >= 0", id, v)
+		}
+	}
+}
+
+func TestFig11MultiApp(t *testing.T) {
+	res := mustRun(t, Fig11)
+	band(t, res.Values, "avgBEAMSaving", 0.15, 0.40)    // paper: 29%
+	band(t, res.Values, "avgOffloadSaving", 0.60, 0.95) // paper: 70%
+	// A2+A7 (full sensor overlap at 1 kHz) must be among BEAM's best pairs;
+	// A3 pairs (20 shared samples) must be its worst.
+	if res.Values["beam:A2+A7"] <= res.Values["beam:A3+A5"] {
+		t.Error("BEAM: full-overlap pair not better than tiny-overlap pair")
+	}
+	band(t, res.Values, "beam:A2+A7", 0.20, 0.55) // paper: 48.2%
+	band(t, res.Values, "beam:A3+A5", 0.0, 0.10)
+	// Offload always beats BEAM (the paper's takeaway).
+	for _, combo := range []string{"A2+A7", "A2+A5", "A2+A4+A5+A7"} {
+		if res.Values["com:"+combo] <= res.Values["beam:"+combo] {
+			t.Errorf("offload not above BEAM for %s", combo)
+		}
+	}
+}
+
+func TestFig12HeavyWeight(t *testing.T) {
+	res := mustRun(t, Fig12)
+	// A11's compute dominates its baseline (paper: 78%).
+	band(t, res.Values, "A11:computeFraction", 0.65, 0.90)
+	// Batching helps the heavy app only marginally (paper: 5%).
+	band(t, res.Values, "A11:Batching", 0.02, 0.20)
+	// Mixed scenarios: BEAM < Batching < BCOM, all far below the
+	// light-only savings (paper: 2% / 7% / 9%; our simulator overshoots
+	// the absolute numbers, the ordering is the claim).
+	if !(res.Values["A11+A6:BEAM"] < res.Values["A11+A6:Batching"]) {
+		t.Error("A11+A6: BEAM not below Batching")
+	}
+	if !(res.Values["A11+A6:Batching"] < res.Values["A11+A6:BCOM"]+0.001) {
+		t.Error("A11+A6: Batching above BCOM")
+	}
+	if res.Values["A11+A6:BCOM"] > 0.45 {
+		t.Errorf("A11+A6 BCOM saving %.2f too large for a heavy mix", res.Values["A11+A6:BCOM"])
+	}
+	if res.Values["A11+A6+A1:BCOM"] <= res.Values["A11+A6:BCOM"]-0.02 {
+		t.Error("adding another light app did not increase BCOM savings")
+	}
+}
+
+func TestFig13Speedup(t *testing.T) {
+	res := mustRun(t, Fig13)
+	band(t, res.Values, "avgSpeedup", 1.5, 3.0) // paper: 1.88x
+	band(t, res.Values, "speedup:A3", 0.5, 1.0) // paper: 0.9x
+	band(t, res.Values, "speedup:A8", 0.5, 1.0) // paper: 0.8x
+	band(t, res.Values, "speedup:A2", 2.0, 4.5) // Fig. 8: ~2.8x
+	// Exactly two apps slow down under COM.
+	slow := 0
+	for _, id := range []string{"A1", "A2", "A3", "A4", "A5", "A6", "A7", "A8", "A9", "A10"} {
+		if res.Values["speedup:"+id] < 1 {
+			slow++
+		}
+	}
+	if slow != 2 {
+		t.Errorf("%d apps slow down under COM, want 2 (A3, A8)", slow)
+	}
+}
+
+func TestTablesRenderEverywhere(t *testing.T) {
+	for _, e := range []Experiment{{ID: "table1", Run: Table1}, {ID: "fig6", Run: Fig6}} {
+		res := mustRun(t, e.Run)
+		if !strings.Contains(res.Table.ASCII(), res.Table.Header[0]) {
+			t.Errorf("%s ASCII missing header", e.ID)
+		}
+		if !strings.Contains(res.Table.CSV(), ",") {
+			t.Errorf("%s CSV empty", e.ID)
+		}
+		if !strings.Contains(res.Table.Markdown(), "| --- |") {
+			t.Errorf("%s Markdown missing separator", e.ID)
+		}
+	}
+}
+
+func TestChartsAttachedToBarFigures(t *testing.T) {
+	for _, f := range []func() (*Result, error){Fig10, Fig11, Fig13} {
+		res := mustRun(t, f)
+		if res.Chart == nil {
+			t.Fatalf("%s missing chart", res.ID)
+		}
+		out := res.Chart.ASCII()
+		if !strings.Contains(out, "#") {
+			t.Errorf("%s chart empty:\n%s", res.ID, out)
+		}
+	}
+}

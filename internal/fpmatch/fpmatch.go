@@ -1,0 +1,112 @@
+// Package fpmatch implements the fingerprint enroll/identify substrate used
+// by the A10 workload. Sensors of the paper's class (Adafruit optical reader)
+// deliver fixed-size signature templates; matching is similarity search over
+// enrolled templates with a noise-tolerant threshold.
+package fpmatch
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+)
+
+// SignatureBytes is the sensor's template size (Table I, S3).
+const SignatureBytes = 512
+
+// DefaultThreshold is the minimum similarity accepted as a match. Scan noise
+// flips ~1% of bits, so genuine scans score ≈0.98 while impostors score ≈0.5.
+const DefaultThreshold = 0.90
+
+// Errors callers match with errors.Is.
+var (
+	ErrBadSignature = errors.New("fpmatch: wrong signature size")
+	ErrDuplicate    = errors.New("fpmatch: name already enrolled")
+	ErrNoMatch      = errors.New("fpmatch: no enrolled finger matches")
+	ErrUnknown      = errors.New("fpmatch: name not enrolled")
+)
+
+// DB is an in-memory enrollment database.
+type DB struct {
+	threshold float64
+	names     []string
+	templates map[string][]byte
+}
+
+// NewDB returns an empty database with the given acceptance threshold
+// (0 selects DefaultThreshold).
+func NewDB(threshold float64) (*DB, error) {
+	if threshold == 0 {
+		threshold = DefaultThreshold
+	}
+	if threshold <= 0.5 || threshold > 1 {
+		return nil, fmt.Errorf("fpmatch: threshold %v outside (0.5, 1]", threshold)
+	}
+	return &DB{threshold: threshold, templates: make(map[string][]byte)}, nil
+}
+
+// Len reports how many fingers are enrolled.
+func (db *DB) Len() int { return len(db.names) }
+
+// Enroll stores a template under name.
+func (db *DB) Enroll(name string, template []byte) error {
+	if len(template) != SignatureBytes {
+		return fmt.Errorf("%w: %d bytes", ErrBadSignature, len(template))
+	}
+	if name == "" {
+		return errors.New("fpmatch: empty name")
+	}
+	if _, ok := db.templates[name]; ok {
+		return fmt.Errorf("%w: %q", ErrDuplicate, name)
+	}
+	db.templates[name] = append([]byte(nil), template...)
+	db.names = append(db.names, name)
+	return nil
+}
+
+// Similarity is the fraction of matching bits between two signatures.
+func Similarity(a, b []byte) (float64, error) {
+	if len(a) != SignatureBytes || len(b) != SignatureBytes {
+		return 0, fmt.Errorf("%w: %d vs %d bytes", ErrBadSignature, len(a), len(b))
+	}
+	diff := 0
+	for i := range a {
+		diff += bits.OnesCount8(a[i] ^ b[i])
+	}
+	return 1 - float64(diff)/float64(SignatureBytes*8), nil
+}
+
+// Identify returns the enrolled name whose template is most similar to scan,
+// provided it clears the threshold; otherwise ErrNoMatch.
+func (db *DB) Identify(scan []byte) (name string, score float64, err error) {
+	if len(scan) != SignatureBytes {
+		return "", 0, fmt.Errorf("%w: %d bytes", ErrBadSignature, len(scan))
+	}
+	best := -1.0
+	// Iterate in enrollment order for determinism.
+	for _, n := range db.names {
+		s, err := Similarity(scan, db.templates[n])
+		if err != nil {
+			return "", 0, err
+		}
+		if s > best {
+			best, name = s, n
+		}
+	}
+	if best < db.threshold {
+		return "", best, ErrNoMatch
+	}
+	return name, best, nil
+}
+
+// Verify checks scan against one enrolled name.
+func (db *DB) Verify(name string, scan []byte) (bool, error) {
+	tmpl, ok := db.templates[name]
+	if !ok {
+		return false, fmt.Errorf("%w: %q", ErrUnknown, name)
+	}
+	s, err := Similarity(scan, tmpl)
+	if err != nil {
+		return false, err
+	}
+	return s >= db.threshold, nil
+}

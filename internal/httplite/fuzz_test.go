@@ -1,0 +1,39 @@
+package httplite
+
+import "testing"
+
+// FuzzParseRequest: never panic; accepted requests re-marshal and re-parse.
+func FuzzParseRequest(f *testing.F) {
+	req := &Request{Method: "POST", Path: "/x", Host: "h", Body: []byte("b")}
+	wire, err := req.Marshal()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(wire)
+	f.Add([]byte("GET / HTTP/1.1\r\nHost: h\r\n\r\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ParseRequest(data)
+		if err != nil {
+			return
+		}
+		re, err := got.Marshal()
+		if err != nil {
+			return // header values with colons etc. may not re-marshal; fine
+		}
+		if _, err := ParseRequest(re); err != nil {
+			t.Fatalf("re-marshaled request rejected: %v", err)
+		}
+	})
+}
+
+// FuzzParseResponse: never panic on arbitrary bytes.
+func FuzzParseResponse(f *testing.F) {
+	raw, err := MarshalResponse(200, "OK", nil, []byte("x"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(raw)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = ParseResponse(data) //nolint:errcheck // exercising for panics
+	})
+}

@@ -1,0 +1,142 @@
+package hub
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"iothub/internal/apps"
+	"iothub/internal/sensor"
+)
+
+// slowAccelApp is a minimal workload sampling the accelerometer below its
+// QoS default — the rate-mismatched sharer BEAM must downsample for.
+type slowAccelApp struct {
+	rateHz float64
+	src    sensor.Source
+}
+
+func newSlowAccelApp(rateHz float64) (*slowAccelApp, error) {
+	src, err := sensor.DefaultSource(sensor.Accelerometer, 5)
+	if err != nil {
+		return nil, err
+	}
+	return &slowAccelApp{rateHz: rateHz, src: src}, nil
+}
+
+func (a *slowAccelApp) Spec() apps.Spec {
+	return apps.Spec{
+		ID:       "AX",
+		Name:     "slow tilt monitor",
+		Category: "Test",
+		Task:     "mean tilt",
+		Sensors: []apps.SensorUse{
+			{Sensor: sensor.Accelerometer, RateHz: a.rateHz},
+		},
+		Window:     time.Second,
+		HeapBytes:  1024,
+		StackBytes: 128,
+		MIPS:       1,
+	}
+}
+
+func (a *slowAccelApp) Source(id sensor.ID) (sensor.Source, error) {
+	if id != sensor.Accelerometer {
+		return nil, apps.ErrUnknownSensor
+	}
+	return a.src, nil
+}
+
+func (a *slowAccelApp) Compute(in apps.WindowInput) (apps.Result, error) {
+	n := len(in.Samples[sensor.Accelerometer])
+	return apps.Result{
+		Summary: fmt.Sprintf("%d tilt samples", n),
+		Metrics: map[string]float64{"n": float64(n)},
+	}, nil
+}
+
+var _ apps.App = (*slowAccelApp)(nil)
+
+func TestSpecRateOverride(t *testing.T) {
+	a, err := newSlowAccelApp(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Spec().Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	n, err := a.Spec().SamplesPerWindow(sensor.Accelerometer)
+	if err != nil || n != 100 {
+		t.Errorf("samples = %d, want 100", n)
+	}
+	irq, err := a.Spec().InterruptsPerWindow()
+	if err != nil || irq != 100 {
+		t.Errorf("interrupts = %d, want 100", irq)
+	}
+}
+
+func TestSpecRejectsExcessiveRate(t *testing.T) {
+	bad := apps.Spec{
+		ID: "AY", Name: "y", Window: time.Second,
+		Sensors: []apps.SensorUse{{Sensor: sensor.Barometer, RateHz: 10_000}},
+	}
+	if err := bad.Validate(); err == nil {
+		t.Error("rate above sensor max accepted")
+	}
+	neg := apps.Spec{
+		ID: "AZ", Name: "z", Window: time.Second,
+		Sensors: []apps.SensorUse{{Sensor: sensor.Barometer, RateHz: -1}},
+	}
+	if err := neg.Validate(); err == nil {
+		t.Error("negative rate accepted")
+	}
+}
+
+func TestBEAMSharesAcrossRates(t *testing.T) {
+	slow, err := newSlowAccelApp(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast := newApps(t, apps.StepCounter)[0]
+	res := mustRun(t, Config{Apps: []apps.App{fast, slow}, Scheme: BEAM, Windows: 2})
+	// One shared stream at 1 kHz: 1000 interrupts/window, not 1100.
+	if res.Interrupts != 2000 {
+		t.Errorf("interrupts = %d, want 2000 (shared at the fast rate)", res.Interrupts)
+	}
+	// Both apps complete every window.
+	if got := len(res.Outputs["AX"]); got != 2 {
+		t.Fatalf("slow app outputs = %d, want 2", got)
+	}
+	// The slow app saw its strided share of the window's data.
+	if n := res.Outputs["AX"][0].Result.Metrics["n"]; n != 100 {
+		t.Errorf("slow app samples = %v, want 100", n)
+	}
+	if got := len(res.Outputs[apps.StepCounter]); got != 2 {
+		t.Errorf("fast app outputs = %d, want 2", got)
+	}
+}
+
+func TestBEAMBaselineDuplicatesAcrossRates(t *testing.T) {
+	slow, err := newSlowAccelApp(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast := newApps(t, apps.StepCounter)[0]
+	res := mustRun(t, Config{Apps: []apps.App{fast, slow}, Scheme: Baseline, Windows: 1})
+	if res.Interrupts != 1100 {
+		t.Errorf("baseline interrupts = %d, want 1100 (independent streams)", res.Interrupts)
+	}
+}
+
+func TestBEAMRejectsIndivisibleRates(t *testing.T) {
+	odd, err := newSlowAccelApp(300) // 1000 % 300 != 0
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast := newApps(t, apps.StepCounter)[0]
+	_, err = Run(Config{Apps: []apps.App{fast, odd}, Scheme: BEAM, Windows: 1})
+	if !errors.Is(err, ErrConfig) {
+		t.Errorf("err = %v, want ErrConfig for indivisible rates", err)
+	}
+}

@@ -1,0 +1,48 @@
+package hub
+
+import (
+	"testing"
+
+	"iothub/internal/apps"
+	"iothub/internal/apps/catalog"
+)
+
+// benchScheme runs one step-counter window per iteration under the scheme —
+// the cost of simulating one QoS window end to end.
+func benchScheme(b *testing.B, scheme Scheme) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		a, err := catalog.New(apps.StepCounter, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, err = Run(Config{
+			Apps: []apps.App{a}, Scheme: scheme, Windows: 1, SkipAppCompute: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunBaselineWindow(b *testing.B) { benchScheme(b, Baseline) }
+func BenchmarkRunBatchingWindow(b *testing.B) { benchScheme(b, Batching) }
+func BenchmarkRunCOMWindow(b *testing.B)      { benchScheme(b, COM) }
+
+// BenchmarkRunFourAppBEAM measures the heaviest multi-app simulation shape.
+func BenchmarkRunFourAppBEAM(b *testing.B) {
+	ids := []apps.ID{apps.StepCounter, apps.M2X, apps.Blynk, apps.Earthquake}
+	for i := 0; i < b.N; i++ {
+		var list []apps.App
+		for _, id := range ids {
+			a, err := catalog.New(id, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			list = append(list, a)
+		}
+		if _, err := Run(Config{Apps: list, Scheme: BEAM, Windows: 1, SkipAppCompute: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,363 @@
+// Package hub composes the simulated IoT platform — CPU board, MCU board,
+// link, and sensors — and executes workloads under the paper's five
+// execution schemes:
+//
+//   - Baseline: one MCU→CPU interrupt and transfer per sensor sample; the
+//     CPU stalls between samples (gaps are below the sleep break-even).
+//   - Batching: the MCU accumulates a whole window in its RAM and raises one
+//     interrupt; the CPU suspends while the MCU senses. If concurrent
+//     batches exceed the MCU's free RAM, a batch flushes early (more
+//     interrupts, still far fewer than Baseline).
+//   - COM: the app runs on the MCU; per-sample interrupts and transfers
+//     disappear and only a small result notification crosses the link (bulk
+//     upstream traffic leaves through the MCU's own radio). The CPU
+//     power-gates into deep sleep.
+//   - BCOM: COM for the offloadable apps, Batching for the heavy ones.
+//   - BEAM: the prior work's optimization — concurrent apps sharing a
+//     sensor share one read, one interrupt, and one transfer per sample.
+//
+// Functional note: under BEAM the physical hub would deliver identical
+// sample values to all sharing apps; the simulator keeps each app's own
+// synthetic source for its computation (the energy model only depends on
+// sample counts and sizes, which are shared exactly as in BEAM).
+package hub
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"iothub/internal/apps"
+	"iothub/internal/energy"
+	"iothub/internal/sensor"
+	"iothub/internal/sim"
+)
+
+// Scheme selects the execution scheme for a run.
+type Scheme int
+
+// Execution schemes (§III, §IV).
+const (
+	Baseline Scheme = iota + 1
+	Batching
+	COM
+	BCOM
+	BEAM
+)
+
+// String names the scheme as the paper's figures do.
+func (s Scheme) String() string {
+	switch s {
+	case Baseline:
+		return "Baseline"
+	case Batching:
+		return "Batching"
+	case COM:
+		return "COM"
+	case BCOM:
+		return "BCOM"
+	case BEAM:
+		return "BEAM"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// ParseScheme resolves a case-insensitive scheme name ("baseline",
+// "batching", "com", "bcom", "beam") — the CLI-facing inverse of String.
+func ParseScheme(name string) (Scheme, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "baseline":
+		return Baseline, nil
+	case "batching":
+		return Batching, nil
+	case "com":
+		return COM, nil
+	case "bcom":
+		return BCOM, nil
+	case "beam":
+		return BEAM, nil
+	default:
+		return 0, fmt.Errorf("%w: unknown scheme %q", ErrConfig, name)
+	}
+}
+
+// Mode is the per-app execution decision inside a scheme.
+type Mode int
+
+// Per-app modes.
+const (
+	// PerSample interrupts the CPU for every sensor sample (Baseline/BEAM).
+	PerSample Mode = iota + 1
+	// Batched buffers a window at the MCU and transfers in bulk.
+	Batched
+	// Offloaded runs the app-specific computation on the MCU.
+	Offloaded
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case PerSample:
+		return "PerSample"
+	case Batched:
+		return "Batched"
+	case Offloaded:
+		return "Offloaded"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Config describes one simulation run.
+type Config struct {
+	// Apps execute concurrently for the whole run.
+	Apps []apps.App
+	// Scheme picks the execution scheme. BCOM requires Assign (the planner
+	// in internal/core produces it); for the other schemes Assign is
+	// derived automatically and must be nil.
+	Scheme Scheme
+	// Assign overrides the per-app mode (required for BCOM only).
+	Assign map[apps.ID]Mode
+	// Windows is how many QoS windows to simulate (>= 1).
+	Windows int
+	// Params is the hardware calibration; zero value means DefaultParams.
+	Params *Params
+	// TracePower records CPU and MCU power-state timelines (Figure 5).
+	TracePower bool
+	// SkipAppCompute skips executing the real user-level computations
+	// (energy/timing are still modeled). Useful for pure-energy sweeps.
+	SkipAppCompute bool
+	// Faults optionally injects sensor read failures (§II-B Task I: the
+	// availability check can fail and the MCU retries or drops the sample).
+	Faults *FaultPlan
+}
+
+// FaultPlan describes deterministic sensor-failure injection.
+type FaultPlan struct {
+	// ReadFailEvery makes every Nth read of a sensor fail its availability
+	// check (N >= 1; 1 = every read fails). The failed attempt still costs
+	// the full bus transaction and MCU check time.
+	ReadFailEvery map[sensor.ID]int
+	// MaxRetries bounds re-reads per sample; once exhausted the sample is
+	// dropped and the window completes with fewer samples. Default 1.
+	MaxRetries int
+}
+
+func (f *FaultPlan) failEvery(id sensor.ID) int {
+	if f == nil {
+		return 0
+	}
+	return f.ReadFailEvery[id]
+}
+
+func (f *FaultPlan) maxRetries() int {
+	if f == nil || f.MaxRetries < 1 {
+		return 1
+	}
+	return f.MaxRetries
+}
+
+// WindowResult is one app's output for one window.
+type WindowResult struct {
+	Window int
+	// At is the virtual time the result became available.
+	At sim.Time
+	// Result is the app's real output (zero when SkipAppCompute).
+	Result apps.Result
+}
+
+// RunResult aggregates a simulation run.
+type RunResult struct {
+	// Scheme and Modes record what actually executed.
+	Scheme Scheme
+	Modes  map[apps.ID]Mode
+
+	// Energy is the hub-wide per-routine energy in joules.
+	Energy energy.Breakdown
+	// PerComponent is each component's per-routine energy ("cpu", "mcu",
+	// "link", "sensor:S4:A2", ...).
+	PerComponent map[string]energy.Breakdown
+
+	// CPUBusy / MCUBusy are cumulative execution times per routine.
+	CPUBusy map[energy.Routine]time.Duration
+	MCUBusy map[energy.Routine]time.Duration
+
+	// Interrupts is the number of MCU→CPU interrupts fielded.
+	Interrupts int
+	// BytesTransferred counts payload bytes crossing the link.
+	BytesTransferred int
+	// BatchFlushes counts bulk transfers (Batched mode): one per window per
+	// app unless MCU RAM pressure forces early flushes.
+	BatchFlushes int
+	// CPUWakes counts sleep→active transitions.
+	CPUWakes int
+	// QoSViolations counts window results delivered after the deadline
+	// (two window periods after the window closes).
+	QoSViolations int
+	// ReadRetries counts failed sensor read attempts that were retried
+	// (fault injection, §II-B Task I).
+	ReadRetries int
+	// DroppedSamples counts reads abandoned after exhausting retries; the
+	// affected windows complete with fewer samples.
+	DroppedSamples int
+	// UpstreamBytes counts window outputs pushed to the network (main-board
+	// WiFi for on-CPU apps, the MCU's radio for offloaded ones).
+	UpstreamBytes int
+
+	// Duration is the virtual time the run covered.
+	Duration time.Duration
+	// Window is the QoS period the apps ran at.
+	Window time.Duration
+	// Outputs holds each app's per-window results.
+	Outputs map[apps.ID][]WindowResult
+	// Traces holds power timelines when TracePower was set.
+	Traces map[string][]energy.Sample
+}
+
+// TotalJoules is the hub-wide energy of the run.
+func (r *RunResult) TotalJoules() float64 { return r.Energy.Total() }
+
+// RoutineLatency is the per-routine processing time of the run, the metric
+// behind Fig. 8's timing breakdown: collection on the MCU, interrupt
+// handling and data transfer on the CPU, and app-specific computation on
+// whichever processor ran it. The MCU's participation in transfers mirrors
+// the CPU's and is not double-counted.
+func (r *RunResult) RoutineLatency() map[energy.Routine]time.Duration {
+	return map[energy.Routine]time.Duration{
+		energy.DataCollection: r.MCUBusy[energy.DataCollection],
+		energy.Interrupt:      r.CPUBusy[energy.Interrupt],
+		energy.DataTransfer:   r.CPUBusy[energy.DataTransfer],
+		energy.AppCompute:     r.CPUBusy[energy.AppCompute] + r.MCUBusy[energy.AppCompute],
+	}
+}
+
+// BusyLatency sums RoutineLatency — the paper's Fig. 13 "performance"
+// denominator (speedup = Baseline BusyLatency / COM BusyLatency).
+func (r *RunResult) BusyLatency() time.Duration {
+	var total time.Duration
+	for _, d := range r.RoutineLatency() {
+		total += d
+	}
+	return total
+}
+
+// LatencyStats summarizes output freshness: how long after its window closed
+// each result became available.
+type LatencyStats struct {
+	Mean, Max time.Duration
+	Count     int
+}
+
+// OutputLatency computes freshness stats over every app's window results.
+// Batching and COM trade a bounded amount of it for energy: the batch must
+// finish transferring (and the MCU must finish computing) after the window
+// closes.
+func (r *RunResult) OutputLatency() LatencyStats {
+	var stats LatencyStats
+	var sum time.Duration
+	for _, outs := range r.Outputs {
+		for _, wr := range outs {
+			deadline := sim.Time(int64(wr.Window+1) * int64(r.Window))
+			lat := wr.At.Duration() - deadline.Duration()
+			if lat < 0 {
+				lat = 0
+			}
+			sum += lat
+			if lat > stats.Max {
+				stats.Max = lat
+			}
+			stats.Count++
+		}
+	}
+	if stats.Count > 0 {
+		stats.Mean = sum / time.Duration(stats.Count)
+	}
+	return stats
+}
+
+// Errors callers match with errors.Is.
+var (
+	ErrConfig        = errors.New("hub: invalid config")
+	ErrUnoffloadable = errors.New("hub: app cannot be offloaded")
+)
+
+// validate normalizes and checks the configuration.
+func (c *Config) validate() (Params, error) {
+	if len(c.Apps) == 0 {
+		return Params{}, fmt.Errorf("%w: no apps", ErrConfig)
+	}
+	if c.Windows < 1 {
+		return Params{}, fmt.Errorf("%w: windows %d", ErrConfig, c.Windows)
+	}
+	params := DefaultParams()
+	if c.Params != nil {
+		params = *c.Params
+	}
+	if err := params.Validate(); err != nil {
+		return Params{}, fmt.Errorf("%w: %v", ErrConfig, err)
+	}
+	switch c.Scheme {
+	case Baseline, Batching, COM, BEAM:
+		if c.Assign != nil {
+			return Params{}, fmt.Errorf("%w: Assign is only valid with BCOM", ErrConfig)
+		}
+	case BCOM:
+		if c.Assign == nil {
+			return Params{}, fmt.Errorf("%w: BCOM requires Assign (see internal/core planner)", ErrConfig)
+		}
+	default:
+		return Params{}, fmt.Errorf("%w: unknown scheme %v", ErrConfig, c.Scheme)
+	}
+	seen := make(map[apps.ID]bool, len(c.Apps))
+	window := time.Duration(0)
+	for _, a := range c.Apps {
+		sp := a.Spec()
+		if err := sp.Validate(); err != nil {
+			return Params{}, fmt.Errorf("%w: %v", ErrConfig, err)
+		}
+		if seen[sp.ID] {
+			return Params{}, fmt.Errorf("%w: app %s listed twice", ErrConfig, sp.ID)
+		}
+		seen[sp.ID] = true
+		if window == 0 {
+			window = sp.Window
+		} else if sp.Window != window {
+			return Params{}, fmt.Errorf("%w: mixed window lengths (%v vs %v)", ErrConfig, window, sp.Window)
+		}
+	}
+	if c.Scheme == BEAM && len(c.Apps) < 2 {
+		return Params{}, fmt.Errorf("%w: BEAM needs at least two apps", ErrConfig)
+	}
+	return params, nil
+}
+
+// modes resolves the per-app mode map for the scheme.
+func (c *Config) modes() (map[apps.ID]Mode, error) {
+	out := make(map[apps.ID]Mode, len(c.Apps))
+	for _, a := range c.Apps {
+		sp := a.Spec()
+		switch c.Scheme {
+		case Baseline, BEAM:
+			out[sp.ID] = PerSample
+		case Batching:
+			out[sp.ID] = Batched
+		case COM:
+			if sp.Heavy {
+				return nil, fmt.Errorf("%w: %s is heavy-weight", ErrUnoffloadable, sp.ID)
+			}
+			out[sp.ID] = Offloaded
+		case BCOM:
+			m, ok := c.Assign[sp.ID]
+			if !ok {
+				return nil, fmt.Errorf("%w: no assignment for %s", ErrConfig, sp.ID)
+			}
+			if m == Offloaded && sp.Heavy {
+				return nil, fmt.Errorf("%w: %s is heavy-weight", ErrUnoffloadable, sp.ID)
+			}
+			out[sp.ID] = m
+		}
+	}
+	return out, nil
+}

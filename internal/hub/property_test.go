@@ -1,0 +1,120 @@
+package hub
+
+import (
+	"testing"
+	"testing/quick"
+
+	"iothub/internal/apps"
+	"iothub/internal/apps/catalog"
+	"iothub/internal/energy"
+)
+
+// TestPropertySchemeInvariants runs randomized subsets of the light
+// workloads under every automatic scheme and checks cross-scheme invariants
+// the paper's whole argument rests on:
+//
+//  1. Baseline interrupts equal the Table II per-window counts.
+//  2. Batching never raises more interrupts than Baseline, COM never more
+//     than Batching (+ result notifications).
+//  3. Energy: COM <= Batching <= Baseline (within a sliver of tolerance for
+//     apps batching cannot help).
+//  4. Every app produces one output per window under every scheme.
+func TestPropertySchemeInvariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("randomized simulation sweep")
+	}
+	f := func(mask uint16) bool {
+		ids := subset(mask)
+		if len(ids) == 0 || len(ids) > 3 {
+			return true // keep runtimes bounded; quick tries many masks
+		}
+		const windows = 2
+		results := make(map[Scheme]*RunResult, 3)
+		for _, scheme := range []Scheme{Baseline, Batching, COM} {
+			list := make([]apps.App, 0, len(ids))
+			for _, id := range ids {
+				a, err := catalog.New(id, 3)
+				if err != nil {
+					return false
+				}
+				list = append(list, a)
+			}
+			res, err := Run(Config{Apps: list, Scheme: scheme, Windows: windows, SkipAppCompute: true})
+			if err != nil {
+				t.Logf("%v %v: %v", ids, scheme, err)
+				return false
+			}
+			results[scheme] = res
+		}
+
+		wantIrq := 0
+		for _, id := range ids {
+			a, err := catalog.New(id, 3)
+			if err != nil {
+				return false
+			}
+			n, err := a.Spec().InterruptsPerWindow()
+			if err != nil {
+				return false
+			}
+			wantIrq += n
+		}
+		if results[Baseline].Interrupts != windows*wantIrq {
+			t.Logf("%v: baseline irq %d != %d", ids, results[Baseline].Interrupts, windows*wantIrq)
+			return false
+		}
+		if results[Batching].Interrupts > results[Baseline].Interrupts {
+			return false
+		}
+		if results[COM].Interrupts != windows*len(ids) {
+			t.Logf("%v: COM irq %d != %d", ids, results[COM].Interrupts, windows*len(ids))
+			return false
+		}
+
+		base := results[Baseline].TotalJoules()
+		bat := results[Batching].TotalJoules()
+		com := results[COM].TotalJoules()
+		if bat > base*1.01 || com > bat*1.01 {
+			t.Logf("%v: energy ordering base=%.3f bat=%.3f com=%.3f", ids, base, bat, com)
+			return false
+		}
+
+		for scheme, res := range results {
+			for _, id := range ids {
+				if len(res.Outputs[id]) != windows {
+					t.Logf("%v %v: %s outputs %d", ids, scheme, id, len(res.Outputs[id]))
+					return false
+				}
+			}
+			if res.QoSViolations != 0 {
+				t.Logf("%v %v: qos violations %d", ids, scheme, res.QoSViolations)
+				return false
+			}
+			var nonIdle float64
+			for _, r := range []energy.Routine{
+				energy.DataCollection, energy.Interrupt, energy.DataTransfer, energy.AppCompute,
+			} {
+				nonIdle += res.Energy[r]
+			}
+			if nonIdle <= 0 {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 25}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// subset decodes a bitmask over the light workload catalog.
+func subset(mask uint16) []apps.ID {
+	var out []apps.ID
+	for i, id := range catalog.LightIDs {
+		if mask&(1<<uint(i)) != 0 {
+			out = append(out, id)
+		}
+	}
+	return out
+}

@@ -1,0 +1,777 @@
+package hub
+
+import (
+	"fmt"
+	"time"
+
+	"iothub/internal/apps"
+	"iothub/internal/cpu"
+	"iothub/internal/energy"
+	"iothub/internal/link"
+	"iothub/internal/mcu"
+	"iothub/internal/radio"
+	"iothub/internal/sensor"
+	"iothub/internal/sim"
+)
+
+// appState is one app's runtime bookkeeping.
+type appState struct {
+	app  apps.App
+	spec apps.Spec
+	mode Mode
+
+	// cpuComputeTime / mcuComputeTime are the per-window app-specific
+	// computation costs on each processor.
+	cpuComputeTime time.Duration
+	mcuComputeTime time.Duration
+
+	// samplesPerWindow across all of the app's streams.
+	samplesPerWindow int
+	// readsDone / delivered count per-window progress; expected starts at
+	// samplesPerWindow and shrinks when fault injection drops samples.
+	readsDone map[int]int // window -> samples formatted at the MCU
+	delivered map[int]int // window -> samples landed at the CPU
+	expected  map[int]int // window -> samples still anticipated
+	// fired guards against double-triggering a window's computation when
+	// drops rearrange completion order.
+	fired map[int]bool
+
+	// Batched-mode buffer state.
+	batchFill      int
+	batchAllocd    int
+	pendingFlushes map[int]int // window -> in-flight bulk transfers
+
+	results []WindowResult
+}
+
+// consumerLink attaches one app to a stream. Under BEAM a stream runs at
+// the fastest consumer's rate and slower consumers take every stride-th
+// sample (BEAM's downsampling for rate-mismatched sharers).
+type consumerLink struct {
+	st     *appState
+	stride int
+}
+
+// wants reports whether the consumer takes the stream's k-th sample.
+func (l consumerLink) wants(k int) bool { return k%l.stride == 0 }
+
+// stream is one physical sampling schedule: a sensor read sequence feeding
+// one or more apps (more than one only under BEAM).
+type stream struct {
+	id        sensor.ID
+	spec      sensor.Spec
+	bytes     int
+	perWindow int
+	period    time.Duration
+	track     *energy.Track
+	consumers []consumerLink
+	// attempts counts read attempts for deterministic fault injection.
+	attempts int
+}
+
+// expectedFor reports how many samples window w still anticipates.
+func (st *appState) expectedFor(w int) int {
+	if _, ok := st.expected[w]; !ok {
+		st.expected[w] = st.samplesPerWindow
+	}
+	return st.expected[w]
+}
+
+type runner struct {
+	cfg    Config
+	params Params
+	window time.Duration
+
+	sched     *sim.Scheduler
+	meter     *energy.Meter
+	cpu       *cpu.CPU
+	mcu       *mcu.MCU
+	link      *link.Link
+	mainRadio *radio.Radio
+	mcuRadio  *radio.Radio
+
+	states  []*appState
+	streams []*stream
+
+	// gapHint is the expected CPU idle gap between events, used by the
+	// governor after each completed work item.
+	gapHint time.Duration
+	// allowDeep is true when every app is offloaded (the CPU is fully
+	// freed, §III-B4).
+	allowDeep bool
+
+	res    *RunResult
+	runErr error
+}
+
+// Run executes the configured scenario and returns its aggregated result.
+func Run(cfg Config) (*RunResult, error) {
+	params, err := cfg.validate()
+	if err != nil {
+		return nil, err
+	}
+	modes, err := cfg.modes()
+	if err != nil {
+		return nil, err
+	}
+	r := &runner{cfg: cfg, params: params, window: cfg.Apps[0].Spec().Window}
+	r.sched = sim.NewScheduler()
+	r.meter = energy.NewMeter(r.sched)
+	if r.cpu, err = cpu.New(r.sched, r.meter, "cpu", params.CPU); err != nil {
+		return nil, err
+	}
+	if r.mcu, err = mcu.New(r.sched, r.meter, "mcu", params.MCU); err != nil {
+		return nil, err
+	}
+	if r.link, err = link.New(r.sched, r.meter, "link", params.Link); err != nil {
+		return nil, err
+	}
+	if r.mainRadio, err = radio.New(r.sched, r.meter, "radio:main", params.MainRadio); err != nil {
+		return nil, err
+	}
+	if r.mcuRadio, err = radio.New(r.sched, r.meter, "radio:mcu", params.MCURadio); err != nil {
+		return nil, err
+	}
+	if cfg.TracePower {
+		r.cpu.Track().EnableTrace()
+		r.mcu.Track().EnableTrace()
+	}
+	r.res = &RunResult{
+		Scheme:       cfg.Scheme,
+		Modes:        modes,
+		Outputs:      make(map[apps.ID][]WindowResult, len(cfg.Apps)),
+		PerComponent: make(map[string]energy.Breakdown),
+	}
+	if err := r.build(modes); err != nil {
+		return nil, err
+	}
+	r.prime()
+	if err := r.scheduleAll(); err != nil {
+		return nil, err
+	}
+	if err := r.sched.Run(); err != nil {
+		if r.runErr != nil {
+			return nil, r.runErr
+		}
+		return nil, err
+	}
+	if r.runErr != nil {
+		return nil, r.runErr
+	}
+	r.collect()
+	return r.res, nil
+}
+
+// fail aborts the simulation with an error (used from event callbacks).
+func (r *runner) fail(err error) {
+	if r.runErr == nil {
+		r.runErr = err
+	}
+	r.sched.Stop()
+}
+
+// build constructs app states and streams.
+func (r *runner) build(modes map[apps.ID]Mode) error {
+	allOffloaded := true
+	minGap := r.window
+
+	for _, a := range r.cfg.Apps {
+		sp := a.Spec()
+		st := &appState{
+			app:            a,
+			spec:           sp,
+			mode:           modes[sp.ID],
+			readsDone:      make(map[int]int),
+			delivered:      make(map[int]int),
+			expected:       make(map[int]int),
+			fired:          make(map[int]bool),
+			pendingFlushes: make(map[int]int),
+		}
+		ct, err := sp.CPUComputeTime(r.params.CPU.MIPS)
+		if err != nil {
+			return err
+		}
+		st.cpuComputeTime = ct
+		// Offload cost uses the app's full-rate CPU time (EffectiveMIPS
+		// models CPU-side memory-boundness; the MCU slowdown is separate).
+		fullRate := sp.MIPS * sp.Window.Seconds() / r.params.CPU.MIPS
+		st.mcuComputeTime = r.mcu.OffloadTime(
+			time.Duration(fullRate*float64(time.Second)), sp.FPPenalty)
+		n, err := sp.InterruptsPerWindow()
+		if err != nil {
+			return err
+		}
+		st.samplesPerWindow = n
+		if st.mode != Offloaded {
+			allOffloaded = false
+		}
+		r.states = append(r.states, st)
+
+		if st.mode == Offloaded {
+			for _, u := range sp.Sensors {
+				sspec, err := sensor.Lookup(u.Sensor)
+				if err != nil {
+					return err
+				}
+				if !sspec.MCUFriendly {
+					return fmt.Errorf("%w: %s needs MCU-unfriendly sensor %s", ErrUnoffloadable, sp.ID, u.Sensor)
+				}
+			}
+		}
+	}
+
+	// Offloaded apps are bound into one sequentially executed MCU binary
+	// (§III-B3), so their working sets time-share the RAM: reserve the
+	// largest footprint plus its widest sample as a streaming buffer.
+	offloadNeed := 0
+	offloadID := apps.ID("")
+	for _, st := range r.states {
+		if st.mode != Offloaded {
+			continue
+		}
+		need := st.spec.MemoryBytes()
+		widest := 0
+		for _, u := range st.spec.Sensors {
+			b, err := u.SampleBytes()
+			if err != nil {
+				return err
+			}
+			if b > widest {
+				widest = b
+			}
+		}
+		need += widest
+		if need > offloadNeed {
+			offloadNeed, offloadID = need, st.spec.ID
+		}
+	}
+	if offloadNeed > 0 {
+		if err := r.mcu.Alloc(offloadNeed); err != nil {
+			return fmt.Errorf("%w: %s: %v", ErrUnoffloadable, offloadID, err)
+		}
+	}
+
+	// Build streams. Under BEAM, per-sample streams of the same sensor are
+	// shared across apps (at the fastest consumer's rate, with slower
+	// consumers downsampling); otherwise every (app, sensor) pair gets its
+	// own.
+	if r.cfg.Scheme == BEAM {
+		if err := r.buildSharedStreams(); err != nil {
+			return err
+		}
+	} else {
+		for _, st := range r.states {
+			for _, u := range st.spec.Sensors {
+				sspec, err := sensor.Lookup(u.Sensor)
+				if err != nil {
+					return err
+				}
+				bytes, err := u.SampleBytes()
+				if err != nil {
+					return err
+				}
+				perWindow, err := st.spec.SamplesPerWindow(u.Sensor)
+				if err != nil {
+					return err
+				}
+				s := &stream{
+					id:        u.Sensor,
+					spec:      sspec,
+					bytes:     bytes,
+					perWindow: perWindow,
+					track:     r.meter.Track(fmt.Sprintf("sensor:%s:%s", u.Sensor, st.spec.ID)),
+					consumers: []consumerLink{{st: st, stride: 1}},
+				}
+				s.period = r.window / time.Duration(s.perWindow)
+				r.streams = append(r.streams, s)
+			}
+		}
+	}
+	for _, s := range r.streams {
+		for _, l := range s.consumers {
+			if l.st.mode == PerSample && s.period*time.Duration(l.stride) < minGap {
+				minGap = s.period
+			}
+		}
+	}
+	r.gapHint = minGap
+	r.allowDeep = allOffloaded
+	return nil
+}
+
+// buildSharedStreams groups every sensor's users into one stream running at
+// the fastest requested rate; slower consumers take strided samples. Rates
+// must divide evenly (BEAM downsamples by integer factors).
+func (r *runner) buildSharedStreams() error {
+	type user struct {
+		st        *appState
+		perWindow int
+		bytes     int
+	}
+	order := make([]sensor.ID, 0, 8)
+	bySensor := make(map[sensor.ID][]user)
+	for _, st := range r.states {
+		for _, u := range st.spec.Sensors {
+			perWindow, err := st.spec.SamplesPerWindow(u.Sensor)
+			if err != nil {
+				return err
+			}
+			bytes, err := u.SampleBytes()
+			if err != nil {
+				return err
+			}
+			if _, ok := bySensor[u.Sensor]; !ok {
+				order = append(order, u.Sensor)
+			}
+			bySensor[u.Sensor] = append(bySensor[u.Sensor], user{st: st, perWindow: perWindow, bytes: bytes})
+		}
+	}
+	for _, id := range order {
+		users := bySensor[id]
+		sspec, err := sensor.Lookup(id)
+		if err != nil {
+			return err
+		}
+		s := &stream{
+			id:    id,
+			spec:  sspec,
+			track: r.meter.Track(fmt.Sprintf("sensor:%s", id)),
+		}
+		for _, u := range users {
+			if u.perWindow > s.perWindow {
+				s.perWindow = u.perWindow
+			}
+			if u.bytes > s.bytes {
+				s.bytes = u.bytes
+			}
+		}
+		for _, u := range users {
+			if s.perWindow%u.perWindow != 0 {
+				return fmt.Errorf("%w: BEAM cannot share %s between rates %d and %d per window",
+					ErrConfig, id, s.perWindow, u.perWindow)
+			}
+			s.consumers = append(s.consumers, consumerLink{st: u.st, stride: s.perWindow / u.perWindow})
+		}
+		s.period = r.window / time.Duration(s.perWindow)
+		r.streams = append(r.streams, s)
+	}
+	return nil
+}
+
+// prime sets the CPU's initial idle policy so window 0 is steady-state.
+func (r *runner) prime() {
+	routine := energy.DataTransfer
+	gap := r.gapHint
+	if r.allowDeep {
+		routine = energy.AppCompute
+		gap = r.window
+	}
+	if err := r.cpu.Idle(gap, routine, r.allowDeep); err != nil {
+		r.fail(err)
+	}
+}
+
+// scheduleAll enqueues every sensor read of the run.
+func (r *runner) scheduleAll() error {
+	for _, s := range r.streams {
+		total := s.perWindow * r.cfg.Windows
+		for k := 0; k < total; k++ {
+			s := s
+			k := k
+			at := sim.Time(int64(k) * int64(s.period))
+			if _, err := r.sched.At(at, func() { r.startRead(s, k) }); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// startRead powers the sensor for its bus transaction, then has the MCU
+// check/format the sample (DataCollection). A failed availability check
+// (fault injection) costs the full attempt and is retried; exhausted retries
+// drop the sample.
+func (r *runner) startRead(s *stream, k int) {
+	r.attemptRead(s, k, 0)
+}
+
+func (r *runner) attemptRead(s *stream, k, retriesUsed int) {
+	s.attempts++
+	failed := false
+	if n := r.cfg.Faults.failEvery(s.id); n > 0 && s.attempts%n == 0 {
+		failed = true
+	}
+	s.track.Set(s.spec.PowerTyp, energy.DataCollection)
+	_, err := r.sched.After(s.spec.ReadTime, func() {
+		s.track.Set(0, energy.Idle)
+		err := r.mcu.Exec(r.params.MCU.PerReadCPU, energy.DataCollection, func() {
+			switch {
+			case !failed:
+				r.sampleReady(s, k)
+			case retriesUsed < r.cfg.Faults.maxRetries():
+				r.res.ReadRetries++
+				r.attemptRead(s, k, retriesUsed+1)
+			default:
+				r.dropSample(s, k)
+			}
+		})
+		if err != nil {
+			r.fail(err)
+		}
+	})
+	if err != nil {
+		r.fail(err)
+	}
+}
+
+// dropSample abandons a sample: every consumer's window expectation shrinks
+// and completion is re-checked (the drop may have been the last straw).
+// Functional note: the apps' Compute inputs are regenerated from their
+// synthetic sources, so drops affect energy/timing accounting, not the
+// computed outputs (real apps tolerate missing samples; see DESIGN.md).
+func (r *runner) dropSample(s *stream, k int) {
+	r.res.DroppedSamples++
+	w := k / s.perWindow
+	for _, l := range s.consumers {
+		if !l.wants(k) {
+			continue
+		}
+		l.st.expected[w] = l.st.expectedFor(w) - 1
+		r.maybeComplete(l.st, w)
+	}
+}
+
+// maybeComplete fires a window's downstream step once all still-expected
+// samples have progressed far enough for the app's mode.
+func (r *runner) maybeComplete(st *appState, w int) {
+	if st.fired[w] {
+		return
+	}
+	want := st.expectedFor(w)
+	switch st.mode {
+	case PerSample:
+		if st.delivered[w] >= want {
+			st.fired[w] = true
+			r.cpuCompute(st, w)
+		}
+	case Batched:
+		if st.readsDone[w] >= want {
+			st.fired[w] = true
+			r.flushBatch(st, w, true)
+		}
+	case Offloaded:
+		if st.readsDone[w] >= want {
+			st.fired[w] = true
+			r.offloadCompute(st, w)
+		}
+	}
+}
+
+// sampleReady dispatches a formatted sample according to each consumer's
+// mode. Under BEAM a per-sample stream has multiple consumers but pays for
+// one interrupt and one transfer.
+func (r *runner) sampleReady(s *stream, k int) {
+	w := k / s.perWindow
+	perSample := false
+	for _, l := range s.consumers {
+		if !l.wants(k) {
+			continue
+		}
+		st := l.st
+		st.readsDone[w]++
+		switch st.mode {
+		case PerSample:
+			perSample = true
+		case Batched:
+			r.batchSample(st, s, w)
+			r.maybeComplete(st, w)
+		case Offloaded:
+			r.maybeComplete(st, w)
+		}
+	}
+	if perSample {
+		r.interruptAndTransfer(s, k, w)
+	}
+}
+
+// transferToCPU moves n payload bytes over the link and calls done when the
+// data has landed at the CPU. Without DMA the CPU is busy for the whole
+// transfer (the baseline hardware of the paper); with DMA (§IV-F ablation)
+// it only programs a descriptor and the wire signals completion.
+func (r *runner) transferToCPU(n int, done func()) {
+	d, err := r.link.Transmit(n, energy.DataTransfer)
+	if err != nil {
+		r.fail(err)
+		return
+	}
+	r.res.BytesTransferred += n
+	if err := r.mcu.Exec(d, energy.DataTransfer, nil); err != nil {
+		r.fail(err)
+		return
+	}
+	finish := func() {
+		done()
+		r.governCPU()
+	}
+	if r.params.DMA {
+		if err := r.cpu.Exec(r.params.DMASetup, energy.DataTransfer, nil); err != nil {
+			r.fail(err)
+			return
+		}
+		if _, err := r.sched.After(d, finish); err != nil {
+			r.fail(err)
+		}
+		return
+	}
+	if err := r.cpu.Exec(d, energy.DataTransfer, finish); err != nil {
+		r.fail(err)
+	}
+}
+
+// interruptAndTransfer is the Baseline/BEAM per-sample path: MCU raises the
+// interrupt, the CPU fields it and pulls the sample over the link.
+func (r *runner) interruptAndTransfer(s *stream, k, w int) {
+	err := r.mcu.Exec(r.params.MCU.IrqRaise, energy.Interrupt, func() {
+		r.res.Interrupts++
+		err := r.cpu.Exec(r.params.CPUIrqHandle, energy.Interrupt, func() {
+			r.transferToCPU(s.bytes, func() {
+				for _, l := range s.consumers {
+					if l.st.mode != PerSample || !l.wants(k) {
+						continue
+					}
+					l.st.delivered[w]++
+					r.maybeComplete(l.st, w)
+				}
+			})
+		})
+		if err != nil {
+			r.fail(err)
+		}
+	})
+	if err != nil {
+		r.fail(err)
+	}
+}
+
+// batchSample appends a sample to the app's MCU-side batch, flushing early
+// when the MCU RAM cannot hold more. The final flush of a window is
+// triggered by maybeComplete once all expected samples have been read.
+func (r *runner) batchSample(st *appState, s *stream, w int) {
+	if err := r.mcu.Alloc(s.bytes); err != nil {
+		// RAM pressure: flush what we have, then retry the allocation for
+		// this sample against the freed space.
+		r.flushBatch(st, w, false)
+		if err := r.mcu.Alloc(s.bytes); err != nil {
+			// The sample alone exceeds the free buffer (e.g. a camera frame
+			// next to a large offloaded footprint): it cannot be batched at
+			// all, so stream it through as its own immediate flush.
+			st.batchFill += s.bytes
+			r.flushBatch(st, w, false)
+			return
+		}
+	}
+	st.batchAllocd += s.bytes
+	st.batchFill += s.bytes
+}
+
+// flushBatch raises one interrupt and bulk-transfers the app's batch. The
+// final flush of a window triggers the CPU-side computation.
+func (r *runner) flushBatch(st *appState, w int, final bool) {
+	fill := st.batchFill
+	alloc := st.batchAllocd
+	st.batchFill = 0
+	st.batchAllocd = 0
+	if fill == 0 && !final {
+		return
+	}
+	// The transfer engine drains the buffer as it transmits, so the RAM is
+	// reusable for new samples as soon as the flush is initiated.
+	if err := r.mcu.Free(alloc); err != nil {
+		r.fail(err)
+		return
+	}
+	st.pendingFlushes[w]++
+	err := r.mcu.Exec(r.params.MCU.IrqRaise, energy.Interrupt, func() {
+		r.res.Interrupts++
+		r.res.BatchFlushes++
+		err := r.cpu.Exec(r.params.CPUIrqHandle, energy.Interrupt, func() {
+			r.transferToCPU(fill, func() {
+				st.pendingFlushes[w]--
+				if final && st.pendingFlushes[w] == 0 {
+					r.cpuCompute(st, w)
+				}
+			})
+		})
+		if err != nil {
+			r.fail(err)
+		}
+	})
+	if err != nil {
+		r.fail(err)
+	}
+}
+
+// cpuCompute runs the app-specific computation on the CPU.
+func (r *runner) cpuCompute(st *appState, w int) {
+	err := r.cpu.Exec(st.cpuComputeTime, energy.AppCompute, func() {
+		r.finishWindow(st, w)
+		r.governCPU()
+	})
+	if err != nil {
+		r.fail(err)
+	}
+}
+
+// offloadCompute runs the app-specific computation on the MCU, then sends
+// the small result notification to the CPU.
+func (r *runner) offloadCompute(st *appState, w int) {
+	err := r.mcu.Exec(st.mcuComputeTime, energy.AppCompute, func() {
+		err := r.mcu.Exec(r.params.MCU.IrqRaise, energy.Interrupt, func() {
+			r.res.Interrupts++
+			err := r.cpu.Exec(r.params.CPUIrqHandle, energy.Interrupt, func() {
+				r.transferToCPU(r.params.ResultBytes, func() {
+					r.finishWindow(st, w)
+				})
+			})
+			if err != nil {
+				r.fail(err)
+			}
+		})
+		if err != nil {
+			r.fail(err)
+		}
+	})
+	if err != nil {
+		r.fail(err)
+	}
+}
+
+// finishWindow records the app's window result and checks QoS.
+func (r *runner) finishWindow(st *appState, w int) {
+	wr := WindowResult{Window: w, At: r.sched.Now()}
+	if !r.cfg.SkipAppCompute {
+		in, err := apps.CollectWindow(st.app, w)
+		if err != nil {
+			r.fail(err)
+			return
+		}
+		res, err := st.app.Compute(in)
+		if err != nil {
+			r.fail(fmt.Errorf("hub: %s window %d: %w", st.spec.ID, w, err))
+			return
+		}
+		wr.Result = res
+	}
+	deadline := sim.Time(int64(w+3) * int64(r.window))
+	if wr.At > deadline {
+		r.res.QoSViolations++
+	}
+	st.results = append(st.results, wr)
+	r.uplink(st, wr.Result.Upstream)
+}
+
+// uplink pushes a window's output to the network: offloaded apps transmit
+// through the MCU's own radio, everything else through the main board WiFi.
+// The host pays a small driver cost; the NIC handles the airtime.
+func (r *runner) uplink(st *appState, payload []byte) {
+	if len(payload) == 0 {
+		return
+	}
+	r.res.UpstreamBytes += len(payload)
+	if st.mode == Offloaded {
+		if err := r.mcu.Exec(r.params.UplinkDriverCPU, energy.AppCompute, nil); err != nil {
+			r.fail(err)
+			return
+		}
+		if err := r.mcuRadio.Transmit(len(payload), energy.AppCompute, nil); err != nil {
+			r.fail(err)
+		}
+		return
+	}
+	err := r.cpu.Exec(r.params.UplinkDriverCPU, energy.AppCompute, func() { r.governCPU() })
+	if err != nil {
+		r.fail(err)
+		return
+	}
+	if err := r.mainRadio.Transmit(len(payload), energy.AppCompute, nil); err != nil {
+		r.fail(err)
+	}
+}
+
+// governCPU applies the idle policy after CPU work drains.
+func (r *runner) governCPU() {
+	routine := energy.DataTransfer
+	gap := r.gapHint
+	if r.allowDeep {
+		routine = energy.AppCompute
+		gap = r.window
+	}
+	if err := r.cpu.Idle(gap, routine, r.allowDeep); err != nil && !errorsIsBusy(err) {
+		r.fail(err)
+	}
+}
+
+func errorsIsBusy(err error) bool {
+	return err == cpu.ErrBusy || err == mcu.ErrBusy
+}
+
+// collect finalizes the result after the event queue drains.
+func (r *runner) collect() {
+	r.res.Energy = r.meter.Total()
+	for _, name := range r.meter.Components() {
+		r.res.PerComponent[name] = r.meter.Track(name).Breakdown()
+	}
+	r.res.CPUBusy = r.cpu.BusyByRoutine()
+	r.res.MCUBusy = r.mcu.BusyByRoutine()
+	r.res.CPUWakes = r.cpu.Wakes()
+	r.res.Duration = r.sched.Now().Duration()
+	r.res.Window = r.window
+	for _, st := range r.states {
+		r.res.Outputs[st.spec.ID] = st.results
+	}
+	if r.cfg.TracePower {
+		r.res.Traces = map[string][]energy.Sample{
+			"cpu": r.cpu.Track().TraceSamples(),
+			"mcu": r.mcu.Track().TraceSamples(),
+		}
+	}
+}
+
+// RunIdle measures the idle hub (Figure 1's reference): CPU suspended, MCU
+// idle, no sensing, for the given duration.
+func RunIdle(d time.Duration, params *Params) (*RunResult, error) {
+	p := DefaultParams()
+	if params != nil {
+		p = *params
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrConfig, err)
+	}
+	sched := sim.NewScheduler()
+	meter := energy.NewMeter(sched)
+	c, err := cpu.New(sched, meter, "cpu", p.CPU)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := mcu.New(sched, meter, "mcu", p.MCU); err != nil {
+		return nil, err
+	}
+	// An idle hub has nothing pending at all: the CPU power-gates into its
+	// deepest state and the MCU idles (Fig. 1's reference point).
+	if err := c.ForceState(cpu.DeepSleep, energy.Idle); err != nil {
+		return nil, err
+	}
+	if err := sched.RunUntil(sim.Time(d)); err != nil {
+		return nil, err
+	}
+	res := &RunResult{
+		Energy:       meter.Total(),
+		PerComponent: make(map[string]energy.Breakdown),
+		Duration:     d,
+		Outputs:      make(map[apps.ID][]WindowResult),
+	}
+	for _, name := range meter.Components() {
+		res.PerComponent[name] = meter.Track(name).Breakdown()
+	}
+	return res, nil
+}

@@ -1,0 +1,56 @@
+package jpegcodec
+
+import "testing"
+
+func benchImage(b *testing.B) *Image {
+	b.Helper()
+	img, err := NewImage(96, 84)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for y := 0; y < img.Height; y++ {
+		for x := 0; x < img.Width; x++ {
+			img.Pix[y*img.Width+x] = byte((x*x + y*3) % 256)
+		}
+	}
+	return img
+}
+
+// BenchmarkEncode measures the A9-sized forward path (FDCT + quant + Huffman).
+func BenchmarkEncode(b *testing.B) {
+	img := benchImage(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Encode(img, 85); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDecode measures the paper's headline kernel: Huffman + dequant +
+// IDCT over one camera frame.
+func BenchmarkDecode(b *testing.B) {
+	img := benchImage(b)
+	data, err := Encode(img, 85)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkIDCTBlock(b *testing.B) {
+	var blk block
+	for i := range blk {
+		blk[i] = float64(i%64) - 32
+	}
+	coeffs := fdct(&blk)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idct(coeffs)
+	}
+}

@@ -1,0 +1,133 @@
+package jpegcodec
+
+import "math"
+
+// blockSize is the JPEG transform block edge length.
+const blockSize = 8
+
+// block is one 8×8 coefficient or sample block in row-major order.
+type block [blockSize * blockSize]float64
+
+// cosTable[u][x] = cos((2x+1)uπ/16), shared by FDCT and IDCT.
+var cosTable = buildCosTable()
+
+func buildCosTable() [blockSize][blockSize]float64 {
+	var t [blockSize][blockSize]float64
+	for u := 0; u < blockSize; u++ {
+		for x := 0; x < blockSize; x++ {
+			t[u][x] = math.Cos(float64(2*x+1) * float64(u) * math.Pi / 16)
+		}
+	}
+	return t
+}
+
+func alpha(u int) float64 {
+	if u == 0 {
+		return 1 / math.Sqrt2
+	}
+	return 1
+}
+
+// fdct computes the forward 8×8 DCT-II (JPEG normalization) of a block of
+// level-shifted samples.
+func fdct(in *block) *block {
+	var tmp, out block
+	// Rows.
+	for y := 0; y < blockSize; y++ {
+		for u := 0; u < blockSize; u++ {
+			var sum float64
+			for x := 0; x < blockSize; x++ {
+				sum += in[y*blockSize+x] * cosTable[u][x]
+			}
+			tmp[y*blockSize+u] = sum * alpha(u) / 2
+		}
+	}
+	// Columns.
+	for u := 0; u < blockSize; u++ {
+		for v := 0; v < blockSize; v++ {
+			var sum float64
+			for y := 0; y < blockSize; y++ {
+				sum += tmp[y*blockSize+u] * cosTable[v][y]
+			}
+			out[v*blockSize+u] = sum * alpha(v) / 2
+		}
+	}
+	return &out
+}
+
+// idct computes the inverse 8×8 DCT (the paper's headline kernel for A9).
+func idct(in *block) *block {
+	var tmp, out block
+	// Columns.
+	for u := 0; u < blockSize; u++ {
+		for y := 0; y < blockSize; y++ {
+			var sum float64
+			for v := 0; v < blockSize; v++ {
+				sum += alpha(v) * in[v*blockSize+u] * cosTable[v][y]
+			}
+			tmp[y*blockSize+u] = sum / 2
+		}
+	}
+	// Rows.
+	for y := 0; y < blockSize; y++ {
+		for x := 0; x < blockSize; x++ {
+			var sum float64
+			for u := 0; u < blockSize; u++ {
+				sum += alpha(u) * tmp[y*blockSize+u] * cosTable[u][x]
+			}
+			out[y*blockSize+x] = sum / 2
+		}
+	}
+	return &out
+}
+
+// zigzag maps coefficient order on the wire to row-major block positions.
+var zigzag = [blockSize * blockSize]int{
+	0, 1, 8, 16, 9, 2, 3, 10,
+	17, 24, 32, 25, 18, 11, 4, 5,
+	12, 19, 26, 33, 40, 48, 41, 34,
+	27, 20, 13, 6, 7, 14, 21, 28,
+	35, 42, 49, 56, 57, 50, 43, 36,
+	29, 22, 15, 23, 30, 37, 44, 51,
+	58, 59, 52, 45, 38, 31, 39, 46,
+	53, 60, 61, 54, 47, 55, 62, 63,
+}
+
+// stdLumaQuant is the Annex K luminance quantization table (quality 50).
+var stdLumaQuant = [blockSize * blockSize]int{
+	16, 11, 10, 16, 24, 40, 51, 61,
+	12, 12, 14, 19, 26, 58, 60, 55,
+	14, 13, 16, 24, 40, 57, 69, 56,
+	14, 17, 22, 29, 51, 87, 80, 62,
+	18, 22, 37, 56, 68, 109, 103, 77,
+	24, 35, 55, 64, 81, 104, 113, 92,
+	49, 64, 78, 87, 103, 121, 120, 101,
+	72, 92, 95, 98, 112, 100, 103, 99,
+}
+
+// scaledQuant derives the quantization table for a quality in [1, 100] using
+// the libjpeg scaling convention.
+func scaledQuant(quality int) [blockSize * blockSize]int {
+	if quality < 1 {
+		quality = 1
+	}
+	if quality > 100 {
+		quality = 100
+	}
+	scale := 5000 / quality
+	if quality >= 50 {
+		scale = 200 - quality*2
+	}
+	var out [blockSize * blockSize]int
+	for i, q := range stdLumaQuant {
+		v := (q*scale + 50) / 100
+		if v < 1 {
+			v = 1
+		}
+		if v > 255 {
+			v = 255
+		}
+		out[i] = v
+	}
+	return out
+}

@@ -1,0 +1,34 @@
+package jpegcodec
+
+import "testing"
+
+// FuzzDecode: arbitrary streams must never panic or allocate unboundedly.
+func FuzzDecode(f *testing.F) {
+	img, err := NewImage(16, 16)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for i := range img.Pix {
+		img.Pix[i] = byte(i)
+	}
+	good, err := Encode(img, 70)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	restarted, err := EncodeRestart(img, 70, 2)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(restarted)
+	f.Add([]byte{0xFF, 0xD8, 0xFF, 0xD9})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if dec.Width <= 0 || dec.Height <= 0 || len(dec.Pix) != dec.Width*dec.Height {
+			t.Fatalf("accepted image inconsistent: %dx%d, %d pixels", dec.Width, dec.Height, len(dec.Pix))
+		}
+	})
+}

@@ -1,0 +1,229 @@
+package jpegcodec
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Standard Huffman tables from ITU-T T.81 Annex K (luminance DC and AC).
+
+var stdDCCounts = [16]byte{0, 1, 5, 1, 1, 1, 1, 1, 1, 0, 0, 0, 0, 0, 0, 0}
+
+var stdDCValues = []byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11}
+
+var stdACCounts = [16]byte{0, 2, 1, 3, 3, 2, 4, 3, 5, 5, 4, 4, 0, 0, 1, 0x7d}
+
+var stdACValues = []byte{
+	0x01, 0x02, 0x03, 0x00, 0x04, 0x11, 0x05, 0x12,
+	0x21, 0x31, 0x41, 0x06, 0x13, 0x51, 0x61, 0x07,
+	0x22, 0x71, 0x14, 0x32, 0x81, 0x91, 0xa1, 0x08,
+	0x23, 0x42, 0xb1, 0xc1, 0x15, 0x52, 0xd1, 0xf0,
+	0x24, 0x33, 0x62, 0x72, 0x82, 0x09, 0x0a, 0x16,
+	0x17, 0x18, 0x19, 0x1a, 0x25, 0x26, 0x27, 0x28,
+	0x29, 0x2a, 0x34, 0x35, 0x36, 0x37, 0x38, 0x39,
+	0x3a, 0x43, 0x44, 0x45, 0x46, 0x47, 0x48, 0x49,
+	0x4a, 0x53, 0x54, 0x55, 0x56, 0x57, 0x58, 0x59,
+	0x5a, 0x63, 0x64, 0x65, 0x66, 0x67, 0x68, 0x69,
+	0x6a, 0x73, 0x74, 0x75, 0x76, 0x77, 0x78, 0x79,
+	0x7a, 0x83, 0x84, 0x85, 0x86, 0x87, 0x88, 0x89,
+	0x8a, 0x92, 0x93, 0x94, 0x95, 0x96, 0x97, 0x98,
+	0x99, 0x9a, 0xa2, 0xa3, 0xa4, 0xa5, 0xa6, 0xa7,
+	0xa8, 0xa9, 0xaa, 0xb2, 0xb3, 0xb4, 0xb5, 0xb6,
+	0xb7, 0xb8, 0xb9, 0xba, 0xc2, 0xc3, 0xc4, 0xc5,
+	0xc6, 0xc7, 0xc8, 0xc9, 0xca, 0xd2, 0xd3, 0xd4,
+	0xd5, 0xd6, 0xd7, 0xd8, 0xd9, 0xda, 0xe1, 0xe2,
+	0xe3, 0xe4, 0xe5, 0xe6, 0xe7, 0xe8, 0xe9, 0xea,
+	0xf1, 0xf2, 0xf3, 0xf4, 0xf5, 0xf6, 0xf7, 0xf8,
+	0xf9, 0xfa,
+}
+
+// huffCode is one symbol's code word.
+type huffCode struct {
+	code uint32
+	bits int
+}
+
+// huffTable holds both encode and decode views of one Huffman table.
+type huffTable struct {
+	counts [16]byte
+	values []byte
+	encode map[byte]huffCode
+	// decode maps (bits, code) to the symbol.
+	decode map[uint32]byte // key: bits<<24 | code
+}
+
+func newHuffTable(counts [16]byte, values []byte) (*huffTable, error) {
+	t := &huffTable{
+		counts: counts,
+		values: values,
+		encode: make(map[byte]huffCode, len(values)),
+		decode: make(map[uint32]byte, len(values)),
+	}
+	code := uint32(0)
+	vi := 0
+	for bits := 1; bits <= 16; bits++ {
+		for k := 0; k < int(counts[bits-1]); k++ {
+			if vi >= len(values) {
+				return nil, errors.New("jpegcodec: huffman counts exceed values")
+			}
+			sym := values[vi]
+			t.encode[sym] = huffCode{code: code, bits: bits}
+			t.decode[uint32(bits)<<24|code] = sym
+			code++
+			vi++
+		}
+		code <<= 1
+	}
+	if vi != len(values) {
+		return nil, errors.New("jpegcodec: huffman values exceed counts")
+	}
+	return t, nil
+}
+
+func mustHuffTable(counts [16]byte, values []byte) *huffTable {
+	t, err := newHuffTable(counts, values)
+	if err != nil {
+		panic(err) // static Annex K tables: construction cannot fail
+	}
+	return t
+}
+
+var (
+	dcTable = mustHuffTable(stdDCCounts, stdDCValues)
+	acTable = mustHuffTable(stdACCounts, stdACValues)
+)
+
+// bitWriter packs MSB-first bits with JPEG 0xFF byte stuffing.
+type bitWriter struct {
+	out  []byte
+	acc  uint32
+	nacc int
+}
+
+func (w *bitWriter) write(code uint32, bits int) {
+	w.acc = w.acc<<uint(bits) | (code & (1<<uint(bits) - 1))
+	w.nacc += bits
+	for w.nacc >= 8 {
+		b := byte(w.acc >> uint(w.nacc-8))
+		w.out = append(w.out, b)
+		if b == 0xFF {
+			w.out = append(w.out, 0x00)
+		}
+		w.nacc -= 8
+	}
+}
+
+// flush pads the final partial byte with ones (T.81 §F.1.2.3).
+func (w *bitWriter) flush() {
+	if w.nacc > 0 {
+		w.write(1<<uint(8-w.nacc)-1, 8-w.nacc)
+	}
+}
+
+// bitReader unpacks MSB-first bits, removing byte stuffing.
+type bitReader struct {
+	in  []byte
+	pos int
+	acc uint32
+	n   int
+}
+
+var errBits = errors.New("jpegcodec: bitstream exhausted")
+
+func (r *bitReader) readBit() (uint32, error) {
+	if r.n == 0 {
+		if r.pos >= len(r.in) {
+			return 0, errBits
+		}
+		b := r.in[r.pos]
+		r.pos++
+		if b == 0xFF {
+			if r.pos >= len(r.in) || r.in[r.pos] != 0x00 {
+				return 0, fmt.Errorf("jpegcodec: unexpected marker 0xFF%02X in entropy data", peek(r.in, r.pos))
+			}
+			r.pos++
+		}
+		r.acc = uint32(b)
+		r.n = 8
+	}
+	r.n--
+	return r.acc >> uint(r.n) & 1, nil
+}
+
+func peek(b []byte, i int) byte {
+	if i < len(b) {
+		return b[i]
+	}
+	return 0
+}
+
+func (r *bitReader) readBits(n int) (uint32, error) {
+	var v uint32
+	for i := 0; i < n; i++ {
+		bit, err := r.readBit()
+		if err != nil {
+			return 0, err
+		}
+		v = v<<1 | bit
+	}
+	return v, nil
+}
+
+// consumeRestart byte-aligns the reader and consumes one expected RSTn
+// marker (T.81 E.2.4: restart markers sit on byte boundaries between
+// entropy-coded segments).
+func (r *bitReader) consumeRestart(marker byte) error {
+	r.n = 0 // discard padding bits of the previous segment
+	if r.pos+2 > len(r.in) {
+		return errBits
+	}
+	if r.in[r.pos] != 0xFF || r.in[r.pos+1] != marker {
+		return fmt.Errorf("jpegcodec: expected restart 0xFF%02X, found 0x%02X%02X",
+			marker, r.in[r.pos], r.in[r.pos+1])
+	}
+	r.pos += 2
+	return nil
+}
+
+// decodeSymbol walks the table bit by bit until a code matches.
+func (r *bitReader) decodeSymbol(t *huffTable) (byte, error) {
+	code := uint32(0)
+	for bits := 1; bits <= 16; bits++ {
+		bit, err := r.readBit()
+		if err != nil {
+			return 0, err
+		}
+		code = code<<1 | bit
+		if sym, ok := t.decode[uint32(bits)<<24|code]; ok {
+			return sym, nil
+		}
+	}
+	return 0, errors.New("jpegcodec: invalid huffman code")
+}
+
+// magnitude returns the JPEG (size, amplitude bits) encoding of v.
+func magnitude(v int) (size int, bits uint32) {
+	a := v
+	if a < 0 {
+		a = -a
+	}
+	for a > 0 {
+		size++
+		a >>= 1
+	}
+	if v >= 0 {
+		return size, uint32(v)
+	}
+	return size, uint32(v + (1 << uint(size)) - 1)
+}
+
+// extend recovers a signed value from its (size, amplitude bits) form.
+func extend(bits uint32, size int) int {
+	if size == 0 {
+		return 0
+	}
+	if bits>>(uint(size)-1) != 0 {
+		return int(bits)
+	}
+	return int(bits) - (1 << uint(size)) + 1
+}

@@ -1,0 +1,512 @@
+// Package jpegcodec implements a baseline-sequential JPEG subset: grayscale
+// (single component), 8-bit, with the standard Annex K quantization and
+// Huffman tables and real JFIF-style markers.
+//
+// It is the substrate for the A9 workload ("JPEG decoder: performs the IDCT
+// algorithm on raw camera frames"): the camera delivers raw frames, the
+// workload compresses and decompresses them, and the decode path — Huffman
+// decode, dequantization, inverse DCT — is the computation the paper's
+// evaluation charges to the app.
+package jpegcodec
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Image is a grayscale image, row-major, one byte per pixel.
+type Image struct {
+	Width, Height int
+	Pix           []byte
+}
+
+// NewImage returns a zeroed image of the given size.
+func NewImage(width, height int) (*Image, error) {
+	if width <= 0 || height <= 0 {
+		return nil, fmt.Errorf("jpegcodec: invalid size %dx%d", width, height)
+	}
+	return &Image{Width: width, Height: height, Pix: make([]byte, width*height)}, nil
+}
+
+// FromRGB converts a packed 24-bit RGB buffer to luma using the BT.601
+// weights. Extra trailing bytes (sensor padding) are ignored; a short buffer
+// is an error.
+func FromRGB(rgb []byte, width, height int) (*Image, error) {
+	img, err := NewImage(width, height)
+	if err != nil {
+		return nil, err
+	}
+	if len(rgb) < width*height*3 {
+		return nil, fmt.Errorf("jpegcodec: rgb buffer %d bytes, need %d", len(rgb), width*height*3)
+	}
+	for i := 0; i < width*height; i++ {
+		r, g, b := float64(rgb[3*i]), float64(rgb[3*i+1]), float64(rgb[3*i+2])
+		img.Pix[i] = byte(0.299*r + 0.587*g + 0.114*b)
+	}
+	return img, nil
+}
+
+// Errors callers match with errors.Is.
+var (
+	ErrNotJPEG   = errors.New("jpegcodec: not a jpeg stream")
+	ErrCorrupt   = errors.New("jpegcodec: corrupt stream")
+	ErrUnsupport = errors.New("jpegcodec: unsupported jpeg feature")
+)
+
+// JFIF marker bytes used by this subset.
+const (
+	mSOI  = 0xD8
+	mEOI  = 0xD9
+	mSOF0 = 0xC0
+	mDHT  = 0xC4
+	mDQT  = 0xDB
+	mSOS  = 0xDA
+	mDRI  = 0xDD
+	mRST0 = 0xD0 // RST0..RST7 = 0xD0..0xD7
+)
+
+// Encode compresses the image at the given quality (1..100).
+func Encode(img *Image, quality int) ([]byte, error) {
+	return EncodeRestart(img, quality, 0)
+}
+
+// EncodeRestart compresses like Encode but inserts a restart marker
+// (T.81 §B.2.4.4) every restartInterval blocks: the DC predictor resets and
+// the entropy stream re-aligns, bounding how far a bitstream error can
+// propagate. restartInterval 0 disables restarts.
+func EncodeRestart(img *Image, quality, restartInterval int) ([]byte, error) {
+	if img == nil || img.Width <= 0 || img.Height <= 0 {
+		return nil, errors.New("jpegcodec: nil or empty image")
+	}
+	if len(img.Pix) < img.Width*img.Height {
+		return nil, fmt.Errorf("jpegcodec: pixel buffer %d bytes, need %d", len(img.Pix), img.Width*img.Height)
+	}
+	if restartInterval < 0 || restartInterval > 0xFFFF {
+		return nil, fmt.Errorf("jpegcodec: restart interval %d", restartInterval)
+	}
+	quant := scaledQuant(quality)
+	out := []byte{0xFF, mSOI}
+	out = appendDQT(out, &quant)
+	out = appendSOF0(out, img.Width, img.Height)
+	out = appendDHT(out, 0x00, dcTable) // class 0 (DC), id 0
+	out = appendDHT(out, 0x10, acTable) // class 1 (AC), id 0
+	if restartInterval > 0 {
+		out = append(out, 0xFF, mDRI, 0x00, 0x04,
+			byte(restartInterval>>8), byte(restartInterval))
+	}
+	out = appendSOS(out)
+
+	w := &bitWriter{}
+	prevDC := 0
+	bw := (img.Width + blockSize - 1) / blockSize
+	bh := (img.Height + blockSize - 1) / blockSize
+	emitted := 0
+	rst := 0
+	for by := 0; by < bh; by++ {
+		for bx := 0; bx < bw; bx++ {
+			if restartInterval > 0 && emitted > 0 && emitted%restartInterval == 0 {
+				w.flush()
+				w.out = append(w.out, 0xFF, byte(mRST0+rst%8))
+				rst++
+				prevDC = 0
+			}
+			blk := extractBlock(img, bx, by)
+			coeffs := fdct(blk)
+			prevDC = encodeBlock(w, coeffs, &quant, prevDC)
+			emitted++
+		}
+	}
+	w.flush()
+	out = append(out, w.out...)
+	return append(out, 0xFF, mEOI), nil
+}
+
+// extractBlock copies an 8×8 tile (edge-replicated) and level-shifts by 128.
+func extractBlock(img *Image, bx, by int) *block {
+	var blk block
+	for y := 0; y < blockSize; y++ {
+		sy := by*blockSize + y
+		if sy >= img.Height {
+			sy = img.Height - 1
+		}
+		for x := 0; x < blockSize; x++ {
+			sx := bx*blockSize + x
+			if sx >= img.Width {
+				sx = img.Width - 1
+			}
+			blk[y*blockSize+x] = float64(img.Pix[sy*img.Width+sx]) - 128
+		}
+	}
+	return &blk
+}
+
+// encodeBlock quantizes and entropy-codes one block, returning its DC value
+// for the next block's differential coding.
+func encodeBlock(w *bitWriter, coeffs *block, quant *[blockSize * blockSize]int, prevDC int) int {
+	var q [blockSize * blockSize]int
+	for i := 0; i < blockSize*blockSize; i++ {
+		pos := zigzag[i]
+		c := coeffs[pos] / float64(quant[pos])
+		if c >= 0 {
+			q[i] = int(c + 0.5)
+		} else {
+			q[i] = int(c - 0.5)
+		}
+	}
+	// DC: differential, category + amplitude.
+	diff := q[0] - prevDC
+	size, bits := magnitude(diff)
+	dc := dcTable.encode[byte(size)]
+	w.write(dc.code, dc.bits)
+	if size > 0 {
+		w.write(bits, size)
+	}
+	// AC: run-length of zeros + category.
+	run := 0
+	for i := 1; i < blockSize*blockSize; i++ {
+		if q[i] == 0 {
+			run++
+			continue
+		}
+		for run > 15 {
+			zrl := acTable.encode[0xF0]
+			w.write(zrl.code, zrl.bits)
+			run -= 16
+		}
+		size, bits := magnitude(q[i])
+		sym := acTable.encode[byte(run<<4|size)]
+		w.write(sym.code, sym.bits)
+		w.write(bits, size)
+		run = 0
+	}
+	if run > 0 {
+		eob := acTable.encode[0x00]
+		w.write(eob.code, eob.bits)
+	}
+	return q[0]
+}
+
+func appendDQT(out []byte, quant *[blockSize * blockSize]int) []byte {
+	out = append(out, 0xFF, mDQT)
+	out = binary.BigEndian.AppendUint16(out, 2+1+64)
+	out = append(out, 0x00) // 8-bit precision, table 0
+	for i := 0; i < 64; i++ {
+		out = append(out, byte(quant[zigzag[i]]))
+	}
+	return out
+}
+
+func appendSOF0(out []byte, width, height int) []byte {
+	out = append(out, 0xFF, mSOF0)
+	out = binary.BigEndian.AppendUint16(out, 2+6+3)
+	out = append(out, 8) // sample precision
+	out = binary.BigEndian.AppendUint16(out, uint16(height))
+	out = binary.BigEndian.AppendUint16(out, uint16(width))
+	out = append(out, 1)          // one component
+	out = append(out, 1, 0x11, 0) // id 1, 1x1 sampling, quant table 0
+	return out
+}
+
+func appendDHT(out []byte, classID byte, t *huffTable) []byte {
+	out = append(out, 0xFF, mDHT)
+	out = binary.BigEndian.AppendUint16(out, uint16(2+1+16+len(t.values)))
+	out = append(out, classID)
+	out = append(out, t.counts[:]...)
+	return append(out, t.values...)
+}
+
+func appendSOS(out []byte) []byte {
+	out = append(out, 0xFF, mSOS)
+	out = binary.BigEndian.AppendUint16(out, 2+1+2+3)
+	out = append(out, 1)       // one component in scan
+	out = append(out, 1, 0x00) // component 1, DC table 0 / AC table 0
+	out = append(out, 0, 63, 0)
+	return out
+}
+
+// Decode decompresses a stream produced by Encode (or any single-component
+// baseline JPEG using the standard tables).
+func Decode(data []byte) (*Image, error) {
+	d := &decoder{in: data}
+	return d.decode()
+}
+
+type decoder struct {
+	in      []byte
+	pos     int
+	quant   [blockSize * blockSize]int
+	dc      *huffTable
+	ac      *huffTable
+	w, h    int
+	restart int // blocks between restart markers, 0 = none
+}
+
+func (d *decoder) decode() (*Image, error) {
+	if len(d.in) < 2 || d.in[0] != 0xFF || d.in[1] != mSOI {
+		return nil, ErrNotJPEG
+	}
+	d.pos = 2
+	for {
+		marker, seg, err := d.nextSegment()
+		if err != nil {
+			return nil, err
+		}
+		switch marker {
+		case mDQT:
+			if err := d.parseDQT(seg); err != nil {
+				return nil, err
+			}
+		case mSOF0:
+			if err := d.parseSOF0(seg); err != nil {
+				return nil, err
+			}
+		case mDHT:
+			if err := d.parseDHT(seg); err != nil {
+				return nil, err
+			}
+		case mDRI:
+			if len(seg) < 2 {
+				return nil, fmt.Errorf("%w: short DRI", ErrCorrupt)
+			}
+			d.restart = int(binary.BigEndian.Uint16(seg))
+		case mSOS:
+			return d.parseScan()
+		case mEOI:
+			return nil, fmt.Errorf("%w: EOI before scan", ErrCorrupt)
+		default:
+			if marker >= 0xC1 && marker <= 0xCF && marker != mDHT {
+				return nil, fmt.Errorf("%w: SOF marker %#x", ErrUnsupport, marker)
+			}
+			// Skip APPn/COM and other ignorable segments.
+		}
+	}
+}
+
+func (d *decoder) nextSegment() (marker byte, seg []byte, err error) {
+	if d.pos+2 > len(d.in) || d.in[d.pos] != 0xFF {
+		return 0, nil, fmt.Errorf("%w: expected marker at %d", ErrCorrupt, d.pos)
+	}
+	marker = d.in[d.pos+1]
+	d.pos += 2
+	if marker == mEOI || marker == mSOI {
+		return marker, nil, nil
+	}
+	if d.pos+2 > len(d.in) {
+		return 0, nil, fmt.Errorf("%w: truncated segment length", ErrCorrupt)
+	}
+	length := int(binary.BigEndian.Uint16(d.in[d.pos:]))
+	if length < 2 || d.pos+length > len(d.in) {
+		return 0, nil, fmt.Errorf("%w: bad segment length %d", ErrCorrupt, length)
+	}
+	seg = d.in[d.pos+2 : d.pos+length]
+	d.pos += length
+	return marker, seg, nil
+}
+
+func (d *decoder) parseDQT(seg []byte) error {
+	if len(seg) < 65 {
+		return fmt.Errorf("%w: short DQT", ErrCorrupt)
+	}
+	if seg[0]>>4 != 0 {
+		return fmt.Errorf("%w: 16-bit quant table", ErrUnsupport)
+	}
+	for i := 0; i < 64; i++ {
+		d.quant[zigzag[i]] = int(seg[1+i])
+		if d.quant[zigzag[i]] == 0 {
+			return fmt.Errorf("%w: zero quant entry", ErrCorrupt)
+		}
+	}
+	return nil
+}
+
+func (d *decoder) parseSOF0(seg []byte) error {
+	if len(seg) < 9 {
+		return fmt.Errorf("%w: short SOF0", ErrCorrupt)
+	}
+	if seg[0] != 8 {
+		return fmt.Errorf("%w: %d-bit precision", ErrUnsupport, seg[0])
+	}
+	d.h = int(binary.BigEndian.Uint16(seg[1:]))
+	d.w = int(binary.BigEndian.Uint16(seg[3:]))
+	if seg[5] != 1 {
+		return fmt.Errorf("%w: %d components (grayscale only)", ErrUnsupport, seg[5])
+	}
+	if d.w == 0 || d.h == 0 {
+		return fmt.Errorf("%w: zero dimensions", ErrCorrupt)
+	}
+	return nil
+}
+
+func (d *decoder) parseDHT(seg []byte) error {
+	for len(seg) > 0 {
+		if len(seg) < 17 {
+			return fmt.Errorf("%w: short DHT", ErrCorrupt)
+		}
+		classID := seg[0]
+		var counts [16]byte
+		copy(counts[:], seg[1:17])
+		total := 0
+		for _, c := range counts {
+			total += int(c)
+		}
+		if len(seg) < 17+total {
+			return fmt.Errorf("%w: DHT values truncated", ErrCorrupt)
+		}
+		t, err := newHuffTable(counts, append([]byte(nil), seg[17:17+total]...))
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		switch classID >> 4 {
+		case 0:
+			d.dc = t
+		case 1:
+			d.ac = t
+		default:
+			return fmt.Errorf("%w: DHT class %d", ErrCorrupt, classID>>4)
+		}
+		seg = seg[17+total:]
+	}
+	return nil
+}
+
+func (d *decoder) parseScan() (*Image, error) {
+	if d.w == 0 || d.h == 0 {
+		return nil, fmt.Errorf("%w: SOS before SOF0", ErrCorrupt)
+	}
+	if d.dc == nil || d.ac == nil {
+		return nil, fmt.Errorf("%w: SOS before DHT", ErrCorrupt)
+	}
+	zeroQuant := true
+	for _, q := range d.quant {
+		if q != 0 {
+			zeroQuant = false
+			break
+		}
+	}
+	if zeroQuant {
+		return nil, fmt.Errorf("%w: SOS before DQT", ErrCorrupt)
+	}
+	// Entropy-coded data runs to the EOI marker.
+	end := len(d.in) - 2
+	if end < d.pos || d.in[end] != 0xFF || d.in[end+1] != mEOI {
+		return nil, fmt.Errorf("%w: missing EOI", ErrCorrupt)
+	}
+	r := &bitReader{in: d.in[d.pos:end]}
+	img, err := NewImage(d.w, d.h)
+	if err != nil {
+		return nil, err
+	}
+	bw := (d.w + blockSize - 1) / blockSize
+	bh := (d.h + blockSize - 1) / blockSize
+	prevDC := 0
+	decoded := 0
+	rst := 0
+	for by := 0; by < bh; by++ {
+		for bx := 0; bx < bw; bx++ {
+			if d.restart > 0 && decoded > 0 && decoded%d.restart == 0 {
+				if err := r.consumeRestart(byte(mRST0 + rst%8)); err != nil {
+					return nil, err
+				}
+				rst++
+				prevDC = 0
+			}
+			coeffs, dc, err := d.decodeBlock(r, prevDC)
+			if err != nil {
+				return nil, err
+			}
+			prevDC = dc
+			decoded++
+			spatial := idct(coeffs)
+			storeBlock(img, bx, by, spatial)
+		}
+	}
+	return img, nil
+}
+
+func (d *decoder) decodeBlock(r *bitReader, prevDC int) (*block, int, error) {
+	var q [blockSize * blockSize]int
+	size, err := r.decodeSymbol(d.dc)
+	if err != nil {
+		return nil, 0, err
+	}
+	bits, err := r.readBits(int(size))
+	if err != nil {
+		return nil, 0, err
+	}
+	dc := prevDC + extend(bits, int(size))
+	q[0] = dc
+	for i := 1; i < blockSize*blockSize; {
+		sym, err := r.decodeSymbol(d.ac)
+		if err != nil {
+			return nil, 0, err
+		}
+		if sym == 0x00 { // EOB
+			break
+		}
+		if sym == 0xF0 { // ZRL
+			i += 16
+			continue
+		}
+		run := int(sym >> 4)
+		sz := int(sym & 0x0F)
+		i += run
+		if i >= blockSize*blockSize {
+			return nil, 0, fmt.Errorf("%w: AC run past block end", ErrCorrupt)
+		}
+		bits, err := r.readBits(sz)
+		if err != nil {
+			return nil, 0, err
+		}
+		q[i] = extend(bits, sz)
+		i++
+	}
+	var coeffs block
+	for i := 0; i < blockSize*blockSize; i++ {
+		pos := zigzag[i]
+		coeffs[pos] = float64(q[i]) * float64(d.quant[pos])
+	}
+	return &coeffs, dc, nil
+}
+
+func storeBlock(img *Image, bx, by int, spatial *block) {
+	for y := 0; y < blockSize; y++ {
+		sy := by*blockSize + y
+		if sy >= img.Height {
+			continue
+		}
+		for x := 0; x < blockSize; x++ {
+			sx := bx*blockSize + x
+			if sx >= img.Width {
+				continue
+			}
+			v := spatial[y*blockSize+x] + 128
+			if v < 0 {
+				v = 0
+			}
+			if v > 255 {
+				v = 255
+			}
+			img.Pix[sy*img.Width+sx] = byte(v + 0.5)
+		}
+	}
+}
+
+// PSNR reports the peak signal-to-noise ratio between two same-sized images,
+// in dB (+Inf for identical images).
+func PSNR(a, b *Image) (float64, error) {
+	if a.Width != b.Width || a.Height != b.Height {
+		return 0, fmt.Errorf("jpegcodec: size mismatch %dx%d vs %dx%d", a.Width, a.Height, b.Width, b.Height)
+	}
+	var mse float64
+	for i := range a.Pix {
+		d := float64(a.Pix[i]) - float64(b.Pix[i])
+		mse += d * d
+	}
+	mse /= float64(len(a.Pix))
+	if mse == 0 {
+		return math.Inf(1), nil
+	}
+	return 10 * math.Log10(255*255/mse), nil
+}

@@ -1,0 +1,44 @@
+package jsonlite
+
+import "testing"
+
+// BenchmarkBuildReport measures building an M2X-sized update document.
+func BenchmarkBuildReport(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		bd := NewBuilder(1024)
+		bd.BeginObject().Key("device").Str("hub").Key("streams").BeginArray()
+		for s := 0; s < 5; s++ {
+			bd.BeginObject().
+				Key("name").Str("stream").
+				Key("count").Int(1000).
+				Key("mean").Num(101325.25).
+				Key("stddev").Num(2.5).
+				EndObject()
+		}
+		bd.EndArray().EndObject()
+		if _, err := bd.Bytes(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParseReport(b *testing.B) {
+	bd := NewBuilder(1024)
+	bd.BeginObject().Key("xs").BeginArray()
+	for i := 0; i < 1000; i++ {
+		bd.Num(float64(i) / 3)
+	}
+	bd.EndArray().EndObject()
+	doc, err := bd.Bytes()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(doc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

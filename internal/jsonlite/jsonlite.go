@@ -1,0 +1,424 @@
+// Package jsonlite is an allocation-frugal JSON serializer and parser in the
+// spirit of ArduinoJson — the library the A3 workload wraps sensor readings
+// with before shipping them upstream.
+//
+// The builder writes directly into a growable buffer with explicit
+// Object/Array scopes; the parser is a small recursive-descent reader that
+// produces map[string]any / []any / float64 / string / bool / nil. Both ends
+// are exercised by the workloads (A3 formats, A4/A5 build device reports).
+package jsonlite
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"unicode/utf16"
+	"unicode/utf8"
+)
+
+// Builder incrementally serializes a JSON document.
+type Builder struct {
+	buf       []byte
+	stack     []byte // '{' or '[' per open scope
+	needComma bool
+	err       error
+}
+
+// NewBuilder returns a builder with the given initial capacity.
+func NewBuilder(capacity int) *Builder {
+	return &Builder{buf: make([]byte, 0, capacity)}
+}
+
+// Err reports the first structural error encountered.
+func (b *Builder) Err() error { return b.err }
+
+func (b *Builder) fail(msg string) {
+	if b.err == nil {
+		b.err = errors.New("jsonlite: " + msg)
+	}
+}
+
+func (b *Builder) prefix() {
+	if b.needComma {
+		b.buf = append(b.buf, ',')
+	}
+	b.needComma = true
+}
+
+// BeginObject opens a JSON object value.
+func (b *Builder) BeginObject() *Builder {
+	b.prefix()
+	b.buf = append(b.buf, '{')
+	b.stack = append(b.stack, '{')
+	b.needComma = false
+	return b
+}
+
+// EndObject closes the innermost object.
+func (b *Builder) EndObject() *Builder {
+	if len(b.stack) == 0 || b.stack[len(b.stack)-1] != '{' {
+		b.fail("EndObject without matching BeginObject")
+		return b
+	}
+	b.stack = b.stack[:len(b.stack)-1]
+	b.buf = append(b.buf, '}')
+	b.needComma = true
+	return b
+}
+
+// BeginArray opens a JSON array value.
+func (b *Builder) BeginArray() *Builder {
+	b.prefix()
+	b.buf = append(b.buf, '[')
+	b.stack = append(b.stack, '[')
+	b.needComma = false
+	return b
+}
+
+// EndArray closes the innermost array.
+func (b *Builder) EndArray() *Builder {
+	if len(b.stack) == 0 || b.stack[len(b.stack)-1] != '[' {
+		b.fail("EndArray without matching BeginArray")
+		return b
+	}
+	b.stack = b.stack[:len(b.stack)-1]
+	b.buf = append(b.buf, ']')
+	b.needComma = true
+	return b
+}
+
+// Key writes an object key; the next value call completes the member.
+func (b *Builder) Key(k string) *Builder {
+	if len(b.stack) == 0 || b.stack[len(b.stack)-1] != '{' {
+		b.fail("Key outside object")
+		return b
+	}
+	b.prefix()
+	b.buf = appendQuoted(b.buf, k)
+	b.buf = append(b.buf, ':')
+	b.needComma = false
+	return b
+}
+
+// Str writes a string value.
+func (b *Builder) Str(v string) *Builder {
+	b.prefix()
+	b.buf = appendQuoted(b.buf, v)
+	return b
+}
+
+// Num writes a numeric value. Non-finite floats are rejected.
+func (b *Builder) Num(v float64) *Builder {
+	if v != v || v > 1.7976931348623157e308 || v < -1.7976931348623157e308 {
+		b.fail("non-finite number")
+		return b
+	}
+	b.prefix()
+	b.buf = strconv.AppendFloat(b.buf, v, 'g', -1, 64)
+	return b
+}
+
+// Int writes an integer value without float formatting.
+func (b *Builder) Int(v int64) *Builder {
+	b.prefix()
+	b.buf = strconv.AppendInt(b.buf, v, 10)
+	return b
+}
+
+// Bool writes a boolean value.
+func (b *Builder) Bool(v bool) *Builder {
+	b.prefix()
+	if v {
+		b.buf = append(b.buf, "true"...)
+	} else {
+		b.buf = append(b.buf, "false"...)
+	}
+	return b
+}
+
+// Null writes a null value.
+func (b *Builder) Null() *Builder {
+	b.prefix()
+	b.buf = append(b.buf, "null"...)
+	return b
+}
+
+// Bytes returns the finished document. All scopes must be closed.
+func (b *Builder) Bytes() ([]byte, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if len(b.stack) != 0 {
+		return nil, fmt.Errorf("jsonlite: %d unclosed scopes", len(b.stack))
+	}
+	return b.buf, nil
+}
+
+func appendQuoted(buf []byte, s string) []byte {
+	buf = append(buf, '"')
+	for _, r := range s {
+		switch r {
+		case '"':
+			buf = append(buf, '\\', '"')
+		case '\\':
+			buf = append(buf, '\\', '\\')
+		case '\n':
+			buf = append(buf, '\\', 'n')
+		case '\r':
+			buf = append(buf, '\\', 'r')
+		case '\t':
+			buf = append(buf, '\\', 't')
+		default:
+			if r < 0x20 {
+				buf = append(buf, fmt.Sprintf("\\u%04x", r)...)
+			} else {
+				buf = utf8.AppendRune(buf, r)
+			}
+		}
+	}
+	return append(buf, '"')
+}
+
+// ErrSyntax is wrapped by all parse errors.
+var ErrSyntax = errors.New("jsonlite: syntax error")
+
+// Parse reads one JSON value from b (with optional surrounding whitespace)
+// and returns it as map[string]any, []any, float64, string, bool, or nil.
+func Parse(b []byte) (any, error) {
+	p := &parser{in: b}
+	p.ws()
+	v, err := p.value(0)
+	if err != nil {
+		return nil, err
+	}
+	p.ws()
+	if p.pos != len(p.in) {
+		return nil, fmt.Errorf("%w: trailing bytes at %d", ErrSyntax, p.pos)
+	}
+	return v, nil
+}
+
+const maxDepth = 64
+
+type parser struct {
+	in  []byte
+	pos int
+}
+
+func (p *parser) ws() {
+	for p.pos < len(p.in) {
+		switch p.in[p.pos] {
+		case ' ', '\t', '\n', '\r':
+			p.pos++
+		default:
+			return
+		}
+	}
+}
+
+func (p *parser) errAt(msg string) error {
+	return fmt.Errorf("%w: %s at %d", ErrSyntax, msg, p.pos)
+}
+
+func (p *parser) value(depth int) (any, error) {
+	if depth > maxDepth {
+		return nil, p.errAt("nesting too deep")
+	}
+	if p.pos >= len(p.in) {
+		return nil, p.errAt("unexpected end")
+	}
+	switch c := p.in[p.pos]; {
+	case c == '{':
+		return p.object(depth)
+	case c == '[':
+		return p.array(depth)
+	case c == '"':
+		return p.str()
+	case c == 't':
+		return p.lit("true", true)
+	case c == 'f':
+		return p.lit("false", false)
+	case c == 'n':
+		return p.lit("null", nil)
+	case c == '-' || (c >= '0' && c <= '9'):
+		return p.number()
+	default:
+		return nil, p.errAt(fmt.Sprintf("unexpected byte %q", c))
+	}
+}
+
+func (p *parser) lit(word string, v any) (any, error) {
+	if p.pos+len(word) > len(p.in) || string(p.in[p.pos:p.pos+len(word)]) != word {
+		return nil, p.errAt("bad literal")
+	}
+	p.pos += len(word)
+	return v, nil
+}
+
+func (p *parser) number() (any, error) {
+	start := p.pos
+	for p.pos < len(p.in) {
+		c := p.in[p.pos]
+		if c == '-' || c == '+' || c == '.' || c == 'e' || c == 'E' || (c >= '0' && c <= '9') {
+			p.pos++
+			continue
+		}
+		break
+	}
+	f, err := strconv.ParseFloat(string(p.in[start:p.pos]), 64)
+	if err != nil {
+		return nil, p.errAt("bad number")
+	}
+	return f, nil
+}
+
+func (p *parser) str() (string, error) {
+	if p.pos >= len(p.in) || p.in[p.pos] != '"' {
+		return "", p.errAt("expected string")
+	}
+	p.pos++
+	var out []byte
+	for p.pos < len(p.in) {
+		c := p.in[p.pos]
+		switch {
+		case c == '"':
+			p.pos++
+			return string(out), nil
+		case c == '\\':
+			p.pos++
+			if p.pos >= len(p.in) {
+				return "", p.errAt("unterminated escape")
+			}
+			switch e := p.in[p.pos]; e {
+			case '"', '\\', '/':
+				out = append(out, e)
+				p.pos++
+			case 'n':
+				out = append(out, '\n')
+				p.pos++
+			case 'r':
+				out = append(out, '\r')
+				p.pos++
+			case 't':
+				out = append(out, '\t')
+				p.pos++
+			case 'b':
+				out = append(out, '\b')
+				p.pos++
+			case 'f':
+				out = append(out, '\f')
+				p.pos++
+			case 'u':
+				r, err := p.unicodeEscape()
+				if err != nil {
+					return "", err
+				}
+				out = utf8.AppendRune(out, r)
+			default:
+				return "", p.errAt("bad escape")
+			}
+		default:
+			out = append(out, c)
+			p.pos++
+		}
+	}
+	return "", p.errAt("unterminated string")
+}
+
+func (p *parser) unicodeEscape() (rune, error) {
+	// p.pos is at the 'u'.
+	if p.pos+5 > len(p.in) {
+		return 0, p.errAt("short \\u escape")
+	}
+	v, err := strconv.ParseUint(string(p.in[p.pos+1:p.pos+5]), 16, 32)
+	if err != nil {
+		return 0, p.errAt("bad \\u escape")
+	}
+	p.pos += 5
+	r := rune(v)
+	if utf16.IsSurrogate(r) && p.pos+6 <= len(p.in) && p.in[p.pos] == '\\' && p.in[p.pos+1] == 'u' {
+		v2, err := strconv.ParseUint(string(p.in[p.pos+2:p.pos+6]), 16, 32)
+		if err == nil {
+			if combined := utf16.DecodeRune(r, rune(v2)); combined != utf8.RuneError {
+				p.pos += 6
+				return combined, nil
+			}
+		}
+	}
+	if utf16.IsSurrogate(r) {
+		return utf8.RuneError, nil
+	}
+	return r, nil
+}
+
+func (p *parser) object(depth int) (any, error) {
+	p.pos++ // '{'
+	out := make(map[string]any)
+	p.ws()
+	if p.pos < len(p.in) && p.in[p.pos] == '}' {
+		p.pos++
+		return out, nil
+	}
+	for {
+		p.ws()
+		k, err := p.str()
+		if err != nil {
+			return nil, err
+		}
+		p.ws()
+		if p.pos >= len(p.in) || p.in[p.pos] != ':' {
+			return nil, p.errAt("expected ':'")
+		}
+		p.pos++
+		p.ws()
+		v, err := p.value(depth + 1)
+		if err != nil {
+			return nil, err
+		}
+		out[k] = v
+		p.ws()
+		if p.pos >= len(p.in) {
+			return nil, p.errAt("unterminated object")
+		}
+		switch p.in[p.pos] {
+		case ',':
+			p.pos++
+		case '}':
+			p.pos++
+			return out, nil
+		default:
+			return nil, p.errAt("expected ',' or '}'")
+		}
+	}
+}
+
+func (p *parser) array(depth int) (any, error) {
+	p.pos++ // '['
+	out := []any{}
+	p.ws()
+	if p.pos < len(p.in) && p.in[p.pos] == ']' {
+		p.pos++
+		return out, nil
+	}
+	for {
+		p.ws()
+		v, err := p.value(depth + 1)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+		p.ws()
+		if p.pos >= len(p.in) {
+			return nil, p.errAt("unterminated array")
+		}
+		switch p.in[p.pos] {
+		case ',':
+			p.pos++
+		case ']':
+			p.pos++
+			return out, nil
+		default:
+			return nil, p.errAt("expected ',' or ']'")
+		}
+	}
+}

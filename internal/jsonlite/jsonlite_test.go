@@ -1,0 +1,256 @@
+package jsonlite
+
+import (
+	"encoding/json"
+	"errors"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuilderObject(t *testing.T) {
+	b := NewBuilder(64)
+	b.BeginObject().
+		Key("sensor").Str("barometer").
+		Key("value").Num(1013.25).
+		Key("n").Int(42).
+		Key("ok").Bool(true).
+		Key("ref").Null().
+		EndObject()
+	got, err := b.Bytes()
+	if err != nil {
+		t.Fatalf("Bytes: %v", err)
+	}
+	want := `{"sensor":"barometer","value":1013.25,"n":42,"ok":true,"ref":null}`
+	if string(got) != want {
+		t.Errorf("got %s\nwant %s", got, want)
+	}
+	// The output must also satisfy the stdlib parser.
+	var v any
+	if err := json.Unmarshal(got, &v); err != nil {
+		t.Errorf("stdlib rejects output: %v", err)
+	}
+}
+
+func TestBuilderNestedArrays(t *testing.T) {
+	b := NewBuilder(0)
+	b.BeginObject().Key("xs").BeginArray().Int(1).Int(2).BeginArray().Int(3).EndArray().EndArray().EndObject()
+	got, err := b.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != `{"xs":[1,2,[3]]}` {
+		t.Errorf("got %s", got)
+	}
+}
+
+func TestBuilderEscapes(t *testing.T) {
+	b := NewBuilder(0)
+	b.Str("a\"b\\c\nd\te\rf\x01")
+	got, err := b.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v string
+	if err := json.Unmarshal(got, &v); err != nil {
+		t.Fatalf("stdlib rejects escaped string %s: %v", got, err)
+	}
+	if v != "a\"b\\c\nd\te\rf\x01" {
+		t.Errorf("round trip = %q", v)
+	}
+}
+
+func TestBuilderStructuralErrors(t *testing.T) {
+	b := NewBuilder(0)
+	b.EndObject()
+	if _, err := b.Bytes(); err == nil {
+		t.Error("stray EndObject accepted")
+	}
+	b = NewBuilder(0)
+	b.BeginObject()
+	if _, err := b.Bytes(); err == nil {
+		t.Error("unclosed object accepted")
+	}
+	b = NewBuilder(0)
+	b.BeginArray().EndObject()
+	if _, err := b.Bytes(); err == nil {
+		t.Error("mismatched close accepted")
+	}
+	b = NewBuilder(0)
+	b.Key("k")
+	if _, err := b.Bytes(); err == nil {
+		t.Error("Key outside object accepted")
+	}
+	b = NewBuilder(0)
+	b.Num(math.NaN())
+	if _, err := b.Bytes(); err == nil {
+		t.Error("NaN accepted")
+	}
+	b = NewBuilder(0)
+	b.BeginArray().EndArray().EndArray()
+	if _, err := b.Bytes(); err == nil {
+		t.Error("extra EndArray accepted")
+	}
+	if b.Err() == nil {
+		t.Error("Err() nil after structural error")
+	}
+}
+
+func TestParseScalars(t *testing.T) {
+	cases := map[string]any{
+		`42`:     42.0,
+		`-3.5e2`: -350.0,
+		`"hi"`:   "hi",
+		`true`:   true,
+		`false`:  false,
+		`null`:   nil,
+		` 7 `:    7.0,
+		`"A"`:    "A",
+	}
+	for in, want := range cases {
+		got, err := Parse([]byte(in))
+		if err != nil {
+			t.Errorf("Parse(%q): %v", in, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("Parse(%q) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestParseSurrogatePair(t *testing.T) {
+	got, err := Parse([]byte(`"😀"`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "😀" {
+		t.Errorf("got %q", got)
+	}
+	// Lone surrogate degrades to the replacement rune, like encoding/json.
+	got, err = Parse([]byte(`"\ud83d"`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "�" {
+		t.Errorf("lone surrogate = %q", got)
+	}
+}
+
+func TestParseStructures(t *testing.T) {
+	got, err := Parse([]byte(`{"a":[1,2,{"b":null}],"c":"x"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]any{
+		"a": []any{1.0, 2.0, map[string]any{"b": nil}},
+		"c": "x",
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %#v", got)
+	}
+	empty, err := Parse([]byte(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(empty.(map[string]any)) != 0 {
+		t.Errorf("empty object = %#v", empty)
+	}
+	arr, err := Parse([]byte(`[]`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arr.([]any)) != 0 {
+		t.Errorf("empty array = %#v", arr)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		``, `{`, `[`, `{"a"}`, `{"a":}`, `{"a":1,}`, `[1,]`, `"unterminated`,
+		`tru`, `nul`, `{1:2}`, `[1 2]`, `42x`, `"\q"`, `"\u12"`, `--1`,
+		`{"a":1}extra`,
+	}
+	for _, in := range bad {
+		if _, err := Parse([]byte(in)); !errors.Is(err, ErrSyntax) {
+			t.Errorf("Parse(%q) err = %v, want ErrSyntax", in, err)
+		}
+	}
+}
+
+func TestParseDepthLimit(t *testing.T) {
+	deep := strings.Repeat("[", 100) + strings.Repeat("]", 100)
+	if _, err := Parse([]byte(deep)); !errors.Is(err, ErrSyntax) {
+		t.Errorf("deep nesting err = %v, want ErrSyntax", err)
+	}
+}
+
+// Property: anything the builder emits, both our parser and encoding/json
+// accept, and the numeric/string content survives the round trip.
+func TestPropertyBuilderParserAgree(t *testing.T) {
+	f := func(key string, s string, n int32, flag bool) bool {
+		b := NewBuilder(0)
+		b.BeginObject().
+			Key("k").Str(key).
+			Key("s").Str(s).
+			Key("n").Int(int64(n)).
+			Key("f").Bool(flag).
+			EndObject()
+		raw, err := b.Bytes()
+		if err != nil {
+			return false
+		}
+		ours, err := Parse(raw)
+		if err != nil {
+			return false
+		}
+		var std map[string]any
+		if err := json.Unmarshal(raw, &std); err != nil {
+			return false
+		}
+		m, ok := ours.(map[string]any)
+		if !ok {
+			return false
+		}
+		return m["n"] == float64(n) && m["f"] == flag && reflect.DeepEqual(m["s"], std["s"])
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Parse never panics on arbitrary input and agrees with
+// encoding/json on validity for inputs encoding/json accepts as a value.
+func TestPropertyParseRobust(t *testing.T) {
+	f := func(b []byte) bool {
+		_, _ = Parse(b) //nolint:errcheck // only exercising for panics
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseAgreesWithStdlibOnValid(t *testing.T) {
+	inputs := []string{
+		`{"a":1.5,"b":[true,null,"x"],"c":{"d":-2e3}}`,
+		`[0.1, 2, 3e-2]`,
+		`"plain"`,
+	}
+	for _, in := range inputs {
+		ours, err := Parse([]byte(in))
+		if err != nil {
+			t.Errorf("Parse(%q): %v", in, err)
+			continue
+		}
+		var std any
+		if err := json.Unmarshal([]byte(in), &std); err != nil {
+			t.Fatalf("stdlib rejects %q: %v", in, err)
+		}
+		if !reflect.DeepEqual(ours, std) {
+			t.Errorf("Parse(%q) = %#v, stdlib %#v", in, ours, std)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+// Package link models the MCU↔CPU interconnect — the miniUSB UART cable of
+// the paper's testbed.
+//
+// A transfer costs a fixed per-transfer framing/setup overhead plus wire time
+// proportional to the payload. This asymmetry is what makes bulk (batched)
+// transfers cheaper than per-sample transfers: 1000 × 12 B costs 1000 framing
+// overheads, one 12 KB bulk transfer costs one (Fig. 8: 192 ms vs ~100 ms).
+// While bits are on the wire the bridge hardware draws WireW, which is the
+// "physical data transfer" slice of Figure 4.
+package link
+
+import (
+	"fmt"
+	"time"
+
+	"iothub/internal/energy"
+	"iothub/internal/sim"
+)
+
+// Params are the link's calibration constants.
+type Params struct {
+	// FrameOverhead is the fixed per-transfer cost (driver entry, framing,
+	// bus arbitration) paid by both endpoints.
+	FrameOverhead time.Duration
+	// BytesPerSec is the effective wire bandwidth.
+	BytesPerSec float64
+	// WireW is the power drawn by the physical link while transferring.
+	WireW float64
+}
+
+// DefaultParams returns the calibration in DESIGN.md §4: ~0.2 ms per 12-byte
+// sample, ~102 ms for a 12 KB bulk transfer.
+func DefaultParams() Params {
+	return Params{
+		FrameOverhead: 90 * time.Microsecond,
+		BytesPerSec:   117_000,
+		WireW:         1.0,
+	}
+}
+
+// Link is one interconnect instance with its own energy track.
+type Link struct {
+	params Params
+	sched  *sim.Scheduler
+	track  *energy.Track
+}
+
+// New returns a link using the given meter track.
+func New(sched *sim.Scheduler, meter *energy.Meter, name string, params Params) (*Link, error) {
+	if params.BytesPerSec <= 0 {
+		return nil, fmt.Errorf("link: BytesPerSec = %v, want > 0", params.BytesPerSec)
+	}
+	if params.FrameOverhead < 0 {
+		return nil, fmt.Errorf("link: negative FrameOverhead %v", params.FrameOverhead)
+	}
+	return &Link{params: params, sched: sched, track: meter.Track(name)}, nil
+}
+
+// Params returns the link's calibration constants.
+func (l *Link) Params() Params { return l.params }
+
+// WireTime is the duration the payload occupies the physical wire.
+func (l *Link) WireTime(n int) time.Duration {
+	if n <= 0 {
+		return 0
+	}
+	return time.Duration(float64(n) / l.params.BytesPerSec * float64(time.Second))
+}
+
+// TransferDuration is the end-to-end cost both endpoints are busy for:
+// framing overhead plus wire time.
+func (l *Link) TransferDuration(n int) time.Duration {
+	return l.params.FrameOverhead + l.WireTime(n)
+}
+
+// Transmit powers the wire for the payload's wire time starting now and
+// returns the total transfer duration the endpoints must budget. Wire energy
+// is attributed to routine r (DataTransfer in every scheme).
+func (l *Link) Transmit(n int, r energy.Routine) (time.Duration, error) {
+	wire := l.WireTime(n)
+	if wire > 0 {
+		l.track.Set(l.params.WireW, r)
+		if _, err := l.sched.After(wire, func() { l.track.Set(0, energy.Idle) }); err != nil {
+			return 0, fmt.Errorf("link: schedule wire-off: %w", err)
+		}
+	}
+	return l.TransferDuration(n), nil
+}

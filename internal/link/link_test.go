@@ -1,0 +1,108 @@
+package link
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"iothub/internal/energy"
+	"iothub/internal/sim"
+)
+
+func newLink(t *testing.T) (*Link, *sim.Scheduler, *energy.Meter) {
+	t.Helper()
+	s := sim.NewScheduler()
+	m := energy.NewMeter(s)
+	l, err := New(s, m, "link", DefaultParams())
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return l, s, m
+}
+
+func TestNewRejectsBadParams(t *testing.T) {
+	s := sim.NewScheduler()
+	m := energy.NewMeter(s)
+	if _, err := New(s, m, "l", Params{BytesPerSec: 0}); err == nil {
+		t.Error("zero bandwidth accepted")
+	}
+	if _, err := New(s, m, "l", Params{BytesPerSec: 1, FrameOverhead: -1}); err == nil {
+		t.Error("negative overhead accepted")
+	}
+}
+
+func TestTransferDurationPerSampleVsBulk(t *testing.T) {
+	l, _, _ := newLink(t)
+	perSample := l.TransferDuration(12)
+	bulk := l.TransferDuration(12_000)
+	thousand := 1000 * perSample
+	if bulk >= thousand {
+		t.Errorf("bulk %v not cheaper than 1000 per-sample transfers %v", bulk, thousand)
+	}
+	// Calibration targets from Fig. 8: ~192 ms per-sample total, ~100 ms bulk.
+	if thousand < 150*time.Millisecond || thousand > 250*time.Millisecond {
+		t.Errorf("1000 per-sample transfers = %v, want ~190ms", thousand)
+	}
+	if bulk < 80*time.Millisecond || bulk > 130*time.Millisecond {
+		t.Errorf("bulk 12KB transfer = %v, want ~103ms", bulk)
+	}
+}
+
+func TestWireTimeZeroForEmptyPayload(t *testing.T) {
+	l, _, _ := newLink(t)
+	if got := l.WireTime(0); got != 0 {
+		t.Errorf("WireTime(0) = %v, want 0", got)
+	}
+	if got := l.TransferDuration(0); got != l.Params().FrameOverhead {
+		t.Errorf("TransferDuration(0) = %v, want framing only", got)
+	}
+}
+
+func TestTransmitChargesWireEnergy(t *testing.T) {
+	l, s, m := newLink(t)
+	d, err := l.Transmit(11_700, energy.DataTransfer) // exactly 100 ms of wire
+	if err != nil {
+		t.Fatalf("Transmit: %v", err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := l.Params().WireW * 0.1
+	got := m.Total()[energy.DataTransfer]
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("wire energy = %v J, want %v", got, want)
+	}
+	if d != l.TransferDuration(11_700) {
+		t.Errorf("Transmit duration = %v, want %v", d, l.TransferDuration(11_700))
+	}
+}
+
+func TestTransmitZeroBytesNoEnergy(t *testing.T) {
+	l, s, m := newLink(t)
+	if _, err := l.Transmit(0, energy.DataTransfer); err != nil {
+		t.Fatalf("Transmit: %v", err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got := m.Total().Total(); got != 0 {
+		t.Errorf("energy = %v, want 0", got)
+	}
+}
+
+// Property: transfer duration is monotone in payload size and always at
+// least the framing overhead.
+func TestPropertyTransferMonotone(t *testing.T) {
+	l, _, _ := newLink(t)
+	f := func(a, b uint16) bool {
+		da, db := l.TransferDuration(int(a)), l.TransferDuration(int(b))
+		if a <= b && da > db {
+			return false
+		}
+		return da >= l.Params().FrameOverhead
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,198 @@
+// Package mcu models the auxiliary micro-controller board — the ESP8266 of
+// the paper's testbed.
+//
+// The MCU is a single in-order core with a small RAM. It executes work items
+// FIFO at ActiveW and idles at IdleW. Offloaded app computations run slower
+// than on the CPU by the base slowdown factor (the paper measures ~19×),
+// multiplied by a per-workload floating-point penalty: the ESP8266's L106
+// core has no FPU, so FP-heavy code (A3's string-to-double formatting, A8's
+// ECG feature extraction) degrades far more — this is what produces the
+// Figure 13 slowdowns.
+//
+// RAM is explicitly accounted: batch buffers and offloaded app footprints
+// must fit in the usable RAM or the allocation fails, which is exactly the
+// capacity gate that makes heavy-weight apps non-offloadable.
+package mcu
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"iothub/internal/energy"
+	"iothub/internal/sim"
+)
+
+// Params are the MCU's calibration constants (DESIGN.md §4).
+type Params struct {
+	RAMBytes      int           // total user-data RAM (ESP8266: 80 KB)
+	ReservedBytes int           // RTOS + driver working set
+	ActiveW       float64       // executing or polling
+	IdleW         float64       // idle
+	BaseSlowdown  float64       // execution-time multiplier vs the CPU
+	PerReadCPU    time.Duration // availability check + driver formatting per read
+	IrqRaise      time.Duration // raising one interrupt toward the CPU
+}
+
+// DefaultParams returns the ESP8266 calibration.
+func DefaultParams() Params {
+	return Params{
+		RAMBytes:      80 * 1024,
+		ReservedBytes: 16 * 1024,
+		ActiveW:       1.0,
+		IdleW:         0.08,
+		BaseSlowdown:  19,
+		PerReadCPU:    100 * time.Microsecond,
+		IrqRaise:      10 * time.Microsecond,
+	}
+}
+
+// UsableRAM is the RAM available to batch buffers and offloaded apps.
+func (p Params) UsableRAM() int { return p.RAMBytes - p.ReservedBytes }
+
+// Errors callers match on.
+var (
+	// ErrNoRAM is returned when an allocation exceeds the usable RAM.
+	ErrNoRAM = errors.New("mcu: out of RAM")
+	// ErrBusy is returned by Idle when work is executing or queued.
+	ErrBusy = errors.New("mcu: busy")
+)
+
+type workItem struct {
+	d    time.Duration
+	r    energy.Routine
+	done func()
+}
+
+// MCU is one micro-controller board instance.
+type MCU struct {
+	sched   *sim.Scheduler
+	track   *energy.Track
+	params  Params
+	queue   []workItem
+	running bool
+	ramUsed int
+	busy    map[energy.Routine]time.Duration
+}
+
+// New returns an idle MCU metered on the named track.
+func New(sched *sim.Scheduler, meter *energy.Meter, name string, params Params) (*MCU, error) {
+	if params.UsableRAM() <= 0 {
+		return nil, fmt.Errorf("mcu: usable RAM %d bytes, want > 0", params.UsableRAM())
+	}
+	if params.BaseSlowdown <= 0 {
+		return nil, fmt.Errorf("mcu: BaseSlowdown = %v, want > 0", params.BaseSlowdown)
+	}
+	m := &MCU{
+		sched:  sched,
+		track:  meter.Track(name),
+		params: params,
+		busy:   make(map[energy.Routine]time.Duration),
+	}
+	m.track.Set(params.IdleW, energy.Idle)
+	return m, nil
+}
+
+// Params returns the MCU's calibration constants.
+func (m *MCU) Params() Params { return m.params }
+
+// Busy reports whether work is executing or queued.
+func (m *MCU) Busy() bool { return m.running || len(m.queue) > 0 }
+
+// RAMUsed reports currently allocated bytes.
+func (m *MCU) RAMUsed() int { return m.ramUsed }
+
+// RAMFree reports remaining usable bytes.
+func (m *MCU) RAMFree() int { return m.params.UsableRAM() - m.ramUsed }
+
+// Alloc reserves n bytes of MCU RAM, failing with ErrNoRAM if they do not
+// fit. Allocations model batch buffers and offloaded app footprints.
+func (m *MCU) Alloc(n int) error {
+	if n < 0 {
+		return fmt.Errorf("mcu: negative allocation %d", n)
+	}
+	if n > m.RAMFree() {
+		return fmt.Errorf("%w: need %d bytes, %d free", ErrNoRAM, n, m.RAMFree())
+	}
+	m.ramUsed += n
+	return nil
+}
+
+// Free releases n bytes previously reserved with Alloc.
+func (m *MCU) Free(n int) error {
+	if n < 0 || n > m.ramUsed {
+		return fmt.Errorf("mcu: free %d bytes with %d allocated", n, m.ramUsed)
+	}
+	m.ramUsed -= n
+	return nil
+}
+
+// OffloadTime converts a CPU-side execution time into MCU execution time:
+// base slowdown times the workload's floating-point penalty (>= 1).
+func (m *MCU) OffloadTime(cpuTime time.Duration, fpPenalty float64) time.Duration {
+	if fpPenalty < 1 {
+		fpPenalty = 1
+	}
+	return time.Duration(float64(cpuTime) * m.params.BaseSlowdown * fpPenalty)
+}
+
+// BusyByRoutine returns cumulative execution time per routine.
+func (m *MCU) BusyByRoutine() map[energy.Routine]time.Duration {
+	out := make(map[energy.Routine]time.Duration, len(m.busy))
+	for r, d := range m.busy {
+		out[r] = d
+	}
+	return out
+}
+
+// Exec queues d of work attributed to routine r; done (may be nil) runs on
+// completion. Work is serialized FIFO — the L106 is a single core.
+func (m *MCU) Exec(d time.Duration, r energy.Routine, done func()) error {
+	if d < 0 {
+		return fmt.Errorf("mcu: negative work duration %v", d)
+	}
+	m.queue = append(m.queue, workItem{d: d, r: r, done: done})
+	return m.maybeStart()
+}
+
+func (m *MCU) maybeStart() error {
+	if m.running || len(m.queue) == 0 {
+		return nil
+	}
+	m.running = true
+	item := m.queue[0]
+	m.queue = m.queue[1:]
+	m.track.Set(m.params.ActiveW, item.r)
+	_, err := m.sched.After(item.d, func() { m.endWork(item) })
+	if err != nil {
+		return fmt.Errorf("mcu: schedule work end: %w", err)
+	}
+	return nil
+}
+
+func (m *MCU) endWork(item workItem) {
+	m.busy[item.r] += item.d
+	m.running = false
+	if len(m.queue) == 0 {
+		m.track.Set(m.params.IdleW, energy.Idle)
+	}
+	if item.done != nil {
+		item.done()
+	}
+	if err := m.maybeStart(); err != nil {
+		m.sched.Stop()
+	}
+}
+
+// Idle re-attributes the MCU's idle draw to routine r (e.g. keeping batch
+// RAM retained counts toward DataTransfer while waiting to flush).
+func (m *MCU) Idle(r energy.Routine) error {
+	if m.Busy() {
+		return ErrBusy
+	}
+	m.track.Set(m.params.IdleW, r)
+	return nil
+}
+
+// Track exposes the MCU's energy track (for trace capture).
+func (m *MCU) Track() *energy.Track { return m.track }

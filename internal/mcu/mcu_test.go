@@ -1,0 +1,211 @@
+package mcu
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"iothub/internal/energy"
+	"iothub/internal/sim"
+)
+
+func newMCU(t *testing.T) (*MCU, *sim.Scheduler, *energy.Meter) {
+	t.Helper()
+	s := sim.NewScheduler()
+	m := energy.NewMeter(s)
+	mc, err := New(s, m, "mcu", DefaultParams())
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return mc, s, m
+}
+
+func TestNewRejectsBadParams(t *testing.T) {
+	s := sim.NewScheduler()
+	m := energy.NewMeter(s)
+	bad := DefaultParams()
+	bad.ReservedBytes = bad.RAMBytes
+	if _, err := New(s, m, "m", bad); err == nil {
+		t.Error("zero usable RAM accepted")
+	}
+	bad = DefaultParams()
+	bad.BaseSlowdown = 0
+	if _, err := New(s, m, "m", bad); err == nil {
+		t.Error("zero slowdown accepted")
+	}
+}
+
+func TestRAMAccounting(t *testing.T) {
+	mc, _, _ := newMCU(t)
+	free := mc.RAMFree()
+	if free != mc.Params().UsableRAM() {
+		t.Fatalf("initial free = %d, want %d", free, mc.Params().UsableRAM())
+	}
+	if err := mc.Alloc(10_000); err != nil {
+		t.Fatalf("Alloc: %v", err)
+	}
+	if mc.RAMUsed() != 10_000 || mc.RAMFree() != free-10_000 {
+		t.Errorf("used=%d free=%d after alloc", mc.RAMUsed(), mc.RAMFree())
+	}
+	if err := mc.Free(10_000); err != nil {
+		t.Fatalf("Free: %v", err)
+	}
+	if mc.RAMUsed() != 0 {
+		t.Errorf("used = %d after free, want 0", mc.RAMUsed())
+	}
+}
+
+func TestAllocOverflowFailsWithErrNoRAM(t *testing.T) {
+	mc, _, _ := newMCU(t)
+	err := mc.Alloc(mc.RAMFree() + 1)
+	if !errors.Is(err, ErrNoRAM) {
+		t.Errorf("oversized Alloc = %v, want ErrNoRAM", err)
+	}
+	if mc.RAMUsed() != 0 {
+		t.Errorf("failed alloc leaked %d bytes", mc.RAMUsed())
+	}
+	if err := mc.Alloc(-1); err == nil {
+		t.Error("negative Alloc accepted")
+	}
+}
+
+func TestFreeValidation(t *testing.T) {
+	mc, _, _ := newMCU(t)
+	if err := mc.Free(1); err == nil {
+		t.Error("Free beyond allocation accepted")
+	}
+	if err := mc.Free(-1); err == nil {
+		t.Error("negative Free accepted")
+	}
+}
+
+func TestHeavyAppDoesNotFit(t *testing.T) {
+	// A11's 1.43 GB footprint must never fit the 80 KB part.
+	mc, _, _ := newMCU(t)
+	if err := mc.Alloc(1_430_000_000); !errors.Is(err, ErrNoRAM) {
+		t.Errorf("1.43 GB alloc = %v, want ErrNoRAM", err)
+	}
+}
+
+func TestExecChargesActiveEnergy(t *testing.T) {
+	mc, s, m := newMCU(t)
+	if err := mc.Exec(50*time.Millisecond, energy.DataCollection, nil); err != nil {
+		t.Fatalf("Exec: %v", err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	got := m.Total()[energy.DataCollection]
+	want := mc.Params().ActiveW * 0.05
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("energy = %v, want %v", got, want)
+	}
+}
+
+func TestExecSerializes(t *testing.T) {
+	mc, s, _ := newMCU(t)
+	var end sim.Time
+	for i := 0; i < 4; i++ {
+		if err := mc.Exec(time.Millisecond, energy.AppCompute, func() { end = s.Now() }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if end != sim.Time(4*time.Millisecond) {
+		t.Errorf("last item ended at %v, want 4ms", end)
+	}
+	if got := mc.BusyByRoutine()[energy.AppCompute]; got != 4*time.Millisecond {
+		t.Errorf("busy = %v, want 4ms", got)
+	}
+}
+
+func TestExecRejectsNegative(t *testing.T) {
+	mc, _, _ := newMCU(t)
+	if err := mc.Exec(-1, energy.AppCompute, nil); err == nil {
+		t.Error("negative duration accepted")
+	}
+}
+
+func TestOffloadTimeSlowdown(t *testing.T) {
+	mc, _, _ := newMCU(t)
+	base := mc.OffloadTime(time.Millisecond, 1)
+	if base != 19*time.Millisecond {
+		t.Errorf("base offload = %v, want 19ms", base)
+	}
+	fp := mc.OffloadTime(time.Millisecond, 8)
+	if fp != 152*time.Millisecond {
+		t.Errorf("FP offload = %v, want 152ms", fp)
+	}
+	// Penalties below 1 are clamped.
+	if got := mc.OffloadTime(time.Millisecond, 0); got != base {
+		t.Errorf("clamped offload = %v, want %v", got, base)
+	}
+}
+
+func TestIdleReattributesDraw(t *testing.T) {
+	mc, s, m := newMCU(t)
+	if err := mc.Idle(energy.DataTransfer); err != nil {
+		t.Fatalf("Idle: %v", err)
+	}
+	if err := s.RunUntil(sim.Time(time.Second)); err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	got := m.Total()[energy.DataTransfer]
+	if math.Abs(got-mc.Params().IdleW) > 1e-9 {
+		t.Errorf("idle energy = %v, want %v", got, mc.Params().IdleW)
+	}
+}
+
+func TestIdleWhileBusyFails(t *testing.T) {
+	mc, s, _ := newMCU(t)
+	if err := mc.Exec(time.Millisecond, energy.AppCompute, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := mc.Idle(energy.Idle); !errors.Is(err, ErrBusy) {
+		t.Errorf("Idle while busy = %v, want ErrBusy", err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+// Property: Alloc/Free sequences never drive usage negative or beyond the
+// usable RAM, and a successful Alloc is always reversible.
+func TestPropertyRAMInvariant(t *testing.T) {
+	f := func(ops []int16) bool {
+		mc, _, _ := newMCUQuiet()
+		for _, op := range ops {
+			n := int(op)
+			if n >= 0 {
+				if err := mc.Alloc(n); err == nil {
+					defer func(n int) { _ = mc.Free(n) }(n)
+				}
+			} else if -n <= mc.RAMUsed() {
+				if err := mc.Free(-n); err != nil {
+					return false
+				}
+			}
+			if mc.RAMUsed() < 0 || mc.RAMUsed() > mc.Params().UsableRAM() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func newMCUQuiet() (*MCU, *sim.Scheduler, *energy.Meter) {
+	s := sim.NewScheduler()
+	m := energy.NewMeter(s)
+	mc, err := New(s, m, "mcu", DefaultParams())
+	if err != nil {
+		panic(err)
+	}
+	return mc, s, m
+}

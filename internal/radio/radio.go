@@ -1,0 +1,141 @@
+// Package radio models the hub's uplink network interfaces — the main
+// board's WiFi NIC and the ESP8266's integrated radio. IoT apps exist to
+// push their user-level outputs to a phone or cloud endpoint (§I), so the
+// upstream burst that follows each window's computation is part of the
+// system's energy story: on-CPU apps uplink through the main NIC, offloaded
+// apps through the MCU's own radio.
+//
+// A transmission costs a fixed association/queueing overhead plus payload
+// time at the effective uplink rate; the radio draws TxW for that span and
+// IdleW otherwise. Host-CPU involvement is a small driver cost charged by
+// the hub, not here (NICs DMA their frames).
+package radio
+
+import (
+	"fmt"
+	"time"
+
+	"iothub/internal/energy"
+	"iothub/internal/sim"
+)
+
+// Params are one radio's calibration constants.
+type Params struct {
+	// TxW is the draw while transmitting.
+	TxW float64
+	// IdleW is the draw while associated but idle.
+	IdleW float64
+	// BytesPerSec is the effective uplink goodput.
+	BytesPerSec float64
+	// PerTxOverhead is the fixed cost per burst (wakeup, contention,
+	// association upkeep).
+	PerTxOverhead time.Duration
+}
+
+// DefaultMainParams returns the Raspberry Pi 3B onboard WiFi calibration.
+func DefaultMainParams() Params {
+	return Params{
+		TxW:           0.70,
+		IdleW:         0.03,
+		BytesPerSec:   1_250_000,
+		PerTxOverhead: 2 * time.Millisecond,
+	}
+}
+
+// DefaultMCUParams returns the ESP8266 integrated-radio calibration: lower
+// goodput, similar transmit draw.
+func DefaultMCUParams() Params {
+	return Params{
+		TxW:           0.66,
+		IdleW:         0.02,
+		BytesPerSec:   300_000,
+		PerTxOverhead: 3 * time.Millisecond,
+	}
+}
+
+// Validate checks the calibration.
+func (p Params) Validate() error {
+	if p.BytesPerSec <= 0 {
+		return fmt.Errorf("radio: BytesPerSec %v", p.BytesPerSec)
+	}
+	if p.PerTxOverhead < 0 {
+		return fmt.Errorf("radio: negative overhead %v", p.PerTxOverhead)
+	}
+	if p.TxW < p.IdleW {
+		return fmt.Errorf("radio: TxW %v below IdleW %v", p.TxW, p.IdleW)
+	}
+	return nil
+}
+
+// Radio is one uplink instance with its own energy track.
+type Radio struct {
+	params Params
+	sched  *sim.Scheduler
+	track  *energy.Track
+	// busyUntil serializes bursts on the single air interface.
+	busyUntil sim.Time
+}
+
+// New returns an idle radio metered on the named track.
+func New(sched *sim.Scheduler, meter *energy.Meter, name string, params Params) (*Radio, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	r := &Radio{params: params, sched: sched, track: meter.Track(name)}
+	r.track.Set(params.IdleW, energy.Idle)
+	return r, nil
+}
+
+// Params returns the radio's calibration constants.
+func (r *Radio) Params() Params { return r.params }
+
+// TxDuration is the airtime one burst of n bytes occupies.
+func (r *Radio) TxDuration(n int) time.Duration {
+	if n <= 0 {
+		return 0
+	}
+	return r.params.PerTxOverhead +
+		time.Duration(float64(n)/r.params.BytesPerSec*float64(time.Second))
+}
+
+// Transmit queues a burst of n bytes; done (may be nil) runs when the burst
+// has left the air. Bursts serialize on the single interface. Airtime energy
+// is attributed to routine rt.
+func (r *Radio) Transmit(n int, rt energy.Routine, done func()) error {
+	if n < 0 {
+		return fmt.Errorf("radio: negative payload %d", n)
+	}
+	d := r.TxDuration(n)
+	start := r.sched.Now()
+	if r.busyUntil > start {
+		start = r.busyUntil
+	}
+	end := start.Add(d)
+	r.busyUntil = end
+	if d == 0 {
+		if done != nil {
+			done()
+		}
+		return nil
+	}
+	if _, err := r.sched.At(start, func() { r.track.Set(r.params.TxW, rt) }); err != nil {
+		return fmt.Errorf("radio: schedule tx start: %w", err)
+	}
+	_, err := r.sched.At(end, func() {
+		// A back-to-back burst may already have re-raised the power level;
+		// only drop to idle when this burst is the last queued.
+		if r.busyUntil == end {
+			r.track.Set(r.params.IdleW, energy.Idle)
+		}
+		if done != nil {
+			done()
+		}
+	})
+	if err != nil {
+		return fmt.Errorf("radio: schedule tx end: %w", err)
+	}
+	return nil
+}
+
+// Track exposes the radio's energy track.
+func (r *Radio) Track() *energy.Track { return r.track }

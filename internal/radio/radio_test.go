@@ -1,0 +1,149 @@
+package radio
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"iothub/internal/energy"
+	"iothub/internal/sim"
+)
+
+func newRadio(t *testing.T, params Params) (*Radio, *sim.Scheduler, *energy.Meter) {
+	t.Helper()
+	s := sim.NewScheduler()
+	m := energy.NewMeter(s)
+	r, err := New(s, m, "radio", params)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return r, s, m
+}
+
+func TestParamsValidate(t *testing.T) {
+	bad := DefaultMainParams()
+	bad.BytesPerSec = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero goodput accepted")
+	}
+	bad = DefaultMainParams()
+	bad.PerTxOverhead = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative overhead accepted")
+	}
+	bad = DefaultMainParams()
+	bad.TxW, bad.IdleW = 0.1, 0.5
+	if err := bad.Validate(); err == nil {
+		t.Error("TxW < IdleW accepted")
+	}
+}
+
+func TestTxDuration(t *testing.T) {
+	r, _, _ := newRadio(t, Params{TxW: 1, IdleW: 0, BytesPerSec: 1000, PerTxOverhead: time.Millisecond})
+	if got := r.TxDuration(0); got != 0 {
+		t.Errorf("empty burst duration = %v", got)
+	}
+	if got := r.TxDuration(1000); got != time.Millisecond+time.Second {
+		t.Errorf("1000B duration = %v", got)
+	}
+}
+
+func TestTransmitEnergy(t *testing.T) {
+	params := Params{TxW: 0.7, IdleW: 0, BytesPerSec: 1000, PerTxOverhead: 0}
+	r, s, m := newRadio(t, params)
+	done := false
+	if err := r.Transmit(500, energy.AppCompute, func() { done = true }); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Fatal("done never ran")
+	}
+	got := m.Total()[energy.AppCompute]
+	want := 0.7 * 0.5
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("tx energy = %v, want %v", got, want)
+	}
+}
+
+func TestTransmitSerializesBursts(t *testing.T) {
+	params := Params{TxW: 1, IdleW: 0, BytesPerSec: 1000, PerTxOverhead: 0}
+	r, s, m := newRadio(t, params)
+	var ends []sim.Time
+	for i := 0; i < 3; i++ {
+		if err := r.Transmit(100, energy.AppCompute, func() { ends = append(ends, s.Now()) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(ends) != 3 {
+		t.Fatalf("ends = %d", len(ends))
+	}
+	if ends[2] != sim.Time(300*time.Millisecond) {
+		t.Errorf("third burst ended at %v, want 300ms", ends[2])
+	}
+	// Exactly 300 ms of airtime at 1 W.
+	if got := m.Total()[energy.AppCompute]; math.Abs(got-0.3) > 1e-9 {
+		t.Errorf("airtime energy = %v, want 0.3", got)
+	}
+}
+
+func TestTransmitZeroAndNegative(t *testing.T) {
+	r, s, m := newRadio(t, DefaultMCUParams())
+	ran := false
+	if err := r.Transmit(0, energy.AppCompute, func() { ran = true }); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Error("zero-byte done not invoked synchronously")
+	}
+	if err := r.Transmit(-1, energy.AppCompute, nil); err == nil {
+		t.Error("negative payload accepted")
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Total()[energy.AppCompute]; got != 0 {
+		t.Errorf("energy = %v, want 0", got)
+	}
+}
+
+func TestIdleDraw(t *testing.T) {
+	r, s, m := newRadio(t, DefaultMainParams())
+	_ = r
+	if err := s.RunUntil(sim.Time(2 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	got := m.Total()[energy.Idle]
+	want := DefaultMainParams().IdleW * 2
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("idle energy = %v, want %v", got, want)
+	}
+}
+
+func TestBackToBackKeepsTxLevel(t *testing.T) {
+	params := Params{TxW: 1, IdleW: 0.1, BytesPerSec: 1000, PerTxOverhead: 0}
+	r, s, m := newRadio(t, params)
+	if err := r.Transmit(100, energy.AppCompute, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Transmit(100, energy.AppCompute, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RunUntil(sim.Time(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	b := m.Total()
+	// 200 ms at 1 W, 800 ms idle at 0.1 W — the first burst's end must not
+	// drop the level mid-queue.
+	if math.Abs(b[energy.AppCompute]-0.2) > 1e-9 {
+		t.Errorf("tx energy = %v, want 0.2", b[energy.AppCompute])
+	}
+	if math.Abs(b[energy.Idle]-0.08) > 1e-9 {
+		t.Errorf("idle energy = %v, want 0.08", b[energy.Idle])
+	}
+}

@@ -1,0 +1,79 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// BarRow is one horizontal bar.
+type BarRow struct {
+	Label string
+	Value float64
+	// Annotation is printed after the bar ("52.4%", "2.28x", ...).
+	Annotation string
+}
+
+// BarChart renders labeled values as horizontal ASCII bars, scaled to the
+// largest value — the terminal rendition of the paper's bar figures.
+type BarChart struct {
+	Title string
+	Rows  []BarRow
+	// Width is the bar column width in characters (default 40).
+	Width int
+	Notes []string
+}
+
+// Add appends one bar.
+func (c *BarChart) Add(label string, value float64, annotation string) {
+	c.Rows = append(c.Rows, BarRow{Label: label, Value: value, Annotation: annotation})
+}
+
+// ASCII renders the chart.
+func (c *BarChart) ASCII() string {
+	if len(c.Rows) == 0 {
+		return ""
+	}
+	width := c.Width
+	if width <= 0 {
+		width = 40
+	}
+	maxVal := 0.0
+	labelW := 0
+	for _, r := range c.Rows {
+		if r.Value > maxVal {
+			maxVal = r.Value
+		}
+		if len(r.Label) > labelW {
+			labelW = len(r.Label)
+		}
+	}
+	if maxVal <= 0 {
+		maxVal = 1
+	}
+	var b strings.Builder
+	if c.Title != "" {
+		b.WriteString(c.Title)
+		b.WriteByte('\n')
+		b.WriteString(strings.Repeat("=", len(c.Title)))
+		b.WriteByte('\n')
+	}
+	for _, r := range c.Rows {
+		n := int(r.Value / maxVal * float64(width))
+		if n < 0 {
+			n = 0
+		}
+		if r.Value > 0 && n == 0 {
+			n = 1 // visible sliver for tiny positive values
+		}
+		fmt.Fprintf(&b, "%-*s |%s%s %s\n",
+			labelW, r.Label,
+			strings.Repeat("#", n), strings.Repeat(" ", width-n),
+			r.Annotation)
+	}
+	for _, n := range c.Notes {
+		b.WriteString("note: ")
+		b.WriteString(n)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,162 @@
+// Package report renders experiment results as aligned ASCII tables and CSV
+// — the output layer for cmd/experiments and EXPERIMENTS.md.
+package report
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Table is a simple labeled grid.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	// Notes are printed under the table (paper references, caveats).
+	Notes []string
+}
+
+// AddRow appends a row of already formatted cells.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Cell formats a value for a table cell: floats get 2 decimals, percentages
+// are the caller's concern.
+func Cell(v any) string {
+	switch x := v.(type) {
+	case string:
+		return x
+	case int:
+		return strconv.Itoa(x)
+	case float64:
+		return strconv.FormatFloat(x, 'f', 2, 64)
+	default:
+		return fmt.Sprintf("%v", x)
+	}
+}
+
+// Percent formats a 0..1 fraction as "12.3%".
+func Percent(f float64) string {
+	return strconv.FormatFloat(f*100, 'f', 1, 64) + "%"
+}
+
+// Millijoules formats joules as "123.4 mJ".
+func Millijoules(j float64) string {
+	return strconv.FormatFloat(j*1e3, 'f', 1, 64) + " mJ"
+}
+
+// ASCII renders the table with aligned columns.
+func (t *Table) ASCII() string {
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+		b.WriteString(strings.Repeat("=", len(t.Title)))
+		b.WriteByte('\n')
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			pad := 0
+			if i < len(widths) {
+				pad = widths[i] - len(c)
+			}
+			b.WriteString(c)
+			b.WriteString(strings.Repeat(" ", pad))
+		}
+		b.WriteByte('\n')
+	}
+	if len(t.Header) > 0 {
+		writeRow(t.Header)
+		total := 0
+		for _, w := range widths {
+			total += w + 2
+		}
+		b.WriteString(strings.Repeat("-", total))
+		b.WriteByte('\n')
+	}
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		b.WriteString("note: ")
+		b.WriteString(n)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CSV renders the table as RFC 4180 comma-separated values.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				b.WriteByte('"')
+				b.WriteString(strings.ReplaceAll(c, `"`, `""`))
+				b.WriteByte('"')
+			} else {
+				b.WriteString(c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	if len(t.Header) > 0 {
+		writeRow(t.Header)
+	}
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Markdown renders the table as a GitHub-flavored markdown table (used to
+// regenerate EXPERIMENTS.md).
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString("### ")
+		b.WriteString(t.Title)
+		b.WriteString("\n\n")
+	}
+	row := func(cells []string) {
+		b.WriteString("| ")
+		b.WriteString(strings.Join(cells, " | "))
+		b.WriteString(" |\n")
+	}
+	if len(t.Header) > 0 {
+		row(t.Header)
+		seps := make([]string, len(t.Header))
+		for i := range seps {
+			seps[i] = "---"
+		}
+		row(seps)
+	}
+	for _, r := range t.Rows {
+		row(r)
+	}
+	for _, n := range t.Notes {
+		b.WriteString("\n*")
+		b.WriteString(n)
+		b.WriteString("*\n")
+	}
+	return b.String()
+}

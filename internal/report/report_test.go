@@ -1,0 +1,133 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func sample() *Table {
+	t := &Table{
+		Title:  "Demo",
+		Header: []string{"app", "energy", "saving"},
+		Notes:  []string{"synthetic"},
+	}
+	t.AddRow("A2", Millijoules(2.555), Percent(0.52))
+	t.AddRow("A11", Millijoules(4.9), Percent(0.05))
+	return t
+}
+
+func TestASCIIAlignment(t *testing.T) {
+	out := sample().ASCII()
+	if !strings.Contains(out, "Demo") {
+		t.Error("title missing")
+	}
+	lines := strings.Split(out, "\n")
+	var header, row string
+	for i, l := range lines {
+		if strings.HasPrefix(l, "app") {
+			header = l
+			row = lines[i+2]
+			break
+		}
+	}
+	if header == "" {
+		t.Fatalf("no header in output:\n%s", out)
+	}
+	if strings.Index(header, "energy") != strings.Index(row, "2555.0")-0 &&
+		!strings.Contains(row, "2555.0 mJ") {
+		t.Errorf("row misaligned: %q", row)
+	}
+	if !strings.Contains(out, "note: synthetic") {
+		t.Error("note missing")
+	}
+}
+
+func TestCSVEscaping(t *testing.T) {
+	tab := &Table{Header: []string{"a", "b"}}
+	tab.AddRow(`has,comma`, `has"quote`)
+	out := tab.CSV()
+	want := "a,b\n\"has,comma\",\"has\"\"quote\"\n"
+	if out != want {
+		t.Errorf("CSV = %q, want %q", out, want)
+	}
+}
+
+func TestMarkdown(t *testing.T) {
+	out := sample().Markdown()
+	if !strings.Contains(out, "### Demo") {
+		t.Error("markdown title missing")
+	}
+	if !strings.Contains(out, "| app | energy | saving |") {
+		t.Errorf("markdown header missing:\n%s", out)
+	}
+	if !strings.Contains(out, "| --- | --- | --- |") {
+		t.Error("markdown separator missing")
+	}
+	if !strings.Contains(out, "*synthetic*") {
+		t.Error("markdown note missing")
+	}
+}
+
+func TestCellFormats(t *testing.T) {
+	if Cell("x") != "x" || Cell(42) != "42" || Cell(1.5) != "1.50" || Cell(true) != "true" {
+		t.Error("Cell formatting wrong")
+	}
+	if Percent(0.1234) != "12.3%" {
+		t.Errorf("Percent = %q", Percent(0.1234))
+	}
+	if Millijoules(0.0021) != "2.1 mJ" {
+		t.Errorf("Millijoules = %q", Millijoules(0.0021))
+	}
+}
+
+func TestEmptyTable(t *testing.T) {
+	empty := &Table{}
+	if out := empty.ASCII(); out != "" {
+		t.Errorf("empty ASCII = %q", out)
+	}
+	if out := empty.CSV(); out != "" {
+		t.Errorf("empty CSV = %q", out)
+	}
+}
+
+func TestBarChartASCII(t *testing.T) {
+	c := &BarChart{Title: "Savings", Width: 10}
+	c.Add("Batching", 0.5, "50%")
+	c.Add("COM", 1.0, "100%")
+	c.Add("None", 0, "0%")
+	out := c.ASCII()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "Savings" {
+		t.Errorf("title line = %q", lines[0])
+	}
+	if !strings.Contains(lines[2], "#####") || strings.Contains(lines[2], "######") {
+		t.Errorf("half bar wrong: %q", lines[2])
+	}
+	if !strings.Contains(lines[3], "##########") {
+		t.Errorf("full bar wrong: %q", lines[3])
+	}
+	if strings.Contains(lines[4], "#") {
+		t.Errorf("zero bar drawn: %q", lines[4])
+	}
+	if !strings.HasSuffix(lines[3], "100%") {
+		t.Errorf("annotation missing: %q", lines[3])
+	}
+}
+
+func TestBarChartTinyPositiveVisible(t *testing.T) {
+	c := &BarChart{Width: 10}
+	c.Add("big", 1000, "")
+	c.Add("tiny", 0.001, "")
+	out := c.ASCII()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if !strings.Contains(lines[1], "#") {
+		t.Errorf("tiny positive value invisible: %q", lines[1])
+	}
+}
+
+func TestBarChartEmpty(t *testing.T) {
+	var c BarChart
+	if c.ASCII() != "" {
+		t.Error("empty chart rendered")
+	}
+}

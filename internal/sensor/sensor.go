@@ -1,0 +1,224 @@
+// Package sensor models the ten physical sensors of the paper's Table I and
+// provides deterministic synthetic signal generators in place of the real
+// transducers (substitution documented in DESIGN.md).
+//
+// Each Spec carries the timing, power, bus, and data-format parameters the
+// paper tabulates; the hub simulator charges energy and time from these
+// numbers. The generators in synth.go produce the raw byte payloads a real
+// sensor's data register would hold, so the driver-formatting step and the
+// app-level algorithms operate on realistic inputs with known ground truth.
+package sensor
+
+import (
+	"fmt"
+	"time"
+)
+
+// ID names a sensor from Table I ("S1".."S10", plus "S10H" for the
+// MCU-unfriendly high-resolution imager variant).
+type ID string
+
+// Sensor IDs from Table I.
+const (
+	Barometer     ID = "S1"
+	Temperature   ID = "S2"
+	Fingerprint   ID = "S3"
+	Accelerometer ID = "S4"
+	AirQuality    ID = "S5"
+	Pulse         ID = "S6"
+	Light         ID = "S7"
+	Sound         ID = "S8"
+	Distance      ID = "S9"
+	LowResImage   ID = "S10"
+	HighResImage  ID = "S10H"
+)
+
+// Bus is the input bus type a sensor attaches through.
+type Bus int
+
+// Bus types from Table I.
+const (
+	BusSPI Bus = iota + 1
+	BusI2C
+	BusTTLSerial
+	BusAnalog
+	BusCameraSerial
+)
+
+// String returns the Table I label for the bus.
+func (b Bus) String() string {
+	switch b {
+	case BusSPI:
+		return "SPI"
+	case BusI2C:
+		return "I2C"
+	case BusTTLSerial:
+		return "TTL Serial"
+	case BusAnalog:
+		return "Analog"
+	case BusCameraSerial:
+		return "Camera Serial"
+	default:
+		return fmt.Sprintf("Bus(%d)", int(b))
+	}
+}
+
+// Spec is one row of Table I.
+type Spec struct {
+	ID   ID
+	Name string
+	Bus  Bus
+	// ReadTime is the bus transaction time for one sample.
+	ReadTime time.Duration
+	// PowerMin/Typ/Max are the sensor's own draw in watts while being read.
+	// The simulator charges PowerTyp.
+	PowerMin, PowerTyp, PowerMax float64
+	// DataType describes the formatted output ("Double", "Int*3", ...).
+	DataType string
+	// SampleBytes is the formatted output size of one sample.
+	SampleBytes int
+	// MaxRateHz is the sensor's maximum sampling rate (0 = single-shot).
+	MaxRateHz float64
+	// QoSRateHz is the application-required sampling rate (0 = single-shot,
+	// one sample per window).
+	QoSRateHz float64
+	// MCUFriendly reports whether the sensor's driver fits the MCU
+	// (§IV-C: only the high-resolution imager is MCU-unfriendly).
+	MCUFriendly bool
+}
+
+func mw(v float64) float64 { return v / 1000 }
+
+// specs is Table I. Power columns are converted from mW to W.
+var specs = map[ID]Spec{
+	Barometer: {
+		ID: Barometer, Name: "Barometer", Bus: BusSPI,
+		ReadTime: 37500 * time.Microsecond,
+		PowerMin: mw(2.12), PowerTyp: mw(19.47), PowerMax: mw(28.93),
+		DataType: "Double", SampleBytes: 8,
+		MaxRateHz: 157, QoSRateHz: 10, MCUFriendly: true,
+	},
+	Temperature: {
+		ID: Temperature, Name: "Temperature", Bus: BusI2C,
+		ReadTime: 18750 * time.Microsecond,
+		PowerMin: mw(1), PowerTyp: mw(13.5), PowerMax: mw(20),
+		DataType: "Double", SampleBytes: 8,
+		MaxRateHz: 120, QoSRateHz: 10, MCUFriendly: true,
+	},
+	Fingerprint: {
+		ID: Fingerprint, Name: "Fingerprint", Bus: BusTTLSerial,
+		ReadTime: 850 * time.Millisecond,
+		PowerMin: mw(432), PowerTyp: mw(600), PowerMax: mw(900),
+		DataType: "Signature", SampleBytes: 512,
+		MaxRateHz: 0, QoSRateHz: 0, MCUFriendly: true,
+	},
+	Accelerometer: {
+		ID: Accelerometer, Name: "Accelerometer", Bus: BusAnalog,
+		ReadTime: 500 * time.Microsecond,
+		PowerMin: mw(0.63), PowerTyp: mw(1.3), PowerMax: mw(1.75),
+		DataType: "Int*3", SampleBytes: 12,
+		MaxRateHz: 1e6, QoSRateHz: 1000, MCUFriendly: true,
+	},
+	AirQuality: {
+		ID: AirQuality, Name: "Air Quality", Bus: BusI2C,
+		ReadTime: 960 * time.Microsecond,
+		PowerMin: mw(1.2), PowerTyp: mw(30), PowerMax: mw(46),
+		DataType: "Int", SampleBytes: 4,
+		MaxRateHz: 400, QoSRateHz: 200, MCUFriendly: true,
+	},
+	Pulse: {
+		ID: Pulse, Name: "Pulse", Bus: BusAnalog,
+		ReadTime: 100 * time.Microsecond,
+		PowerMin: mw(9.9), PowerTyp: mw(15), PowerMax: mw(22),
+		DataType: "Int", SampleBytes: 4,
+		MaxRateHz: 1e6, QoSRateHz: 1000, MCUFriendly: true,
+	},
+	Light: {
+		ID: Light, Name: "Light", Bus: BusI2C,
+		ReadTime: 100 * time.Microsecond,
+		PowerMin: mw(16.8), PowerTyp: mw(21), PowerMax: mw(25.2),
+		DataType: "Double", SampleBytes: 8,
+		MaxRateHz: 400e3, QoSRateHz: 1000, MCUFriendly: true,
+	},
+	Sound: {
+		ID: Sound, Name: "Sound", Bus: BusAnalog,
+		ReadTime: 100 * time.Microsecond,
+		PowerMin: mw(16), PowerTyp: mw(40), PowerMax: mw(96),
+		DataType: "Int", SampleBytes: 4,
+		MaxRateHz: 1e6, QoSRateHz: 1000, MCUFriendly: true,
+	},
+	Distance: {
+		ID: Distance, Name: "Distance", Bus: BusAnalog,
+		ReadTime: 200 * time.Microsecond,
+		PowerMin: mw(120), PowerTyp: mw(150), PowerMax: mw(175),
+		DataType: "Double", SampleBytes: 8,
+		MaxRateHz: 5000, QoSRateHz: 1000, MCUFriendly: true,
+	},
+	LowResImage: {
+		ID: LowResImage, Name: "Low-Res. Img", Bus: BusTTLSerial,
+		ReadTime: 183640 * time.Microsecond,
+		PowerMin: mw(30), PowerTyp: mw(125), PowerMax: mw(140),
+		DataType: "RGB", SampleBytes: 24380,
+		MaxRateHz: 0, QoSRateHz: 0, MCUFriendly: true,
+	},
+	HighResImage: {
+		ID: HighResImage, Name: "High-Res. Img", Bus: BusCameraSerial,
+		ReadTime: 500 * time.Millisecond,
+		PowerMin: mw(382), PowerTyp: mw(425), PowerMax: mw(700),
+		DataType: "RGB", SampleBytes: 619 * 1024,
+		MaxRateHz: 0, QoSRateHz: 0, MCUFriendly: false,
+	},
+}
+
+// Lookup returns the Table I spec for id.
+func Lookup(id ID) (Spec, error) {
+	sp, ok := specs[id]
+	if !ok {
+		return Spec{}, fmt.Errorf("sensor: unknown id %q", id)
+	}
+	return sp, nil
+}
+
+// MustLookup is Lookup for known-constant IDs; it panics on unknown IDs and
+// is intended for package-level tables built from the constants above.
+func MustLookup(id ID) Spec {
+	sp, err := Lookup(id)
+	if err != nil {
+		panic(err)
+	}
+	return sp
+}
+
+// All returns the Table I specs in ID order (S1..S10, S10H).
+func All() []Spec {
+	order := []ID{
+		Barometer, Temperature, Fingerprint, Accelerometer, AirQuality,
+		Pulse, Light, Sound, Distance, LowResImage, HighResImage,
+	}
+	out := make([]Spec, 0, len(order))
+	for _, id := range order {
+		out = append(out, specs[id])
+	}
+	return out
+}
+
+// SamplesPerWindow reports how many samples the sensor delivers in one QoS
+// window of the given length: QoSRateHz × window, or a single sample for
+// single-shot sensors (fingerprint, imagers).
+func (s Spec) SamplesPerWindow(window time.Duration) int {
+	if s.QoSRateHz <= 0 {
+		return 1
+	}
+	n := int(s.QoSRateHz * window.Seconds())
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// SamplePeriod is the interval between samples at the QoS rate, or the whole
+// window for single-shot sensors.
+func (s Spec) SamplePeriod(window time.Duration) time.Duration {
+	n := s.SamplesPerWindow(window)
+	return window / time.Duration(n)
+}

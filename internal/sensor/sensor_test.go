@@ -1,0 +1,135 @@
+package sensor
+
+import (
+	"testing"
+	"time"
+)
+
+func TestLookupAllTableIRows(t *testing.T) {
+	ids := []ID{
+		Barometer, Temperature, Fingerprint, Accelerometer, AirQuality,
+		Pulse, Light, Sound, Distance, LowResImage, HighResImage,
+	}
+	for _, id := range ids {
+		sp, err := Lookup(id)
+		if err != nil {
+			t.Fatalf("Lookup(%s): %v", id, err)
+		}
+		if sp.ID != id {
+			t.Errorf("Lookup(%s).ID = %s", id, sp.ID)
+		}
+		if sp.ReadTime <= 0 {
+			t.Errorf("%s ReadTime = %v, want > 0", id, sp.ReadTime)
+		}
+		if sp.SampleBytes <= 0 {
+			t.Errorf("%s SampleBytes = %d, want > 0", id, sp.SampleBytes)
+		}
+		if !(sp.PowerMin <= sp.PowerTyp && sp.PowerTyp <= sp.PowerMax) {
+			t.Errorf("%s power ordering min=%v typ=%v max=%v", id, sp.PowerMin, sp.PowerTyp, sp.PowerMax)
+		}
+	}
+}
+
+func TestLookupUnknown(t *testing.T) {
+	if _, err := Lookup("S99"); err == nil {
+		t.Fatal("Lookup(S99) succeeded, want error")
+	}
+}
+
+func TestOnlyHighResImageIsMCUUnfriendly(t *testing.T) {
+	for _, sp := range All() {
+		want := sp.ID != HighResImage
+		if sp.MCUFriendly != want {
+			t.Errorf("%s MCUFriendly = %v, want %v", sp.ID, sp.MCUFriendly, want)
+		}
+	}
+}
+
+func TestAllOrderAndCount(t *testing.T) {
+	all := All()
+	if len(all) != 11 {
+		t.Fatalf("All() len = %d, want 11", len(all))
+	}
+	if all[0].ID != Barometer || all[9].ID != LowResImage || all[10].ID != HighResImage {
+		t.Errorf("All() order wrong: first=%s", all[0].ID)
+	}
+}
+
+func TestSamplesPerWindowMatchesQoS(t *testing.T) {
+	window := time.Second
+	cases := map[ID]int{
+		Accelerometer: 1000,
+		Barometer:     10,
+		Temperature:   10,
+		AirQuality:    200,
+		Light:         1000,
+		Sound:         1000,
+		Pulse:         1000,
+		Distance:      1000,
+		Fingerprint:   1, // single-shot
+		LowResImage:   1, // single-shot
+	}
+	for id, want := range cases {
+		sp := MustLookup(id)
+		if got := sp.SamplesPerWindow(window); got != want {
+			t.Errorf("%s SamplesPerWindow = %d, want %d", id, got, want)
+		}
+	}
+}
+
+func TestSamplePeriod(t *testing.T) {
+	sp := MustLookup(Accelerometer)
+	if got := sp.SamplePeriod(time.Second); got != time.Millisecond {
+		t.Errorf("accel SamplePeriod = %v, want 1ms", got)
+	}
+	fp := MustLookup(Fingerprint)
+	if got := fp.SamplePeriod(time.Second); got != time.Second {
+		t.Errorf("fingerprint SamplePeriod = %v, want 1s", got)
+	}
+}
+
+func TestSampleBytesMatchTableII(t *testing.T) {
+	// Table II's per-app sensor-data volumes decompose into these sizes.
+	cases := map[ID]int{
+		Barometer:     8,
+		Temperature:   8,
+		Fingerprint:   512,
+		Accelerometer: 12,
+		AirQuality:    4,
+		Pulse:         4,
+		Light:         8,
+		Sound:         4,
+		Distance:      8,
+		LowResImage:   24380, // 23.81 KB, Table II row A9
+	}
+	for id, want := range cases {
+		if got := MustLookup(id).SampleBytes; got != want {
+			t.Errorf("%s SampleBytes = %d, want %d", id, got, want)
+		}
+	}
+}
+
+func TestBusString(t *testing.T) {
+	cases := map[Bus]string{
+		BusSPI:          "SPI",
+		BusI2C:          "I2C",
+		BusTTLSerial:    "TTL Serial",
+		BusAnalog:       "Analog",
+		BusCameraSerial: "Camera Serial",
+		Bus(9):          "Bus(9)",
+	}
+	for b, want := range cases {
+		if got := b.String(); got != want {
+			t.Errorf("Bus(%d).String() = %q, want %q", int(b), got, want)
+		}
+	}
+}
+
+func TestMustLookupPanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustLookup(S99) did not panic")
+		}
+	}()
+	MustLookup("S99")
+}

@@ -1,0 +1,327 @@
+package sensor
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeF64(t *testing.T) {
+	f := func(v float64) bool {
+		got, err := DecodeF64(EncodeF64(v))
+		if err != nil {
+			return false
+		}
+		return got == v || (math.IsNaN(got) && math.IsNaN(v))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeDecodeI32(t *testing.T) {
+	f := func(v int32) bool {
+		got, err := DecodeI32(EncodeI32(v))
+		return err == nil && got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeDecodeVec3(t *testing.T) {
+	f := func(x, y, z int32) bool {
+		got, err := DecodeVec3(EncodeVec3(Vec3{x, y, z}))
+		return err == nil && got == (Vec3{x, y, z})
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeShortBuffers(t *testing.T) {
+	if _, err := DecodeF64(make([]byte, 7)); err == nil {
+		t.Error("DecodeF64 short buffer: want error")
+	}
+	if _, err := DecodeI32(make([]byte, 3)); err == nil {
+		t.Error("DecodeI32 short buffer: want error")
+	}
+	if _, err := DecodeVec3(make([]byte, 11)); err == nil {
+		t.Error("DecodeVec3 short buffer: want error")
+	}
+	if _, err := DecodePCM(make([]byte, 1)); err == nil {
+		t.Error("DecodePCM short buffer: want error")
+	}
+}
+
+func TestAccelWalkDeterministic(t *testing.T) {
+	a := NewAccelWalk(42, 1000, 2)
+	b := NewAccelWalk(42, 1000, 2)
+	for i := 0; i < 100; i++ {
+		if !bytes.Equal(a.Sample(i), b.Sample(i)) {
+			t.Fatalf("sample %d differs between same-seed generators", i)
+		}
+	}
+	// Pure function of index: revisiting an index yields the same bytes.
+	s50 := a.Sample(50)
+	a.Sample(99)
+	if !bytes.Equal(a.Sample(50), s50) {
+		t.Error("Sample(50) changed after reading later indices")
+	}
+}
+
+func TestAccelWalkTrueSteps(t *testing.T) {
+	a := NewAccelWalk(1, 1000, 2)
+	if got := a.TrueSteps(1000); got != 2 {
+		t.Errorf("TrueSteps(1000) = %d, want 2", got)
+	}
+	if got := a.TrueSteps(5000); got != 10 {
+		t.Errorf("TrueSteps(5000) = %d, want 10", got)
+	}
+}
+
+func TestAccelWalkSampleShape(t *testing.T) {
+	a := NewAccelWalk(7, 1000, 2)
+	v, err := DecodeVec3(a.Sample(0))
+	if err != nil {
+		t.Fatalf("DecodeVec3: %v", err)
+	}
+	if v.Z < 500 || v.Z > 1500 {
+		t.Errorf("Z = %d, want near 1000 milli-g", v.Z)
+	}
+}
+
+func TestAccelQuakeBurstRaisesAmplitude(t *testing.T) {
+	q := NewAccelQuake(3, 1000, 500, 200)
+	quiet, loud := 0.0, 0.0
+	for i := 0; i < 200; i++ {
+		v, err := DecodeVec3(q.Sample(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		quiet += math.Abs(float64(v.Z - 1000))
+	}
+	for i := 500; i < 700; i++ {
+		v, err := DecodeVec3(q.Sample(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		loud += math.Abs(float64(v.Z - 1000))
+	}
+	if loud < 4*quiet {
+		t.Errorf("burst amplitude %.0f not ≫ quiet %.0f", loud, quiet)
+	}
+	if !q.HasEvent(1000) {
+		t.Error("HasEvent(1000) = false, want true")
+	}
+	if q.HasEvent(400) {
+		t.Error("HasEvent(400) = true, want false (burst at 500)")
+	}
+	noEvent := NewAccelQuake(3, 1000, -1, 0)
+	if noEvent.HasEvent(10000) {
+		t.Error("no-event generator reports event")
+	}
+}
+
+func TestECGWaveBeatCount(t *testing.T) {
+	e := NewECGWave(9, 1000, 60)
+	// 60 BPM at 1 kHz: peaks at 1000, 2000, ... so 4 full beats in 5000
+	// samples (peak 0 at sample 1000).
+	got := e.TrueBeats(5000)
+	if got < 4 || got > 5 {
+		t.Errorf("TrueBeats(5000) = %d, want 4..5", got)
+	}
+}
+
+func TestECGWaveIrregularStretchesInterval(t *testing.T) {
+	reg := NewECGWave(9, 1000, 60)
+	irr := NewECGWave(9, 1000, 60, 2)
+	if reg.peakIndex(2) >= irr.peakIndex(2) {
+		t.Errorf("irregular beat 2 at %d not later than regular %d",
+			irr.peakIndex(2), reg.peakIndex(2))
+	}
+}
+
+func TestECGWavePeaksVisible(t *testing.T) {
+	e := NewECGWave(11, 1000, 60)
+	p := e.peakIndex(0)
+	vPeak, err := DecodeI32(e.Sample(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vBase, err := DecodeI32(e.Sample(p + 200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vPeak < vBase+200 {
+		t.Errorf("peak %d not prominent over baseline %d", vPeak, vBase)
+	}
+}
+
+func TestAudioSpeechWordAt(t *testing.T) {
+	a := NewAudioSpeech(5, 8000, 100, 50, WordYes, WordNo)
+	if got := a.WordAt(10); got != WordYes {
+		t.Errorf("WordAt(10) = %v, want yes", got)
+	}
+	if got := a.WordAt(120); got != WordSilence {
+		t.Errorf("WordAt(120) = %v, want silence (gap)", got)
+	}
+	if got := a.WordAt(160); got != WordNo {
+		t.Errorf("WordAt(160) = %v, want no", got)
+	}
+	if got := a.WordAt(10_000); got != WordSilence {
+		t.Errorf("WordAt(10000) = %v, want silence", got)
+	}
+}
+
+func TestAudioSpeechSampleSizeAndEnergy(t *testing.T) {
+	a := NewAudioSpeech(5, 8000, 200, 100, WordStop)
+	if got := len(a.Sample(0)); got != 6 {
+		t.Fatalf("sample size = %d, want 6", got)
+	}
+	var inWord, inGap float64
+	for i := 0; i < 200; i++ {
+		v, err := DecodePCM(a.Sample(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		inWord += math.Abs(float64(v))
+	}
+	for i := 200; i < 300; i++ {
+		v, err := DecodePCM(a.Sample(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		inGap += math.Abs(float64(v))
+	}
+	if inWord < 10*inGap {
+		t.Errorf("word energy %.0f not ≫ gap energy %.0f", inWord, inGap)
+	}
+}
+
+func TestAudioWordString(t *testing.T) {
+	if WordYes.String() != "yes" || WordGo.String() != "go" || WordSilence.String() != "" {
+		t.Error("AudioWord labels wrong")
+	}
+	if AudioWord(99).String() != "word(99)" {
+		t.Error("unknown AudioWord label wrong")
+	}
+}
+
+func TestScalarBaselines(t *testing.T) {
+	cases := []struct {
+		kind ScalarKind
+		lo   float64
+		hi   float64
+	}{
+		{ScalarPressure, 100000, 103000},
+		{ScalarTemperature, 15, 30},
+		{ScalarAirQuality, 300, 600},
+		{ScalarLight, 100, 600},
+		{ScalarSoundLevel, 20, 90},
+		{ScalarDistance, 1, 3},
+	}
+	for _, c := range cases {
+		s := NewScalar(77, c.kind)
+		v := s.ValueAt(10)
+		if v < c.lo || v > c.hi {
+			t.Errorf("kind %d value %v outside [%v,%v]", c.kind, v, c.lo, c.hi)
+		}
+	}
+}
+
+func TestScalarEncoding(t *testing.T) {
+	f := NewScalar(1, ScalarPressure)
+	if got := len(f.Sample(0)); got != 8 {
+		t.Errorf("pressure sample = %d bytes, want 8", got)
+	}
+	i := NewScalar(1, ScalarAirQuality)
+	if got := len(i.Sample(0)); got != 4 {
+		t.Errorf("air-quality sample = %d bytes, want 4", got)
+	}
+}
+
+func TestScalarPureFunctionOfIndex(t *testing.T) {
+	s := NewScalar(13, ScalarTemperature)
+	v5 := s.ValueAt(5)
+	s.ValueAt(50)
+	if s.ValueAt(5) != v5 {
+		t.Error("ValueAt(5) changed after reading later indices")
+	}
+}
+
+func TestFrameDeterministicAndSized(t *testing.T) {
+	f := NewFrame(21, 32, 24)
+	a, b := f.RGBAt(3), f.RGBAt(3)
+	if !bytes.Equal(a, b) {
+		t.Error("RGBAt not deterministic")
+	}
+	if len(a) != 32*24*3 {
+		t.Errorf("frame size = %d, want %d", len(a), 32*24*3)
+	}
+	if bytes.Equal(f.RGBAt(0), f.RGBAt(1)) {
+		t.Error("consecutive frames identical, want seeded variation")
+	}
+}
+
+func TestFixedSizePadsAndTruncates(t *testing.T) {
+	f := NewFrame(1, 8, 8) // 192 bytes
+	pad := FixedSize{Src: f, N: 300}
+	if got := len(pad.Sample(0)); got != 300 {
+		t.Errorf("padded size = %d, want 300", got)
+	}
+	trunc := FixedSize{Src: f, N: 100}
+	if got := len(trunc.Sample(0)); got != 100 {
+		t.Errorf("truncated size = %d, want 100", got)
+	}
+	exact := FixedSize{Src: f, N: 192}
+	if got := len(exact.Sample(0)); got != 192 {
+		t.Errorf("exact size = %d, want 192", got)
+	}
+}
+
+func TestSignatureNearTemplateSameFingerFarOtherwise(t *testing.T) {
+	src := NewSignature(4, 1)
+	tmpl1 := FingerTemplate(1)
+	tmpl2 := FingerTemplate(2)
+	scan := src.Sample(0)
+	d1 := hamming(scan, tmpl1)
+	d2 := hamming(scan, tmpl2)
+	if d1*10 > d2 {
+		t.Errorf("same-finger distance %d not ≪ other-finger %d", d1, d2)
+	}
+	if got := len(scan); got != 512 {
+		t.Errorf("signature size = %d, want 512", got)
+	}
+}
+
+func TestDefaultSourceCoversAllSensors(t *testing.T) {
+	for _, sp := range All() {
+		src, err := DefaultSource(sp.ID, 1)
+		if err != nil {
+			t.Fatalf("DefaultSource(%s): %v", sp.ID, err)
+		}
+		got := len(src.Sample(0))
+		// Non-fixed sources must match the spec size exactly for the data
+		// volumes of Table II to come out right; image sources are wrapped.
+		if got != sp.SampleBytes && sp.ID != Accelerometer {
+			t.Errorf("%s default sample = %d bytes, want %d", sp.ID, got, sp.SampleBytes)
+		}
+	}
+	if _, err := DefaultSource("S99", 1); err == nil {
+		t.Error("DefaultSource(S99) succeeded, want error")
+	}
+}
+
+func hamming(a, b []byte) int {
+	d := 0
+	for i := range a {
+		x := a[i] ^ b[i]
+		for x != 0 {
+			d += int(x & 1)
+			x >>= 1
+		}
+	}
+	return d
+}

@@ -1,0 +1,46 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkSchedulerThroughput measures raw event dispatch: schedule and run
+// 10k chained events per iteration.
+func BenchmarkSchedulerThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := NewScheduler()
+		count := 0
+		var step func()
+		step = func() {
+			count++
+			if count < 10_000 {
+				if _, err := s.After(time.Microsecond, step); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		if _, err := s.At(0, step); err != nil {
+			b.Fatal(err)
+		}
+		if err := s.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSchedulerFanOut measures heap behavior with a wide pre-scheduled
+// event set (the hub's per-sample schedule shape).
+func BenchmarkSchedulerFanOut(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := NewScheduler()
+		for k := 0; k < 5000; k++ {
+			if _, err := s.At(Time(k), func() {}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := s.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package speech
+
+import (
+	"testing"
+
+	"iothub/internal/sensor"
+)
+
+func benchPCM(b *testing.B, n int) []float64 {
+	b.Helper()
+	gen := sensor.NewAudioSpeech(1, rate, n, 0, sensor.WordYes)
+	pcm := make([]float64, n)
+	for i := range pcm {
+		pcm[i] = gen.PCMAt(i)
+	}
+	return pcm
+}
+
+// BenchmarkMFCCFrontend measures the per-second feature-extraction cost —
+// the front half of A11's per-window computation.
+func BenchmarkMFCCFrontend(b *testing.B) {
+	f, err := NewFrontend(rate)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pcm := benchPCM(b, rate)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.Features(pcm); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDTWMatch measures one template comparison — the back half.
+func BenchmarkDTWMatch(b *testing.B) {
+	f, err := NewFrontend(rate)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a, err := f.Features(benchPCM(b, rate/4))
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := f.Features(benchPCM(b, rate/4))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DTW(a, c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package speech
+
+import "fmt"
+
+// CMN applies cepstral mean normalization: subtracting each coefficient's
+// utterance mean removes stationary channel coloration (microphone and
+// room response), a standard robustness step in ASR front-ends.
+func CMN(features [][]float64) [][]float64 {
+	if len(features) == 0 {
+		return nil
+	}
+	dim := len(features[0])
+	means := make([]float64, dim)
+	for _, f := range features {
+		for i := 0; i < dim && i < len(f); i++ {
+			means[i] += f[i]
+		}
+	}
+	for i := range means {
+		means[i] /= float64(len(features))
+	}
+	out := make([][]float64, len(features))
+	for j, f := range features {
+		row := make([]float64, len(f))
+		for i := range f {
+			if i < dim {
+				row[i] = f[i] - means[i]
+			} else {
+				row[i] = f[i]
+			}
+		}
+		out[j] = row
+	}
+	return out
+}
+
+// WithDeltas appends first-order regression deltas to each frame, doubling
+// its dimensionality: static coefficients capture the spectral shape, deltas
+// its trajectory — the discriminative cue for transitions between phones.
+// The regression window spans ±width frames (standard width 2).
+func WithDeltas(features [][]float64, width int) ([][]float64, error) {
+	if width < 1 {
+		return nil, fmt.Errorf("speech: delta width %d", width)
+	}
+	n := len(features)
+	if n == 0 {
+		return nil, nil
+	}
+	dim := len(features[0])
+	var norm float64
+	for d := 1; d <= width; d++ {
+		norm += 2 * float64(d*d)
+	}
+	out := make([][]float64, n)
+	clamp := func(i int) int {
+		if i < 0 {
+			return 0
+		}
+		if i >= n {
+			return n - 1
+		}
+		return i
+	}
+	for j := range features {
+		row := make([]float64, 0, 2*dim)
+		row = append(row, features[j]...)
+		for c := 0; c < dim; c++ {
+			var num float64
+			for d := 1; d <= width; d++ {
+				num += float64(d) * (at(features, clamp(j+d), c) - at(features, clamp(j-d), c))
+			}
+			row = append(row, num/norm)
+		}
+		out[j] = row
+	}
+	return out, nil
+}
+
+func at(features [][]float64, j, c int) float64 {
+	if c < len(features[j]) {
+		return features[j][c]
+	}
+	return 0
+}
+
+// Enhance applies the full robustness pipeline (CMN then deltas) used when a
+// Recognizer is created with WithEnhancedFeatures.
+func Enhance(features [][]float64) ([][]float64, error) {
+	return WithDeltas(CMN(features), 2)
+}
+
+// WithEnhancedFeatures switches the recognizer to CMN + delta features for
+// both templates and inputs. Call before the first Decode; the templates are
+// re-derived immediately.
+func (r *Recognizer) WithEnhancedFeatures() error {
+	for i := range r.templates {
+		enhanced, err := Enhance(r.templates[i].Features)
+		if err != nil {
+			return err
+		}
+		r.templates[i].Features = enhanced
+	}
+	r.enhance = true
+	return nil
+}

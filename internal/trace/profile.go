@@ -1,0 +1,61 @@
+package trace
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"iothub/internal/apps"
+)
+
+// Profile is the measured cost of one workload's real Go implementation —
+// the analog of the paper's oprofile counters, but over our substitutes.
+// These measurements document the *actual* implementations; the simulator's
+// energy model runs on the calibrated Figure 6 constants instead, because
+// the paper's costs describe its embedded C implementations, not ours.
+type Profile struct {
+	ID apps.ID
+	// AllocBytesPerWindow is the average heap allocated by one Compute call.
+	AllocBytesPerWindow float64
+	// WallPerWindow is the average wall-clock time of one Compute call on
+	// the build machine.
+	WallPerWindow time.Duration
+	// Windows is how many windows were measured.
+	Windows int
+}
+
+// ProfileCompute measures windows of the app's real computation: collect the
+// synthetic inputs, then time and memory-profile Compute itself.
+func ProfileCompute(a apps.App, windows int) (Profile, error) {
+	if windows < 1 {
+		return Profile{}, fmt.Errorf("trace: windows %d", windows)
+	}
+	spec := a.Spec()
+	inputs := make([]apps.WindowInput, 0, windows)
+	for w := 0; w < windows; w++ {
+		in, err := apps.CollectWindow(a, w)
+		if err != nil {
+			return Profile{}, fmt.Errorf("trace: collect window %d: %w", w, err)
+		}
+		inputs = append(inputs, in)
+	}
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for _, in := range inputs {
+		if _, err := a.Compute(in); err != nil {
+			return Profile{}, fmt.Errorf("trace: compute window %d: %w", in.Window, err)
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+
+	return Profile{
+		ID:                  spec.ID,
+		AllocBytesPerWindow: float64(after.TotalAlloc-before.TotalAlloc) / float64(windows),
+		WallPerWindow:       elapsed / time.Duration(windows),
+		Windows:             windows,
+	}, nil
+}
