@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt bench experiments ablations examples clean
+.PHONY: all build test race vet fmt check fuzz bench experiments ablations examples clean
 
-all: build vet test
+all: build vet test check
 
 build:
 	$(GO) build ./...
@@ -17,6 +17,14 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+# check is the pre-merge gate: static analysis, the race detector, and a
+# short fuzz pass over the CoAP wire parser (the one decoder that consumes
+# attacker-shaped bytes).
+check: vet race fuzz
+
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzUnmarshal -fuzztime 10s ./internal/coapmsg
 
 fmt:
 	gofmt -l -w .

@@ -7,6 +7,7 @@
 //	iotsim -apps A2,A7 -scheme beam
 //	iotsim -apps A11,A6 -scheme bcom          # partitioned by the planner
 //	iotsim -apps A2 -scheme batching -timeline
+//	iotsim -apps A6 -scheme com -check -chaos "seed=7; mcu-crash:at=1100ms,for=150ms"
 package main
 
 import (
@@ -22,6 +23,7 @@ import (
 	"iothub/internal/apps/catalog"
 	"iothub/internal/core"
 	"iothub/internal/energy"
+	"iothub/internal/faults"
 	"iothub/internal/hub"
 	"iothub/internal/report"
 	"iothub/internal/sensor"
@@ -45,6 +47,8 @@ func run(args []string, out io.Writer) error {
 	timeline := fs.Bool("timeline", false, "print the CPU power timeline (Fig. 5 style)")
 	showOutputs := fs.Bool("outputs", true, "print per-window app outputs")
 	failEvery := fs.Int("fail-every", 0, "inject a sensor read failure every Nth attempt (0 = none)")
+	chaos := fs.String("chaos", "", `fault schedule, e.g. "seed=7; link-corrupt:prob=0.05; mcu-crash:at=700ms,for=80ms"`)
+	check := fs.Bool("check", false, "run the post-simulation invariant checker verbosely and print the fault/resilience summary")
 	battery := fs.Float64("battery-mah", 0, "project battery lifetime for this workload (mAh at 5 V; single app only)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -74,6 +78,13 @@ func run(args []string, out io.Writer) error {
 		}
 		cfg.Faults = plan
 	}
+	if *chaos != "" {
+		schedule, err := faults.ParseSchedule(*chaos)
+		if err != nil {
+			return err
+		}
+		cfg.FaultSchedule = schedule
+	}
 	if scheme == hub.BCOM {
 		plan, err := core.PlanBCOM(list, hub.DefaultParams())
 		if err != nil {
@@ -90,6 +101,9 @@ func run(args []string, out io.Writer) error {
 	printSummary(out, res, *windows)
 	if res.ReadRetries > 0 || res.DroppedSamples > 0 {
 		fmt.Fprintf(out, "faults: %d retries, %d dropped samples\n\n", res.ReadRetries, res.DroppedSamples)
+	}
+	if *check {
+		printCheck(out, res)
 	}
 	if *battery > 0 {
 		if len(list) != 1 {
@@ -130,6 +144,30 @@ func printSummary(out io.Writer, res *hub.RunResult, windows int) {
 		res.Interrupts, res.BytesTransferred, res.BatchFlushes,
 		res.CPUWakes, res.QoSViolations, res.Duration.Round(time.Millisecond)))
 	fmt.Fprintln(out, t.ASCII())
+}
+
+// printCheck re-runs the invariant checker verbosely (hub.Run already
+// enforces it — a run that reaches this point passed) and summarizes what the
+// fault engine injected and how the resilience layer absorbed it.
+func printCheck(out io.Writer, res *hub.RunResult) {
+	if err := res.CheckInvariants(); err != nil {
+		fmt.Fprintf(out, "invariants: VIOLATED: %v\n\n", err)
+		return
+	}
+	fmt.Fprintf(out, "invariants: ok (energy conserved, time monotonic, %d+%d samples accounted)\n",
+		res.ScheduledSamples, res.RecollectedSamples)
+	fmt.Fprintf(out, "chaos: link retx=%d corrupt=%d lost=%d aborted=%d | mcu crashes=%d recollected=%d | "+
+		"sensor slow=%d stuck=%d | radio deferred=%d dropped=%d (%d B)\n",
+		res.LinkRetransmits, res.LinkCorruptFrames, res.LinkLostFrames, res.LinkAbortedTransfers,
+		res.MCUCrashes, res.RecollectedSamples, res.SlowReads, res.StuckSamples,
+		res.RadioDeferred, res.RadioDroppedBursts, res.RadioDroppedBytes)
+	fmt.Fprintf(out, "resilience: downshifts=%d skipped=%d early flushes=%d budget checks=%d misses=%d\n",
+		res.RateDownshifts, res.DownshiftSkipped, res.EarlyFlushes,
+		res.OffloadBudgetChecks, res.OffloadBudgetMisses)
+	for _, d := range res.Degradations {
+		fmt.Fprintf(out, "degraded: %s %v -> %v from window %d (%s)\n", d.App, d.From, d.To, d.Window, d.Reason)
+	}
+	fmt.Fprintln(out)
 }
 
 func printOutputs(out io.Writer, res *hub.RunResult) {

@@ -76,6 +76,35 @@ func TestRunFaultInjectionFlag(t *testing.T) {
 	}
 }
 
+func TestRunChaosFlag(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-apps", "A2", "-windows", "2", "-outputs=false", "-check",
+		"-chaos", "seed=7; link-corrupt:every=20; mcu-crash:at=700ms,for=80ms"}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	s := out.String()
+	for _, want := range []string{"invariants: ok", "mcu crashes=1", "retx="} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+	if err := run([]string{"-apps", "A2", "-chaos", "warp-core:breach"}, &out); err == nil {
+		t.Error("bogus chaos schedule accepted")
+	}
+}
+
+func TestRunCheckFlagCleanRun(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-apps", "A2", "-windows", "1", "-outputs=false", "-check"}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "invariants: ok") {
+		t.Errorf("invariant confirmation missing:\n%s", out.String())
+	}
+}
+
 func TestRunBatteryProjection(t *testing.T) {
 	var out bytes.Buffer
 	err := run([]string{"-apps", "A2", "-windows", "1", "-outputs=false", "-battery-mah", "10000"}, &out)

@@ -4,8 +4,8 @@ import "testing"
 
 func TestAblationsListAndByID(t *testing.T) {
 	abls := Ablations()
-	if len(abls) != 7 {
-		t.Fatalf("ablations = %d, want 7", len(abls))
+	if len(abls) != 8 {
+		t.Fatalf("ablations = %d, want 8", len(abls))
 	}
 	for _, e := range abls {
 		got, err := ByID(e.ID)
@@ -100,6 +100,38 @@ func TestAblFaultsOverheadGrows(t *testing.T) {
 	// Persistent failure (every attempt) drops the whole window.
 	if res.Values["dropped:1"] != 1000 {
 		t.Errorf("dropped at fail-every-1 = %v, want 1000", res.Values["dropped:1"])
+	}
+}
+
+func TestAblChaosScenarios(t *testing.T) {
+	res := mustRun(t, AblChaos)
+	// The clean scenario is its own reference: zero energy delta, everything
+	// delivered, nothing injected.
+	if res.Values["delta:clean"] != 0 || res.Values["delivered:clean"] != 1 {
+		t.Errorf("clean row: delta=%v delivered=%v, want 0 and 1",
+			res.Values["delta:clean"], res.Values["delivered:clean"])
+	}
+	// Link corruption retransmits and costs energy; adding loss costs more.
+	if res.Values["retx:corrupt"] == 0 || res.Values["delta:corrupt"] <= 0 {
+		t.Errorf("corrupt row: retx=%v delta=%v, want both positive",
+			res.Values["retx:corrupt"], res.Values["delta:corrupt"])
+	}
+	if res.Values["delta:corruptloss"] <= res.Values["delta:corrupt"] {
+		t.Errorf("loss on top of corruption cheaper: %v vs %v",
+			res.Values["delta:corruptloss"], res.Values["delta:corrupt"])
+	}
+	// Slow reads keep the sensor powered longer.
+	if res.Values["delta:sensor"] <= 0 {
+		t.Errorf("sensor row delta = %v, want positive", res.Values["delta:sensor"])
+	}
+	// The crash reboots once and the watchdog walks the ladder.
+	if res.Values["crashes:crash"] != 1 || res.Values["degraded:crash"] < 1 {
+		t.Errorf("crash row: crashes=%v degraded=%v, want 1 and >= 1",
+			res.Values["crashes:crash"], res.Values["degraded:crash"])
+	}
+	// The bounded radio queue drops bursts during the outage.
+	if res.Values["radiodrops:outage"] == 0 {
+		t.Error("outage row dropped no bursts at a 100 B buffer")
 	}
 }
 

@@ -30,6 +30,7 @@ import (
 
 	"iothub/internal/apps"
 	"iothub/internal/energy"
+	"iothub/internal/faults"
 	"iothub/internal/sensor"
 	"iothub/internal/sim"
 )
@@ -132,7 +133,21 @@ type Config struct {
 	// Faults optionally injects sensor read failures (§II-B Task I: the
 	// availability check can fail and the MCU retries or drops the sample).
 	Faults *FaultPlan
+	// FaultSchedule optionally injects hardware-layer faults — link frame
+	// corruption/loss, MCU crashes, sensor stuck/slow modes, radio outages —
+	// from a deterministic seedable schedule (see internal/faults). A nil or
+	// empty schedule leaves the run byte-identical to a fault-free one.
+	FaultSchedule *faults.Schedule
+	// Resilience tunes how the hub absorbs injected faults (retry policy,
+	// watchdog, degradation ladder, buffers). Nil means DefaultResilience
+	// when FaultSchedule is active, and no resilience machinery otherwise.
+	Resilience *ResiliencePolicy
 }
+
+// NoRetries is the FaultPlan.MaxRetries sentinel for "drop on first
+// failure": zero cannot mean it because the zero value must keep the
+// default of one retry.
+const NoRetries = -1
 
 // FaultPlan describes deterministic sensor-failure injection.
 type FaultPlan struct {
@@ -141,7 +156,9 @@ type FaultPlan struct {
 	// the full bus transaction and MCU check time.
 	ReadFailEvery map[sensor.ID]int
 	// MaxRetries bounds re-reads per sample; once exhausted the sample is
-	// dropped and the window completes with fewer samples. Default 1.
+	// dropped and the window completes with fewer samples. Values below 1
+	// are floored to the default of 1 — except the NoRetries sentinel,
+	// which disables re-reads entirely.
 	MaxRetries int
 }
 
@@ -153,10 +170,16 @@ func (f *FaultPlan) failEvery(id sensor.ID) int {
 }
 
 func (f *FaultPlan) maxRetries() int {
-	if f == nil || f.MaxRetries < 1 {
+	switch {
+	case f == nil:
 		return 1
+	case f.MaxRetries == NoRetries:
+		return 0
+	case f.MaxRetries < 1:
+		return 1
+	default:
+		return f.MaxRetries
 	}
-	return f.MaxRetries
 }
 
 // WindowResult is one app's output for one window.
@@ -205,6 +228,57 @@ type RunResult struct {
 	// UpstreamBytes counts window outputs pushed to the network (main-board
 	// WiFi for on-CPU apps, the MCU's radio for offloaded ones).
 	UpstreamBytes int
+
+	// Sample ledger (run invariant: ScheduledSamples + RecollectedSamples ==
+	// DeliveredSamples + DroppedSamples + DownshiftSkipped).
+	// ScheduledSamples counts sensor reads the run planned.
+	ScheduledSamples int
+	// DeliveredSamples counts reads that reached the MCU formatted.
+	DeliveredSamples int
+
+	// Fault-injection & resilience accounting. All fields stay zero (and
+	// the maps/slices nil) when no FaultSchedule is active.
+	// LinkRetransmits counts frames re-sent after corruption or loss.
+	LinkRetransmits int
+	// LinkCorruptFrames / LinkLostFrames count the failed frames by mode.
+	LinkCorruptFrames int
+	LinkLostFrames    int
+	// LinkAbortedTransfers counts transfers undelivered after the retry
+	// policy gave up.
+	LinkAbortedTransfers int
+	// MCUCrashes counts injected MCU reboots.
+	MCUCrashes int
+	// RecollectedSamples counts batch-buffered samples lost to a crash and
+	// re-read from the sensors.
+	RecollectedSamples int
+	// SlowReads / StuckSamples count sensor latency and stuck-at faults.
+	SlowReads    int
+	StuckSamples int
+	// RadioDeferred counts uplink bursts that waited out an outage;
+	// RadioDroppedBursts/Bytes count what the bounded buffer shed.
+	RadioDeferred      int
+	RadioDroppedBursts int
+	RadioDroppedBytes  int
+	// RateDownshifts counts streams that halved their in-window rate after
+	// retries threatened the QoS deadline; DownshiftSkipped counts the
+	// reads so elided.
+	RateDownshifts   int
+	DownshiftSkipped int
+	// EarlyFlushes counts batch flushes forced by RAM-pressure escalation
+	// (FlushAtRAMFrac) rather than by window completion or allocation
+	// failure.
+	EarlyFlushes int
+	// OffloadBudgetChecks counts entries into the MCU time-budget check
+	// (each offloaded window, plus re-entries after a reboot);
+	// OffloadBudgetMisses counts checks that predicted a deadline miss.
+	OffloadBudgetChecks int
+	OffloadBudgetMisses int
+	// Degradations records every scheme-ladder step the resilience layer
+	// took (COM → Batching → Baseline), in the order taken.
+	Degradations []Degradation
+	// WindowFaults aggregates fault and recovery events per window; nil for
+	// fault-free runs.
+	WindowFaults map[int]*WindowFaults
 
 	// Duration is the virtual time the run covered.
 	Duration time.Duration
@@ -296,6 +370,12 @@ func (c *Config) validate() (Params, error) {
 		params = *c.Params
 	}
 	if err := params.Validate(); err != nil {
+		return Params{}, fmt.Errorf("%w: %v", ErrConfig, err)
+	}
+	if err := c.FaultSchedule.Validate(); err != nil {
+		return Params{}, fmt.Errorf("%w: %v", ErrConfig, err)
+	}
+	if err := c.Resilience.Validate(); err != nil {
 		return Params{}, fmt.Errorf("%w: %v", ErrConfig, err)
 	}
 	switch c.Scheme {

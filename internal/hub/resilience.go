@@ -1,0 +1,98 @@
+package hub
+
+import (
+	"fmt"
+	"time"
+
+	"iothub/internal/apps"
+	"iothub/internal/link"
+)
+
+// ResiliencePolicy tunes how the hub absorbs injected hardware faults. The
+// policy only arms when a Config carries an active FaultSchedule (or sets
+// Resilience explicitly), so fault-free runs never pay for it.
+type ResiliencePolicy struct {
+	// LinkRetry bounds retransmissions when link corruption or loss is
+	// injected: each retry costs real wire time/energy and backs off
+	// exponentially.
+	LinkRetry link.RetryPolicy
+	// WatchdogInterval is how often the hub probes the MCU's liveness. A
+	// tripped watchdog (dead MCU) triggers one scheme-degradation step per
+	// crash when DegradeOnCrash is set. Zero disables the watchdog and
+	// degrades directly at crash time instead.
+	WatchdogInterval time.Duration
+	// DegradeOnCrash enables the degradation ladder (COM → Batching →
+	// Baseline) after MCU crashes.
+	DegradeOnCrash bool
+	// FlushAtRAMFrac flushes a batch early once MCU RAM usage would cross
+	// this fraction of the usable RAM (graceful degradation under pressure;
+	// 0 disables).
+	FlushAtRAMFrac float64
+	// RetryBudgetPerWindow rate-downshifts a stream for the rest of a
+	// window once its retries exceed this budget: every other remaining
+	// sample is skipped so the QoS deadline survives (0 disables).
+	RetryBudgetPerWindow int
+	// RadioBufferBytes bounds each radio's driver queue during uplink
+	// outages; overflowing bursts are dropped and accounted (0 = unbounded).
+	RadioBufferBytes int
+}
+
+// DefaultResilience returns the policy used when a fault schedule is active
+// and the config does not override it.
+func DefaultResilience() *ResiliencePolicy {
+	return &ResiliencePolicy{
+		LinkRetry:            link.RetryPolicy{MaxRetries: 3, Backoff: 500 * time.Microsecond, Factor: 2},
+		WatchdogInterval:     50 * time.Millisecond,
+		DegradeOnCrash:       true,
+		FlushAtRAMFrac:       0.9,
+		RetryBudgetPerWindow: 0,
+		RadioBufferBytes:     4096,
+	}
+}
+
+// Validate checks the policy's bounds.
+func (p *ResiliencePolicy) Validate() error {
+	if p == nil {
+		return nil
+	}
+	if p.LinkRetry.MaxRetries < 0 || p.LinkRetry.Backoff < 0 {
+		return fmt.Errorf("resilience: negative link retry policy")
+	}
+	if p.WatchdogInterval < 0 {
+		return fmt.Errorf("resilience: negative watchdog interval")
+	}
+	if p.FlushAtRAMFrac < 0 || p.FlushAtRAMFrac > 1 {
+		return fmt.Errorf("resilience: FlushAtRAMFrac %v outside [0,1]", p.FlushAtRAMFrac)
+	}
+	if p.RetryBudgetPerWindow < 0 || p.RadioBufferBytes < 0 {
+		return fmt.Errorf("resilience: negative budget")
+	}
+	return nil
+}
+
+// Degradation records one step down the scheme ladder for one app.
+type Degradation struct {
+	// Window is the first window the new mode applies to (in-flight windows
+	// keep the mode they started with).
+	Window int
+	App    apps.ID
+	From   Mode
+	To     Mode
+	// Reason names the trigger, e.g. "watchdog: mcu dead" or "mcu crash".
+	Reason string
+}
+
+// WindowFaults aggregates the fault and recovery events of one window.
+type WindowFaults struct {
+	// Retries counts failed sensor read attempts re-tried in the window.
+	Retries int
+	// Drops counts samples abandoned in the window.
+	Drops int
+	// Crashes counts MCU reboots that struck during the window.
+	Crashes int
+	// Recollected counts batch samples the window had to re-read after a
+	// crash wiped the MCU RAM.
+	Recollected int
+	// Degradations counts scheme-ladder steps that took effect this window.
+	Degradations int
+}

@@ -7,6 +7,7 @@ import (
 	"iothub/internal/apps"
 	"iothub/internal/cpu"
 	"iothub/internal/energy"
+	"iothub/internal/faults"
 	"iothub/internal/link"
 	"iothub/internal/mcu"
 	"iothub/internal/radio"
@@ -14,11 +15,34 @@ import (
 	"iothub/internal/sim"
 )
 
+// modeChange is one degradation step: mode applies from fromWindow on.
+type modeChange struct {
+	fromWindow int
+	mode       Mode
+}
+
+// batchRef identifies one sample resident in the MCU batch buffer, so a
+// crash can re-collect exactly what the RAM held.
+type batchRef struct {
+	s *stream
+	k int
+}
+
 // appState is one app's runtime bookkeeping.
 type appState struct {
 	app  apps.App
 	spec apps.Spec
 	mode Mode
+
+	// modeChanges records degradation steps; in-flight windows keep the
+	// mode they started with (see modeFor).
+	modeChanges []modeChange
+	// batchRefs tracks the samples currently resident in the MCU batch
+	// buffer (cleared on flush, re-collected on crash).
+	batchRefs []batchRef
+	// offloadInFlight marks windows whose MCU computation has been
+	// dispatched but not finished — a crash re-enters their budget check.
+	offloadInFlight map[int]bool
 
 	// cpuComputeTime / mcuComputeTime are the per-window app-specific
 	// computation costs on each processor.
@@ -67,6 +91,11 @@ type stream struct {
 	consumers []consumerLink
 	// attempts counts read attempts for deterministic fault injection.
 	attempts int
+	// retriesInWindow / downshifted drive the resilience layer's
+	// rate-downshift: once a window's retries blow the budget, every other
+	// remaining read of the stream is skipped.
+	retriesInWindow map[int]int
+	downshifted     map[int]bool
 }
 
 // expectedFor reports how many samples window w still anticipates.
@@ -75,6 +104,18 @@ func (st *appState) expectedFor(w int) int {
 		st.expected[w] = st.samplesPerWindow
 	}
 	return st.expected[w]
+}
+
+// modeFor resolves the app's mode for window w: the base mode unless a
+// degradation step took effect at or before w.
+func (st *appState) modeFor(w int) Mode {
+	mode := st.mode
+	for _, ch := range st.modeChanges {
+		if ch.fromWindow <= w {
+			mode = ch.mode
+		}
+	}
+	return mode
 }
 
 type runner struct {
@@ -99,6 +140,23 @@ type runner struct {
 	// allowDeep is true when every app is offloaded (the CPU is fully
 	// freed, §III-B4).
 	allowDeep bool
+
+	// Fault-injection machinery; all nil/zero when no schedule is active.
+	engine *faults.Engine
+	pol    *ResiliencePolicy
+	// linkFaulty short-circuits the reliable link path when no link rules
+	// exist, keeping the wire byte-identical to the fault-free run.
+	linkFaulty bool
+	// horizon is the run's nominal end (Windows × window): self-firing
+	// fault events and watchdog probes are only scheduled inside it so the
+	// event queue still drains.
+	horizon time.Duration
+	// offloadNeed is the MCU RAM reserved for offloaded app footprints,
+	// re-reserved after a crash wipes the RAM.
+	offloadNeed int
+	// lastDegradedCrash ensures the watchdog takes one ladder step per
+	// crash, however many probes see the same dead MCU.
+	lastDegradedCrash int
 
 	res    *RunResult
 	runErr error
@@ -145,6 +203,9 @@ func Run(cfg Config) (*RunResult, error) {
 	if err := r.build(modes); err != nil {
 		return nil, err
 	}
+	if err := r.armFaults(); err != nil {
+		return nil, err
+	}
 	r.prime()
 	if err := r.scheduleAll(); err != nil {
 		return nil, err
@@ -159,7 +220,67 @@ func Run(cfg Config) (*RunResult, error) {
 		return nil, r.runErr
 	}
 	r.collect()
+	if err := r.res.CheckInvariants(); err != nil {
+		return nil, fmt.Errorf("hub: run invariant violated: %w", err)
+	}
 	return r.res, nil
+}
+
+// armFaults compiles the fault schedule and wires the self-firing fault
+// events, the watchdog, and the radio-side buffers. With an inactive
+// schedule everything stays nil and the run is byte-identical to a
+// fault-free one.
+func (r *runner) armFaults() error {
+	r.horizon = time.Duration(r.cfg.Windows) * r.window
+	engine, err := faults.NewEngine(r.cfg.FaultSchedule)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrConfig, err)
+	}
+	r.engine = engine
+	r.pol = r.cfg.Resilience
+	if engine == nil && r.pol == nil {
+		return nil
+	}
+	if r.pol == nil {
+		r.pol = DefaultResilience()
+	}
+	r.linkFaulty = engine.HasKind(faults.LinkCorrupt, faults.LinkLoss)
+
+	// Radio outages and bounded buffering.
+	radios := []struct {
+		target string
+		rad    *radio.Radio
+	}{{"radio:main", r.mainRadio}, {"radio:mcu", r.mcuRadio}}
+	for _, rr := range radios {
+		target, rad := rr.target, rr.rad
+		evs := engine.TimedEvents(faults.RadioOutage, target, r.horizon)
+		if len(evs) > 0 && r.pol.RadioBufferBytes > 0 {
+			rad.SetQueueLimit(r.pol.RadioBufferBytes)
+		}
+		for _, ev := range evs {
+			if err := rad.AddOutage(ev.At, ev.At.Add(ev.Rule.Duration)); err != nil {
+				return fmt.Errorf("%w: %v", ErrConfig, err)
+			}
+		}
+	}
+
+	// MCU crashes fire at schedule instants; the watchdog (when enabled)
+	// detects the dead board and walks the degradation ladder.
+	crashes := engine.TimedEvents(faults.MCUCrash, "mcu", r.horizon)
+	for _, ev := range crashes {
+		d := ev.Rule.Duration
+		if _, err := r.sched.At(ev.At, func() { r.onMCUCrash(d) }); err != nil {
+			return err
+		}
+	}
+	if len(crashes) > 0 && r.pol.WatchdogInterval > 0 {
+		for at := r.pol.WatchdogInterval; at <= r.horizon; at += r.pol.WatchdogInterval {
+			if _, err := r.sched.At(sim.Time(at), r.watchdogProbe); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 // fail aborts the simulation with an error (used from event callbacks).
@@ -170,6 +291,181 @@ func (r *runner) fail(err error) {
 	r.sched.Stop()
 }
 
+// windowFault lazily creates the per-window fault record; fault-free runs
+// keep the map nil.
+func (r *runner) windowFault(w int) *WindowFaults {
+	if r.res.WindowFaults == nil {
+		r.res.WindowFaults = make(map[int]*WindowFaults)
+	}
+	wf := r.res.WindowFaults[w]
+	if wf == nil {
+		wf = &WindowFaults{}
+		r.res.WindowFaults[w] = wf
+	}
+	return wf
+}
+
+// windowAt is the window index the virtual instant falls in.
+func (r *runner) windowAt(t sim.Time) int { return int(t / sim.Time(r.window)) }
+
+// onMCUCrash injects one MCU reboot: resident batch samples are lost and
+// must be re-collected, in-flight offloaded windows re-enter the time-budget
+// check, and (watchdog disabled) the degradation ladder steps immediately.
+func (r *runner) onMCUCrash(d time.Duration) {
+	if !r.mcu.Alive() {
+		return // absorbed by an ongoing reboot
+	}
+	now := r.sched.Now()
+	if d <= 0 {
+		d = r.params.MCU.RebootTime
+	}
+	r.windowFault(r.windowAt(now)).Crashes++
+
+	// Everything resident in batch RAM is gone: rewind the owning windows'
+	// read progress and queue re-reads for after the reboot.
+	var redo []batchRef
+	for _, st := range r.states {
+		for _, ref := range st.batchRefs {
+			w := ref.k / ref.s.perWindow
+			st.readsDone[w]--
+			redo = append(redo, ref)
+		}
+		r.res.RecollectedSamples += len(st.batchRefs)
+		if len(st.batchRefs) > 0 {
+			r.windowFault(r.windowAt(now)).Recollected += len(st.batchRefs)
+		}
+		st.batchRefs = nil
+		// The buffer bytes evaporate with the RAM; zeroing the counters
+		// keeps flushBatch from freeing bytes that no longer exist.
+		st.batchFill = 0
+		st.batchAllocd = 0
+
+		// Offloaded windows whose computation was in flight restart from
+		// scratch after the reboot — re-enter the MCU time-budget check.
+		for w := range st.offloadInFlight {
+			r.checkOffloadBudget(st, w, now.Add(d))
+		}
+	}
+	if err := r.mcu.Crash(d, func() { r.afterReboot(redo) }); err != nil {
+		r.fail(err)
+		return
+	}
+	if r.pol != nil && r.pol.DegradeOnCrash && r.pol.WatchdogInterval <= 0 {
+		r.lastDegradedCrash = r.mcu.Crashes()
+		r.degradeAll("mcu crash")
+	}
+}
+
+// afterReboot re-reserves the offload footprint (the binary reloads from
+// flash) and re-issues the reads the crash destroyed, serialized so each
+// stream's bus transactions do not overlap.
+func (r *runner) afterReboot(redo []batchRef) {
+	if r.offloadNeed > 0 && r.anyOffloadedAhead() {
+		if err := r.mcu.Alloc(r.offloadNeed); err != nil {
+			r.fail(err)
+			return
+		}
+	}
+	for i, ref := range redo {
+		ref := ref
+		delay := time.Duration(i) * ref.s.spec.ReadTime
+		if _, err := r.sched.After(delay, func() { r.startRead(ref.s, ref.k) }); err != nil {
+			r.fail(err)
+			return
+		}
+	}
+}
+
+// anyOffloadedAhead reports whether any app still runs offloaded in the
+// current or a future window.
+func (r *runner) anyOffloadedAhead() bool {
+	from := r.windowAt(r.sched.Now())
+	for _, st := range r.states {
+		for w := from; w < r.cfg.Windows; w++ {
+			if st.modeFor(w) == Offloaded {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// checkOffloadBudget re-enters the planner's MCU time-budget check for an
+// offloaded window: will the (re)computation still meet the QoS deadline?
+func (r *runner) checkOffloadBudget(st *appState, w int, earliestStart sim.Time) {
+	r.res.OffloadBudgetChecks++
+	deadline := sim.Time(int64(w+3) * int64(r.window))
+	if earliestStart.Add(st.mcuComputeTime) > deadline {
+		r.res.OffloadBudgetMisses++
+	}
+}
+
+// watchdogProbe checks MCU liveness; a dead board walks the degradation
+// ladder once per crash.
+func (r *runner) watchdogProbe() {
+	if r.mcu.Alive() || r.pol == nil || !r.pol.DegradeOnCrash {
+		return
+	}
+	if r.lastDegradedCrash >= r.mcu.Crashes() {
+		return
+	}
+	r.lastDegradedCrash = r.mcu.Crashes()
+	r.degradeAll("watchdog: mcu dead")
+}
+
+// degradeAll steps every app one rung down the scheme ladder (Offloaded →
+// Batched → PerSample) starting at the next window; in-flight windows keep
+// the mode they started with.
+func (r *runner) degradeAll(reason string) {
+	wNext := r.windowAt(r.sched.Now()) + 1
+	if wNext >= r.cfg.Windows {
+		return // no future window left to protect
+	}
+	changed := false
+	for _, st := range r.states {
+		from := st.modeFor(wNext)
+		var to Mode
+		switch from {
+		case Offloaded:
+			to = Batched
+		case Batched:
+			to = PerSample
+		default:
+			continue // PerSample is the ladder's floor
+		}
+		st.modeChanges = append(st.modeChanges, modeChange{fromWindow: wNext, mode: to})
+		r.res.Degradations = append(r.res.Degradations, Degradation{
+			Window: wNext, App: st.spec.ID, From: from, To: to, Reason: reason,
+		})
+		r.windowFault(wNext).Degradations++
+		changed = true
+	}
+	if changed {
+		r.retuneGovernor(wNext)
+	}
+}
+
+// retuneGovernor recomputes the CPU idle policy after a degradation: a
+// formerly all-offloaded hub now fields interrupts again.
+func (r *runner) retuneGovernor(w int) {
+	allOffloaded := true
+	minGap := r.window
+	for _, st := range r.states {
+		if st.modeFor(w) != Offloaded {
+			allOffloaded = false
+		}
+	}
+	for _, s := range r.streams {
+		for _, l := range s.consumers {
+			if l.st.modeFor(w) == PerSample && s.period*time.Duration(l.stride) < minGap {
+				minGap = s.period
+			}
+		}
+	}
+	r.gapHint = minGap
+	r.allowDeep = allOffloaded
+}
+
 // build constructs app states and streams.
 func (r *runner) build(modes map[apps.ID]Mode) error {
 	allOffloaded := true
@@ -178,14 +474,15 @@ func (r *runner) build(modes map[apps.ID]Mode) error {
 	for _, a := range r.cfg.Apps {
 		sp := a.Spec()
 		st := &appState{
-			app:            a,
-			spec:           sp,
-			mode:           modes[sp.ID],
-			readsDone:      make(map[int]int),
-			delivered:      make(map[int]int),
-			expected:       make(map[int]int),
-			fired:          make(map[int]bool),
-			pendingFlushes: make(map[int]int),
+			app:             a,
+			spec:            sp,
+			mode:            modes[sp.ID],
+			readsDone:       make(map[int]int),
+			delivered:       make(map[int]int),
+			expected:        make(map[int]int),
+			fired:           make(map[int]bool),
+			pendingFlushes:  make(map[int]int),
+			offloadInFlight: make(map[int]bool),
 		}
 		ct, err := sp.CPUComputeTime(r.params.CPU.MIPS)
 		if err != nil {
@@ -250,6 +547,7 @@ func (r *runner) build(modes map[apps.ID]Mode) error {
 			return fmt.Errorf("%w: %s: %v", ErrUnoffloadable, offloadID, err)
 		}
 	}
+	r.offloadNeed = offloadNeed
 
 	// Build streams. Under BEAM, per-sample streams of the same sensor are
 	// shared across apps (at the fastest consumer's rate, with slower
@@ -375,6 +673,7 @@ func (r *runner) prime() {
 func (r *runner) scheduleAll() error {
 	for _, s := range r.streams {
 		total := s.perWindow * r.cfg.Windows
+		r.res.ScheduledSamples += total
 		for k := 0; k < total; k++ {
 			s := s
 			k := k
@@ -390,8 +689,22 @@ func (r *runner) scheduleAll() error {
 // startRead powers the sensor for its bus transaction, then has the MCU
 // check/format the sample (DataCollection). A failed availability check
 // (fault injection) costs the full attempt and is retried; exhausted retries
-// drop the sample.
+// drop the sample. A stream that blew its window's retry budget has been
+// rate-downshifted: every other remaining read is skipped so the deadline
+// survives.
 func (r *runner) startRead(s *stream, k int) {
+	w := k / s.perWindow
+	if s.downshifted[w] && (k%s.perWindow)%2 == 1 {
+		r.res.DownshiftSkipped++
+		for _, l := range s.consumers {
+			if !l.wants(k) {
+				continue
+			}
+			l.st.expected[w] = l.st.expectedFor(w) - 1
+			r.maybeComplete(l.st, w)
+		}
+		return
+	}
 	r.attemptRead(s, k, 0)
 }
 
@@ -401,8 +714,26 @@ func (r *runner) attemptRead(s *stream, k, retriesUsed int) {
 	if n := r.cfg.Faults.failEvery(s.id); n > 0 && s.attempts%n == 0 {
 		failed = true
 	}
+	readTime := s.spec.ReadTime
+	if r.engine != nil {
+		now := r.sched.Now()
+		if rule, ok := r.engine.Fires(faults.SensorSlow, string(s.id), now); ok {
+			factor := rule.Factor
+			if factor < 1 {
+				factor = 1
+			}
+			readTime = time.Duration(float64(readTime) * factor)
+			r.res.SlowReads++
+		}
+		if _, ok := r.engine.Fires(faults.SensorStuck, string(s.id), now); ok {
+			// A stuck sensor re-delivers its previous value: timing and
+			// energy are unchanged, the staleness is accounted. (The apps'
+			// inputs come from synthetic sources; see the package note.)
+			r.res.StuckSamples++
+		}
+	}
 	s.track.Set(s.spec.PowerTyp, energy.DataCollection)
-	_, err := r.sched.After(s.spec.ReadTime, func() {
+	_, err := r.sched.After(readTime, func() {
 		s.track.Set(0, energy.Idle)
 		err := r.mcu.Exec(r.params.MCU.PerReadCPU, energy.DataCollection, func() {
 			switch {
@@ -410,6 +741,7 @@ func (r *runner) attemptRead(s *stream, k, retriesUsed int) {
 				r.sampleReady(s, k)
 			case retriesUsed < r.cfg.Faults.maxRetries():
 				r.res.ReadRetries++
+				r.noteRetry(s, k)
 				r.attemptRead(s, k, retriesUsed+1)
 			default:
 				r.dropSample(s, k)
@@ -424,6 +756,24 @@ func (r *runner) attemptRead(s *stream, k, retriesUsed int) {
 	}
 }
 
+// noteRetry feeds the per-window fault record and the rate-downshift budget.
+func (r *runner) noteRetry(s *stream, k int) {
+	w := k / s.perWindow
+	r.windowFault(w).Retries++
+	if r.pol == nil || r.pol.RetryBudgetPerWindow <= 0 {
+		return
+	}
+	if s.retriesInWindow == nil {
+		s.retriesInWindow = make(map[int]int)
+		s.downshifted = make(map[int]bool)
+	}
+	s.retriesInWindow[w]++
+	if s.retriesInWindow[w] > r.pol.RetryBudgetPerWindow && !s.downshifted[w] {
+		s.downshifted[w] = true
+		r.res.RateDownshifts++
+	}
+}
+
 // dropSample abandons a sample: every consumer's window expectation shrinks
 // and completion is re-checked (the drop may have been the last straw).
 // Functional note: the apps' Compute inputs are regenerated from their
@@ -432,6 +782,7 @@ func (r *runner) attemptRead(s *stream, k, retriesUsed int) {
 func (r *runner) dropSample(s *stream, k int) {
 	r.res.DroppedSamples++
 	w := k / s.perWindow
+	r.windowFault(w).Drops++
 	for _, l := range s.consumers {
 		if !l.wants(k) {
 			continue
@@ -442,13 +793,13 @@ func (r *runner) dropSample(s *stream, k int) {
 }
 
 // maybeComplete fires a window's downstream step once all still-expected
-// samples have progressed far enough for the app's mode.
+// samples have progressed far enough for the app's mode in that window.
 func (r *runner) maybeComplete(st *appState, w int) {
 	if st.fired[w] {
 		return
 	}
 	want := st.expectedFor(w)
-	switch st.mode {
+	switch st.modeFor(w) {
 	case PerSample:
 		if st.delivered[w] >= want {
 			st.fired[w] = true
@@ -468,10 +819,11 @@ func (r *runner) maybeComplete(st *appState, w int) {
 }
 
 // sampleReady dispatches a formatted sample according to each consumer's
-// mode. Under BEAM a per-sample stream has multiple consumers but pays for
-// one interrupt and one transfer.
+// mode for the sample's window. Under BEAM a per-sample stream has multiple
+// consumers but pays for one interrupt and one transfer.
 func (r *runner) sampleReady(s *stream, k int) {
 	w := k / s.perWindow
+	r.res.DeliveredSamples++
 	perSample := false
 	for _, l := range s.consumers {
 		if !l.wants(k) {
@@ -479,11 +831,11 @@ func (r *runner) sampleReady(s *stream, k int) {
 		}
 		st := l.st
 		st.readsDone[w]++
-		switch st.mode {
+		switch st.modeFor(w) {
 		case PerSample:
 			perSample = true
 		case Batched:
-			r.batchSample(st, s, w)
+			r.batchSample(st, s, w, k)
 			r.maybeComplete(st, w)
 		case Offloaded:
 			r.maybeComplete(st, w)
@@ -495,11 +847,14 @@ func (r *runner) sampleReady(s *stream, k int) {
 }
 
 // transferToCPU moves n payload bytes over the link and calls done when the
-// data has landed at the CPU. Without DMA the CPU is busy for the whole
-// transfer (the baseline hardware of the paper); with DMA (§IV-F ablation)
-// it only programs a descriptor and the wire signals completion.
-func (r *runner) transferToCPU(n int, done func()) {
-	d, err := r.link.Transmit(n, energy.DataTransfer)
+// transfer finishes, reporting whether the payload was delivered (always
+// true on the fault-free wire; injected corruption/loss may exhaust the
+// retry policy). Without DMA the CPU is busy for the whole transfer — wire
+// time, retransmissions, timeouts, and backoff included — (the baseline
+// hardware of the paper); with DMA (§IV-F ablation) it only programs a
+// descriptor and the wire signals completion.
+func (r *runner) transferToCPU(n int, done func(delivered bool)) {
+	d, delivered, err := r.linkSend(n)
 	if err != nil {
 		r.fail(err)
 		return
@@ -510,7 +865,7 @@ func (r *runner) transferToCPU(n int, done func()) {
 		return
 	}
 	finish := func() {
-		done()
+		done(delivered)
 		r.governCPU()
 	}
 	if r.params.DMA {
@@ -528,18 +883,55 @@ func (r *runner) transferToCPU(n int, done func()) {
 	}
 }
 
+// linkSend puts n bytes on the wire, taking the reliable (CRC + bounded
+// retransmission) path only when link faults are actually injected.
+func (r *runner) linkSend(n int) (time.Duration, bool, error) {
+	if !r.linkFaulty {
+		d, err := r.link.Transmit(n, energy.DataTransfer)
+		return d, true, err
+	}
+	rep, err := r.link.TransmitReliable(n, energy.DataTransfer, r.pol.LinkRetry,
+		func(int) link.Outcome {
+			now := r.sched.Now()
+			_, corrupt := r.engine.Fires(faults.LinkCorrupt, "link", now)
+			_, lost := r.engine.Fires(faults.LinkLoss, "link", now)
+			switch {
+			case lost:
+				return link.TxLost
+			case corrupt:
+				return link.TxCorrupt
+			default:
+				return link.TxOK
+			}
+		})
+	r.res.LinkRetransmits += rep.Attempts - 1
+	r.res.LinkCorruptFrames += rep.Corrupted
+	r.res.LinkLostFrames += rep.Lost
+	if err == nil && !rep.Delivered {
+		r.res.LinkAbortedTransfers++
+	}
+	return rep.Duration, rep.Delivered, err
+}
+
 // interruptAndTransfer is the Baseline/BEAM per-sample path: MCU raises the
-// interrupt, the CPU fields it and pulls the sample over the link.
+// interrupt, the CPU fields it and pulls the sample over the link. An
+// undelivered sample (link faults past the retry budget) shrinks the
+// window's expectation — the window completes with fewer samples, exactly
+// like a collection-stage drop.
 func (r *runner) interruptAndTransfer(s *stream, k, w int) {
 	err := r.mcu.Exec(r.params.MCU.IrqRaise, energy.Interrupt, func() {
 		r.res.Interrupts++
 		err := r.cpu.Exec(r.params.CPUIrqHandle, energy.Interrupt, func() {
-			r.transferToCPU(s.bytes, func() {
+			r.transferToCPU(s.bytes, func(delivered bool) {
 				for _, l := range s.consumers {
-					if l.st.mode != PerSample || !l.wants(k) {
+					if l.st.modeFor(w) != PerSample || !l.wants(k) {
 						continue
 					}
-					l.st.delivered[w]++
+					if delivered {
+						l.st.delivered[w]++
+					} else {
+						l.st.expected[w] = l.st.expectedFor(w) - 1
+					}
 					r.maybeComplete(l.st, w)
 				}
 			})
@@ -554,9 +946,17 @@ func (r *runner) interruptAndTransfer(s *stream, k, w int) {
 }
 
 // batchSample appends a sample to the app's MCU-side batch, flushing early
-// when the MCU RAM cannot hold more. The final flush of a window is
-// triggered by maybeComplete once all expected samples have been read.
-func (r *runner) batchSample(st *appState, s *stream, w int) {
+// when the MCU RAM cannot hold more — or, under an armed resilience policy,
+// already when RAM pressure crosses the escalation threshold. The final
+// flush of a window is triggered by maybeComplete once all expected samples
+// have been read.
+func (r *runner) batchSample(st *appState, s *stream, w int, k int) {
+	if r.pol != nil && r.pol.FlushAtRAMFrac > 0 && st.batchFill > 0 {
+		if float64(r.mcu.RAMUsed()+s.bytes) > r.pol.FlushAtRAMFrac*float64(r.params.MCU.UsableRAM()) {
+			r.res.EarlyFlushes++
+			r.flushBatch(st, w, false)
+		}
+	}
 	if err := r.mcu.Alloc(s.bytes); err != nil {
 		// RAM pressure: flush what we have, then retry the allocation for
 		// this sample against the freed space.
@@ -572,15 +972,19 @@ func (r *runner) batchSample(st *appState, s *stream, w int) {
 	}
 	st.batchAllocd += s.bytes
 	st.batchFill += s.bytes
+	st.batchRefs = append(st.batchRefs, batchRef{s: s, k: k})
 }
 
 // flushBatch raises one interrupt and bulk-transfers the app's batch. The
-// final flush of a window triggers the CPU-side computation.
+// final flush of a window triggers the CPU-side computation — even when
+// link faults swallowed a bulk frame past the retry budget: the window then
+// computes on what arrived (the loss is visible in LinkAbortedTransfers).
 func (r *runner) flushBatch(st *appState, w int, final bool) {
 	fill := st.batchFill
 	alloc := st.batchAllocd
 	st.batchFill = 0
 	st.batchAllocd = 0
+	st.batchRefs = nil
 	if fill == 0 && !final {
 		return
 	}
@@ -595,7 +999,7 @@ func (r *runner) flushBatch(st *appState, w int, final bool) {
 		r.res.Interrupts++
 		r.res.BatchFlushes++
 		err := r.cpu.Exec(r.params.CPUIrqHandle, energy.Interrupt, func() {
-			r.transferToCPU(fill, func() {
+			r.transferToCPU(fill, func(bool) {
 				st.pendingFlushes[w]--
 				if final && st.pendingFlushes[w] == 0 {
 					r.cpuCompute(st, w)
@@ -623,14 +1027,23 @@ func (r *runner) cpuCompute(st *appState, w int) {
 }
 
 // offloadCompute runs the app-specific computation on the MCU, then sends
-// the small result notification to the CPU.
+// the small result notification to the CPU. Dispatch enters the MCU
+// time-budget check (the planner's admission test, re-entered after an MCU
+// reboot restarts the computation). A result notification the link swallows
+// past the retry budget leaves the window without an output — the loss is
+// visible in LinkAbortedTransfers and the missing Outputs entry.
 func (r *runner) offloadCompute(st *appState, w int) {
+	r.checkOffloadBudget(st, w, r.sched.Now())
+	st.offloadInFlight[w] = true
 	err := r.mcu.Exec(st.mcuComputeTime, energy.AppCompute, func() {
+		delete(st.offloadInFlight, w)
 		err := r.mcu.Exec(r.params.MCU.IrqRaise, energy.Interrupt, func() {
 			r.res.Interrupts++
 			err := r.cpu.Exec(r.params.CPUIrqHandle, energy.Interrupt, func() {
-				r.transferToCPU(r.params.ResultBytes, func() {
-					r.finishWindow(st, w)
+				r.transferToCPU(r.params.ResultBytes, func(delivered bool) {
+					if delivered {
+						r.finishWindow(st, w)
+					}
 				})
 			})
 			if err != nil {
@@ -667,18 +1080,19 @@ func (r *runner) finishWindow(st *appState, w int) {
 		r.res.QoSViolations++
 	}
 	st.results = append(st.results, wr)
-	r.uplink(st, wr.Result.Upstream)
+	r.uplink(st, w, wr.Result.Upstream)
 }
 
-// uplink pushes a window's output to the network: offloaded apps transmit
-// through the MCU's own radio, everything else through the main board WiFi.
-// The host pays a small driver cost; the NIC handles the airtime.
-func (r *runner) uplink(st *appState, payload []byte) {
+// uplink pushes a window's output to the network: apps that ran the window
+// offloaded transmit through the MCU's own radio, everything else through
+// the main board WiFi. The host pays a small driver cost; the NIC handles
+// the airtime.
+func (r *runner) uplink(st *appState, w int, payload []byte) {
 	if len(payload) == 0 {
 		return
 	}
 	r.res.UpstreamBytes += len(payload)
-	if st.mode == Offloaded {
+	if st.modeFor(w) == Offloaded {
 		if err := r.mcu.Exec(r.params.UplinkDriverCPU, energy.AppCompute, nil); err != nil {
 			r.fail(err)
 			return
@@ -724,6 +1138,10 @@ func (r *runner) collect() {
 	r.res.CPUBusy = r.cpu.BusyByRoutine()
 	r.res.MCUBusy = r.mcu.BusyByRoutine()
 	r.res.CPUWakes = r.cpu.Wakes()
+	r.res.MCUCrashes = r.mcu.Crashes()
+	r.res.RadioDeferred = r.mainRadio.Deferred() + r.mcuRadio.Deferred()
+	r.res.RadioDroppedBursts = r.mainRadio.DroppedBursts() + r.mcuRadio.DroppedBursts()
+	r.res.RadioDroppedBytes = r.mainRadio.DroppedBytes() + r.mcuRadio.DroppedBytes()
 	r.res.Duration = r.sched.Now().Duration()
 	r.res.Window = r.window
 	for _, st := range r.states {

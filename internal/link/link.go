@@ -26,6 +26,12 @@ type Params struct {
 	BytesPerSec float64
 	// WireW is the power drawn by the physical link while transferring.
 	WireW float64
+	// CRCBytes is the per-frame checksum trailer the reliable path appends
+	// so corruption is detectable. The plain Transmit path never pays it.
+	CRCBytes int
+	// LossTimeout is how long the sender waits for a missing acknowledgement
+	// before declaring a frame lost and retransmitting.
+	LossTimeout time.Duration
 }
 
 // DefaultParams returns the calibration in DESIGN.md §4: ~0.2 ms per 12-byte
@@ -35,6 +41,8 @@ func DefaultParams() Params {
 		FrameOverhead: 90 * time.Microsecond,
 		BytesPerSec:   117_000,
 		WireW:         1.0,
+		CRCBytes:      4,
+		LossTimeout:   2 * time.Millisecond,
 	}
 }
 
@@ -52,6 +60,12 @@ func New(sched *sim.Scheduler, meter *energy.Meter, name string, params Params) 
 	}
 	if params.FrameOverhead < 0 {
 		return nil, fmt.Errorf("link: negative FrameOverhead %v", params.FrameOverhead)
+	}
+	if params.CRCBytes < 0 {
+		return nil, fmt.Errorf("link: negative CRCBytes %d", params.CRCBytes)
+	}
+	if params.LossTimeout < 0 {
+		return nil, fmt.Errorf("link: negative LossTimeout %v", params.LossTimeout)
 	}
 	return &Link{params: params, sched: sched, track: meter.Track(name)}, nil
 }
@@ -85,4 +99,96 @@ func (l *Link) Transmit(n int, r energy.Routine) (time.Duration, error) {
 		}
 	}
 	return l.TransferDuration(n), nil
+}
+
+// Outcome is what happened to one frame attempt on the wire.
+type Outcome int
+
+// Frame outcomes reported by a TransmitReliable check callback.
+const (
+	// TxOK delivers the frame intact.
+	TxOK Outcome = iota
+	// TxCorrupt delivers the frame but its CRC check fails at the receiver.
+	TxCorrupt
+	// TxLost drops the frame; the sender only notices via LossTimeout.
+	TxLost
+)
+
+// RetryPolicy bounds the reliable path's retransmission behavior.
+type RetryPolicy struct {
+	// MaxRetries is the number of retransmissions allowed after the first
+	// attempt (0 = single shot).
+	MaxRetries int
+	// Backoff is the sender's pause before the first retransmission.
+	Backoff time.Duration
+	// Factor multiplies the backoff per further retransmission (exponential
+	// backoff; values below 1 are clamped to 1).
+	Factor float64
+}
+
+// TxReport accounts one reliable transfer, retries included.
+type TxReport struct {
+	// Duration is the total span both endpoints were busy: every attempt's
+	// framing and wire time, loss timeouts, and backoff pauses.
+	Duration time.Duration
+	// Attempts counts frames put on the wire (>= 1).
+	Attempts int
+	// Corrupted and Lost count the failed attempts by failure mode.
+	Corrupted int
+	Lost      int
+	// Delivered reports whether the payload ultimately arrived.
+	Delivered bool
+}
+
+// TransmitReliable sends n payload bytes with CRC framing and bounded
+// retransmission. check is consulted once per attempt (1-based) and decides
+// that frame's fate; every failed attempt costs full wire time and energy,
+// lost frames additionally cost LossTimeout, and retransmissions wait out an
+// exponential backoff. With a nil check the call degrades to exactly
+// Transmit: one attempt, no CRC trailer, no timeout — the fault-free path is
+// byte-identical to the unreliable one.
+func (l *Link) TransmitReliable(n int, r energy.Routine, pol RetryPolicy, check func(attempt int) Outcome) (TxReport, error) {
+	if check == nil {
+		d, err := l.Transmit(n, r)
+		return TxReport{Duration: d, Attempts: 1, Delivered: true}, err
+	}
+	frame := n + l.params.CRCBytes
+	wire := l.WireTime(frame)
+	factor := pol.Factor
+	if factor < 1 {
+		factor = 1
+	}
+	backoff := pol.Backoff
+	rep := TxReport{}
+	elapsed := time.Duration(0)
+	for {
+		rep.Attempts++
+		if wire > 0 {
+			on := elapsed
+			if _, err := l.sched.After(on, func() { l.track.Set(l.params.WireW, r) }); err != nil {
+				return rep, fmt.Errorf("link: schedule wire-on: %w", err)
+			}
+			if _, err := l.sched.After(on+wire, func() { l.track.Set(0, energy.Idle) }); err != nil {
+				return rep, fmt.Errorf("link: schedule wire-off: %w", err)
+			}
+		}
+		elapsed += l.params.FrameOverhead + wire
+		switch check(rep.Attempts) {
+		case TxOK:
+			rep.Delivered = true
+			rep.Duration = elapsed
+			return rep, nil
+		case TxCorrupt:
+			rep.Corrupted++
+		case TxLost:
+			rep.Lost++
+			elapsed += l.params.LossTimeout
+		}
+		if rep.Attempts-1 >= pol.MaxRetries {
+			rep.Duration = elapsed
+			return rep, nil
+		}
+		elapsed += backoff
+		backoff = time.Duration(float64(backoff) * factor)
+	}
 }

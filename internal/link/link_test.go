@@ -91,6 +91,85 @@ func TestTransmitZeroBytesNoEnergy(t *testing.T) {
 	}
 }
 
+func TestTransmitReliableNilCheckMatchesTransmit(t *testing.T) {
+	// The fault-free reliable path must be byte-identical to plain Transmit:
+	// same duration, same energy, no CRC trailer.
+	la, sa, ma := newLink(t)
+	lb, sb, mb := newLink(t)
+	da, err := la.Transmit(1200, energy.DataTransfer)
+	if err != nil {
+		t.Fatalf("Transmit: %v", err)
+	}
+	rep, err := lb.TransmitReliable(1200, energy.DataTransfer, RetryPolicy{MaxRetries: 3}, nil)
+	if err != nil {
+		t.Fatalf("TransmitReliable: %v", err)
+	}
+	if err := sa.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sb.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Duration != da || rep.Attempts != 1 || !rep.Delivered {
+		t.Errorf("nil-check report = %+v, want duration %v, 1 attempt, delivered", rep, da)
+	}
+	if ea, eb := ma.Total().Total(), mb.Total().Total(); ea != eb {
+		t.Errorf("energy diverged: transmit %v, reliable %v", ea, eb)
+	}
+}
+
+func TestTransmitReliableRetriesCostWireEnergy(t *testing.T) {
+	l, s, m := newLink(t)
+	pol := RetryPolicy{MaxRetries: 3, Backoff: time.Millisecond, Factor: 2}
+	// Corrupt, lost, then delivered on the third frame.
+	outcomes := []Outcome{TxCorrupt, TxLost, TxOK}
+	rep, err := l.TransmitReliable(1166, energy.DataTransfer, pol, func(attempt int) Outcome {
+		return outcomes[attempt-1]
+	})
+	if err != nil {
+		t.Fatalf("TransmitReliable: %v", err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !rep.Delivered || rep.Attempts != 3 || rep.Corrupted != 1 || rep.Lost != 1 {
+		t.Errorf("report = %+v, want delivered on attempt 3 with 1 corrupt + 1 lost", rep)
+	}
+	p := l.Params()
+	wire := l.WireTime(1166 + p.CRCBytes)
+	// attempt1 (corrupt) + backoff 1ms + attempt2 (lost, + timeout) +
+	// backoff 2ms + attempt3 (ok).
+	want := 3*(p.FrameOverhead+wire) + p.LossTimeout + 1*time.Millisecond + 2*time.Millisecond
+	if rep.Duration != want {
+		t.Errorf("duration = %v, want %v", rep.Duration, want)
+	}
+	// Every attempt, failed or not, powered the wire for the full frame.
+	wantJ := p.WireW * (3 * wire).Seconds()
+	got := m.Total()[energy.DataTransfer]
+	if math.Abs(got-wantJ) > 1e-9 {
+		t.Errorf("wire energy = %v J, want %v (3 full frames)", got, wantJ)
+	}
+}
+
+func TestTransmitReliableGivesUpAfterMaxRetries(t *testing.T) {
+	l, s, _ := newLink(t)
+	attempts := 0
+	rep, err := l.TransmitReliable(100, energy.DataTransfer, RetryPolicy{MaxRetries: 2},
+		func(int) Outcome { attempts++; return TxLost })
+	if err != nil {
+		t.Fatalf("TransmitReliable: %v", err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.Delivered {
+		t.Error("all-lost transfer reported delivered")
+	}
+	if attempts != 3 || rep.Attempts != 3 || rep.Lost != 3 {
+		t.Errorf("report = %+v with %d checks, want 3 attempts all lost", rep, attempts)
+	}
+}
+
 // Property: transfer duration is monotone in payload size and always at
 // least the framing overhead.
 func TestPropertyTransferMonotone(t *testing.T) {

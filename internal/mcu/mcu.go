@@ -32,6 +32,8 @@ type Params struct {
 	BaseSlowdown  float64       // execution-time multiplier vs the CPU
 	PerReadCPU    time.Duration // availability check + driver formatting per read
 	IrqRaise      time.Duration // raising one interrupt toward the CPU
+	RebootTime    time.Duration // crash-to-alive span (boot ROM + RTOS init)
+	RebootW       float64       // draw while rebooting
 }
 
 // DefaultParams returns the ESP8266 calibration.
@@ -44,6 +46,8 @@ func DefaultParams() Params {
 		BaseSlowdown:  19,
 		PerReadCPU:    100 * time.Microsecond,
 		IrqRaise:      10 * time.Microsecond,
+		RebootTime:    150 * time.Millisecond,
+		RebootW:       0.9,
 	}
 }
 
@@ -73,6 +77,13 @@ type MCU struct {
 	running bool
 	ramUsed int
 	busy    map[energy.Routine]time.Duration
+
+	// Crash/reboot state: while rebooting no work starts, RAM contents are
+	// gone, and new Exec items queue until the board comes back.
+	rebooting bool
+	crashes   int
+	current   workItem // the running item, so a crash can requeue it
+	endEv     sim.EventID
 }
 
 // New returns an idle MCU metered on the named track.
@@ -82,6 +93,9 @@ func New(sched *sim.Scheduler, meter *energy.Meter, name string, params Params) 
 	}
 	if params.BaseSlowdown <= 0 {
 		return nil, fmt.Errorf("mcu: BaseSlowdown = %v, want > 0", params.BaseSlowdown)
+	}
+	if params.RebootTime < 0 || params.RebootW < 0 {
+		return nil, fmt.Errorf("mcu: negative reboot calibration (%v, %v W)", params.RebootTime, params.RebootW)
 	}
 	m := &MCU{
 		sched:  sched,
@@ -156,17 +170,19 @@ func (m *MCU) Exec(d time.Duration, r energy.Routine, done func()) error {
 }
 
 func (m *MCU) maybeStart() error {
-	if m.running || len(m.queue) == 0 {
+	if m.running || m.rebooting || len(m.queue) == 0 {
 		return nil
 	}
 	m.running = true
 	item := m.queue[0]
 	m.queue = m.queue[1:]
+	m.current = item
 	m.track.Set(m.params.ActiveW, item.r)
-	_, err := m.sched.After(item.d, func() { m.endWork(item) })
+	ev, err := m.sched.After(item.d, func() { m.endWork(item) })
 	if err != nil {
 		return fmt.Errorf("mcu: schedule work end: %w", err)
 	}
+	m.endEv = ev
 	return nil
 }
 
@@ -184,10 +200,59 @@ func (m *MCU) endWork(item workItem) {
 	}
 }
 
+// Crash reboots the MCU: the interrupted work item is requeued at the head
+// (it restarts from scratch after the reboot — partial progress and its
+// partial energy are genuinely spent), queued items survive (drivers re-issue
+// from flash), and every RAM allocation is lost. The board draws RebootW for
+// d (or the calibrated RebootTime when d <= 0), then onAlive (may be nil)
+// runs and queued work resumes. A crash during an ongoing reboot is absorbed
+// by it and not counted. No in-flight work item ever dangles: its completion
+// callback still fires, after the restart.
+func (m *MCU) Crash(d time.Duration, onAlive func()) error {
+	if m.rebooting {
+		return nil
+	}
+	if d <= 0 {
+		d = m.params.RebootTime
+	}
+	m.crashes++
+	if m.running {
+		m.sched.Cancel(m.endEv)
+		m.running = false
+		m.queue = append([]workItem{m.current}, m.queue...)
+	}
+	m.ramUsed = 0
+	m.rebooting = true
+	m.track.Set(m.params.RebootW, energy.Idle)
+	_, err := m.sched.After(d, func() {
+		m.rebooting = false
+		if len(m.queue) == 0 {
+			m.track.Set(m.params.IdleW, energy.Idle)
+		}
+		if onAlive != nil {
+			onAlive()
+		}
+		if err := m.maybeStart(); err != nil {
+			m.sched.Stop()
+		}
+	})
+	if err != nil {
+		return fmt.Errorf("mcu: schedule reboot end: %w", err)
+	}
+	return nil
+}
+
+// Alive reports whether the board is up (false while rebooting) — the
+// hub-side watchdog's probe.
+func (m *MCU) Alive() bool { return !m.rebooting }
+
+// Crashes counts completed Crash calls.
+func (m *MCU) Crashes() int { return m.crashes }
+
 // Idle re-attributes the MCU's idle draw to routine r (e.g. keeping batch
 // RAM retained counts toward DataTransfer while waiting to flush).
 func (m *MCU) Idle(r energy.Routine) error {
-	if m.Busy() {
+	if m.Busy() || m.rebooting {
 		return ErrBusy
 	}
 	m.track.Set(m.params.IdleW, r)

@@ -173,6 +173,109 @@ func TestIdleWhileBusyFails(t *testing.T) {
 	}
 }
 
+func TestCrashLosesRAMAndRestartsWork(t *testing.T) {
+	mc, s, _ := newMCU(t)
+	if err := mc.Alloc(12_000); err != nil {
+		t.Fatalf("Alloc: %v", err)
+	}
+	var doneAt sim.Time
+	if err := mc.Exec(10*time.Millisecond, energy.AppCompute, func() { doneAt = s.Now() }); err != nil {
+		t.Fatalf("Exec: %v", err)
+	}
+	alive := sim.Time(-1)
+	// Crash 4 ms into the 10 ms item; it restarts in full after the reboot.
+	if _, err := s.After(4*time.Millisecond, func() {
+		if err := mc.Crash(100*time.Millisecond, func() { alive = s.Now() }); err != nil {
+			t.Errorf("Crash: %v", err)
+		}
+		if mc.Alive() {
+			t.Error("Alive during reboot")
+		}
+		if mc.RAMUsed() != 0 {
+			t.Errorf("RAM survived the crash: %d bytes", mc.RAMUsed())
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !mc.Alive() || mc.Crashes() != 1 {
+		t.Errorf("alive=%v crashes=%d after run", mc.Alive(), mc.Crashes())
+	}
+	if alive != sim.Time(104*time.Millisecond) {
+		t.Errorf("onAlive at %v, want 104ms", alive)
+	}
+	// 4 ms partial run discarded + 100 ms reboot + full 10 ms rerun.
+	if want := sim.Time(114 * time.Millisecond); doneAt != want {
+		t.Errorf("work completed at %v, want %v", doneAt, want)
+	}
+}
+
+func TestCrashEnergyAndQueueSurvival(t *testing.T) {
+	mc, s, m := newMCU(t)
+	order := []int{}
+	// Two queued items; the crash hits while the first runs. Both still
+	// complete, in order, after the reboot.
+	for i := 0; i < 2; i++ {
+		i := i
+		if err := mc.Exec(10*time.Millisecond, energy.AppCompute, func() { order = append(order, i) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.After(5*time.Millisecond, func() {
+		if err := mc.Crash(50*time.Millisecond, nil); err != nil {
+			t.Errorf("Crash: %v", err)
+		}
+		// A crash during the reboot is absorbed, not double-counted.
+		if err := mc.Crash(time.Millisecond, nil); err != nil {
+			t.Errorf("nested Crash: %v", err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if mc.Crashes() != 1 {
+		t.Errorf("crashes = %d, want 1 (nested crash absorbed)", mc.Crashes())
+	}
+	if len(order) != 2 || order[0] != 0 || order[1] != 1 {
+		t.Errorf("completion order %v, want [0 1]", order)
+	}
+	// Reboot draw lands on the Idle routine: 50 ms at RebootW.
+	wantReboot := mc.Params().RebootW * 0.05
+	idleJ := m.Total()[energy.Idle]
+	if idleJ < wantReboot-1e-9 {
+		t.Errorf("idle-routine energy %v J missing the %v J reboot draw", idleJ, wantReboot)
+	}
+	// Active energy covers the discarded partial run plus both full reruns.
+	wantActive := mc.Params().ActiveW * (0.005 + 0.010 + 0.010)
+	if got := m.Total()[energy.AppCompute]; math.Abs(got-wantActive) > 1e-9 {
+		t.Errorf("active energy = %v J, want %v (partial + 2 full items)", got, wantActive)
+	}
+}
+
+func TestExecDuringRebootQueuesUntilAlive(t *testing.T) {
+	mc, s, _ := newMCU(t)
+	if err := mc.Crash(20*time.Millisecond, nil); err != nil {
+		t.Fatalf("Crash: %v", err)
+	}
+	var doneAt sim.Time
+	if err := mc.Exec(time.Millisecond, energy.DataCollection, func() { doneAt = s.Now() }); err != nil {
+		t.Fatalf("Exec during reboot: %v", err)
+	}
+	if err := mc.Idle(energy.Idle); !errors.Is(err, ErrBusy) {
+		t.Errorf("Idle during reboot = %v, want ErrBusy", err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if want := sim.Time(21 * time.Millisecond); doneAt != want {
+		t.Errorf("queued work completed at %v, want %v", doneAt, want)
+	}
+}
+
 // Property: Alloc/Free sequences never drive usage negative or beyond the
 // usable RAM, and a successful Alloc is always reversible.
 func TestPropertyRAMInvariant(t *testing.T) {

@@ -67,6 +67,9 @@ func (p Params) Validate() error {
 	return nil
 }
 
+// outage is one span the radio is off the air (fault injection).
+type outage struct{ from, until sim.Time }
+
 // Radio is one uplink instance with its own energy track.
 type Radio struct {
 	params Params
@@ -74,6 +77,15 @@ type Radio struct {
 	track  *energy.Track
 	// busyUntil serializes bursts on the single air interface.
 	busyUntil sim.Time
+
+	// Fault-injection state: outage windows defer bursts, the bounded queue
+	// drops what the buffer cannot hold while waiting.
+	outages       []outage
+	queueLimit    int
+	queuedBytes   int
+	deferred      int
+	droppedBursts int
+	droppedBytes  int
 }
 
 // New returns an idle radio metered on the named track.
@@ -98,6 +110,35 @@ func (r *Radio) TxDuration(n int) time.Duration {
 		time.Duration(float64(n)/r.params.BytesPerSec*float64(time.Second))
 }
 
+// AddOutage takes the radio off the air for [from, until): bursts that would
+// start inside the span wait it out in the driver queue (bounded by
+// SetQueueLimit). Outages must be added before the affected instants.
+func (r *Radio) AddOutage(from, until sim.Time) error {
+	if until <= from || from < 0 {
+		return fmt.Errorf("radio: outage [%v, %v) is empty or negative", from, until)
+	}
+	r.outages = append(r.outages, outage{from: from, until: until})
+	// Keep sorted by start so deferral resolves in one forward pass.
+	for i := len(r.outages) - 1; i > 0 && r.outages[i].from < r.outages[i-1].from; i-- {
+		r.outages[i], r.outages[i-1] = r.outages[i-1], r.outages[i]
+	}
+	return nil
+}
+
+// SetQueueLimit bounds the bytes the driver buffers for bursts waiting out
+// an outage; 0 means unbounded. Bursts that would overflow the buffer are
+// dropped and accounted.
+func (r *Radio) SetQueueLimit(bytes int) { r.queueLimit = bytes }
+
+// Deferred counts bursts that waited out at least one outage.
+func (r *Radio) Deferred() int { return r.deferred }
+
+// DroppedBursts counts bursts dropped at the bounded queue.
+func (r *Radio) DroppedBursts() int { return r.droppedBursts }
+
+// DroppedBytes counts payload bytes dropped at the bounded queue.
+func (r *Radio) DroppedBytes() int { return r.droppedBytes }
+
 // Transmit queues a burst of n bytes; done (may be nil) runs when the burst
 // has left the air. Bursts serialize on the single interface. Airtime energy
 // is attributed to routine rt.
@@ -109,6 +150,36 @@ func (r *Radio) Transmit(n int, rt energy.Routine, done func()) error {
 	start := r.sched.Now()
 	if r.busyUntil > start {
 		start = r.busyUntil
+	}
+	// An outage defers the burst to the moment the radio is back; the
+	// payload sits in the (bounded) driver queue in the meantime. A burst
+	// submitted while the radio is down is buffered even when earlier queued
+	// bursts already pushed its airtime past the outage.
+	now := r.sched.Now()
+	waited := false
+	for _, o := range r.outages {
+		down := func(t sim.Time) bool { return t >= o.from && t < o.until }
+		if down(now) || down(start) {
+			waited = true
+			if start < o.until {
+				start = o.until
+			}
+		}
+	}
+	if waited {
+		if r.queueLimit > 0 && r.queuedBytes+n > r.queueLimit {
+			r.droppedBursts++
+			r.droppedBytes += n
+			if done != nil {
+				done()
+			}
+			return nil
+		}
+		r.deferred++
+		r.queuedBytes += n
+		if _, err := r.sched.At(start, func() { r.queuedBytes -= n }); err != nil {
+			return fmt.Errorf("radio: schedule dequeue: %w", err)
+		}
 	}
 	end := start.Add(d)
 	r.busyUntil = end

@@ -179,16 +179,6 @@ func Lookup(id ID) (Spec, error) {
 	return sp, nil
 }
 
-// MustLookup is Lookup for known-constant IDs; it panics on unknown IDs and
-// is intended for package-level tables built from the constants above.
-func MustLookup(id ID) Spec {
-	sp, err := Lookup(id)
-	if err != nil {
-		panic(err)
-	}
-	return sp
-}
-
 // All returns the Table I specs in ID order (S1..S10, S10H).
 func All() []Spec {
 	order := []ID{

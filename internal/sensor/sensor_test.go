@@ -5,6 +5,15 @@ import (
 	"time"
 )
 
+func mustLookup(t *testing.T, id ID) Spec {
+	t.Helper()
+	sp, err := Lookup(id)
+	if err != nil {
+		t.Fatalf("Lookup(%s): %v", id, err)
+	}
+	return sp
+}
+
 func TestLookupAllTableIRows(t *testing.T) {
 	ids := []ID{
 		Barometer, Temperature, Fingerprint, Accelerometer, AirQuality,
@@ -70,7 +79,7 @@ func TestSamplesPerWindowMatchesQoS(t *testing.T) {
 		LowResImage:   1, // single-shot
 	}
 	for id, want := range cases {
-		sp := MustLookup(id)
+		sp := mustLookup(t, id)
 		if got := sp.SamplesPerWindow(window); got != want {
 			t.Errorf("%s SamplesPerWindow = %d, want %d", id, got, want)
 		}
@@ -78,11 +87,11 @@ func TestSamplesPerWindowMatchesQoS(t *testing.T) {
 }
 
 func TestSamplePeriod(t *testing.T) {
-	sp := MustLookup(Accelerometer)
+	sp := mustLookup(t, Accelerometer)
 	if got := sp.SamplePeriod(time.Second); got != time.Millisecond {
 		t.Errorf("accel SamplePeriod = %v, want 1ms", got)
 	}
-	fp := MustLookup(Fingerprint)
+	fp := mustLookup(t, Fingerprint)
 	if got := fp.SamplePeriod(time.Second); got != time.Second {
 		t.Errorf("fingerprint SamplePeriod = %v, want 1s", got)
 	}
@@ -103,7 +112,7 @@ func TestSampleBytesMatchTableII(t *testing.T) {
 		LowResImage:   24380, // 23.81 KB, Table II row A9
 	}
 	for id, want := range cases {
-		if got := MustLookup(id).SampleBytes; got != want {
+		if got := mustLookup(t, id).SampleBytes; got != want {
 			t.Errorf("%s SampleBytes = %d, want %d", id, got, want)
 		}
 	}
@@ -125,11 +134,8 @@ func TestBusString(t *testing.T) {
 	}
 }
 
-func TestMustLookupPanicsOnUnknown(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("MustLookup(S99) did not panic")
-		}
-	}()
-	MustLookup("S99")
+func TestLookupUnknownReturnsError(t *testing.T) {
+	if _, err := Lookup("S99"); err == nil {
+		t.Error("Lookup(S99) returned no error")
+	}
 }
