@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt check fuzz bench experiments ablations examples clean
+.PHONY: all build test race vet fmt check fuzz fleet-smoke bench experiments ablations examples clean
 
 all: build vet test check
 
@@ -25,6 +25,11 @@ check: vet race fuzz
 
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzUnmarshal -fuzztime 10s ./internal/coapmsg
+
+# Tiny end-to-end fleet sweep (8 scenarios) under the race detector: exercises
+# the worker pool, reorder-buffer aggregation, and the CLI in one shot.
+fleet-smoke:
+	$(GO) run -race ./cmd/iotfleet -spec internal/fleet/testdata/smoke.json -workers 4 -progress
 
 fmt:
 	gofmt -l -w .

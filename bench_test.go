@@ -8,10 +8,14 @@
 package iothub_test
 
 import (
+	"fmt"
+	"runtime"
 	"strings"
 	"testing"
 
+	"iothub/internal/apps"
 	"iothub/internal/experiments"
+	"iothub/internal/fleet"
 )
 
 // benchExperiment runs one experiment per iteration and reports selected
@@ -111,4 +115,44 @@ func BenchmarkAblMCUSlowdown(b *testing.B) {
 
 func BenchmarkAblDMA(b *testing.B) {
 	benchExperiment(b, experiments.AblDMA, "A2 baseline")
+}
+
+// BenchmarkFleetSweep runs a 64-scenario grid through the fleet engine at
+// one worker and at NumCPU workers. The aggregates are byte-identical either
+// way (asserted by internal/fleet's tests); only wall clock changes, so the
+// workers=NumCPU/workers=1 ns/op ratio is the engine's parallel speedup.
+func BenchmarkFleetSweep(b *testing.B) {
+	spec := fleet.Spec{
+		Seed: 7,
+		Grid: &fleet.Grid{
+			Apps:           [][]apps.ID{{apps.StepCounter}, {apps.M2X}, {apps.StepCounter, apps.M2X}, {apps.Blynk}},
+			Schemes:        []string{"baseline", "batching"},
+			Windows:        []int{1, 2},
+			QoS:            []float64{0.25, 0.5, 1, 2},
+			SkipAppCompute: true,
+		},
+	}
+	scens, err := spec.Expand()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(scens) != 64 {
+		b.Fatalf("grid expands to %d scenarios, want 64", len(scens))
+	}
+	for _, workers := range []int{1, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var last *fleet.Result
+			for i := 0; i < b.N; i++ {
+				res, err := fleet.Run(spec, fleet.Options{Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Agg.Errors > 0 {
+					b.Fatalf("failed scenarios: %+v", res.Failed)
+				}
+				last = res
+			}
+			b.ReportMetric(float64(last.Completed), "scenarios")
+		})
+	}
 }

@@ -1,0 +1,103 @@
+// Command iotfleet runs a declarative sweep of hub scenarios on a worker
+// pool and prints the streaming aggregates (mean/std and P50/P95/P99 per
+// scheme or tag). Sweeps are deterministic for any worker count, and with a
+// journal they checkpoint after every scenario and resume with -resume.
+//
+// Usage:
+//
+//	iotfleet -spec sweep.json
+//	iotfleet -spec sweep.json -workers 8 -progress
+//	iotfleet -spec sweep.json -journal run.jsonl            # checkpointed
+//	iotfleet -spec sweep.json -journal run.jsonl -resume    # continue
+//	iotfleet -spec sweep.json -format csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"iothub/internal/fleet"
+	"iothub/internal/report"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "iotfleet:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("iotfleet", flag.ContinueOnError)
+	specPath := fs.String("spec", "", "sweep spec file (JSON; see internal/fleet/testdata/smoke.json)")
+	workers := fs.Int("workers", 0, "worker pool size (0 = spec's workers, then GOMAXPROCS)")
+	journal := fs.String("journal", "", "checkpoint journal path (JSON lines; enables -resume)")
+	resume := fs.Bool("resume", false, "replay the journal and continue from the first unfinished scenario")
+	progress := fs.Bool("progress", false, "print progress lines to stderr while the sweep runs")
+	format := fs.String("format", "ascii", "output format: ascii, csv, or markdown")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *specPath == "" {
+		return fmt.Errorf("-spec is required")
+	}
+	render, err := renderer(*format)
+	if err != nil {
+		return err
+	}
+	spec, err := fleet.LoadSpec(*specPath)
+	if err != nil {
+		return err
+	}
+	opt := fleet.Options{Workers: *workers, Journal: *journal, Resume: *resume}
+	if *progress {
+		opt.Progress = os.Stderr
+	}
+	res, err := fleet.Run(spec, opt)
+	if err != nil {
+		return err
+	}
+
+	title := fmt.Sprintf("fleet sweep: %d scenarios (seed %d), energy in J/window",
+		res.Scenarios, spec.Seed)
+	t := report.AggregateTable(title, aggRows(res.Agg))
+	if res.Resumed > 0 {
+		t.Notes = append(t.Notes, fmt.Sprintf("resumed %d scenarios from the journal", res.Resumed))
+	}
+	fmt.Fprint(out, render(t))
+	for _, f := range res.Failed {
+		fmt.Fprintf(out, "failed: scenario %d %s: %s\n", f.Index, f.Label, f.Err)
+	}
+	if res.Agg.Errors > 0 {
+		return fmt.Errorf("%d of %d scenarios failed", res.Agg.Errors, res.Completed)
+	}
+	return nil
+}
+
+func renderer(format string) (func(*report.Table) string, error) {
+	switch format {
+	case "ascii":
+		return (*report.Table).ASCII, nil
+	case "csv":
+		return (*report.Table).CSV, nil
+	case "markdown":
+		return (*report.Table).Markdown, nil
+	default:
+		return nil, fmt.Errorf("unknown -format %q (want ascii, csv, or markdown)", format)
+	}
+}
+
+func aggRows(a *fleet.Aggregator) []report.AggRow {
+	var rows []report.AggRow
+	for _, key := range a.Keys() {
+		m := a.Metric(key)
+		rows = append(rows, report.AggRow{
+			Metric: key, Count: m.Count(),
+			Mean: m.Mean(), Std: m.Std(), Min: m.Min(), Max: m.Max(),
+			P50: m.Quantile(0.5), P95: m.Quantile(0.95), P99: m.Quantile(0.99),
+		})
+	}
+	return rows
+}

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const specJSON = `{
+  "seed": 7,
+  "grid": {
+    "apps": [["A2"]],
+    "schemes": ["baseline", "batching"],
+    "windows": [1],
+    "qos": [0.5, 1],
+    "skipCompute": true
+  }
+}`
+
+func writeSpec(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "spec.json")
+	if err := os.WriteFile(path, []byte(specJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunSweepASCII(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-spec", writeSpec(t), "-workers", "2"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"4 scenarios", "Baseline/total", "Batching/total", "p95"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunSweepCSVAndJournalResume(t *testing.T) {
+	spec := writeSpec(t)
+	journal := filepath.Join(t.TempDir(), "run.jsonl")
+	var first strings.Builder
+	if err := run([]string{"-spec", spec, "-journal", journal, "-format", "csv"}, &first); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(first.String(), "metric,n,mean") {
+		t.Errorf("csv header missing:\n%s", first.String())
+	}
+	var second strings.Builder
+	if err := run([]string{"-spec", spec, "-journal", journal, "-resume", "-format", "csv"}, &second); err != nil {
+		t.Fatal(err)
+	}
+	// A full journal resumes to the identical table (plus the resume note,
+	// which CSV output does not render).
+	if first.String() != second.String() {
+		t.Errorf("resumed table differs:\n%s\nvs\n%s", first.String(), second.String())
+	}
+}
+
+func TestRunFlagValidation(t *testing.T) {
+	if err := run(nil, os.Stdout); err == nil || !strings.Contains(err.Error(), "-spec") {
+		t.Errorf("missing -spec: err = %v", err)
+	}
+	if err := run([]string{"-spec", "x", "-format", "yaml"}, os.Stdout); err == nil || !strings.Contains(err.Error(), "format") {
+		t.Errorf("bad -format: err = %v", err)
+	}
+}
+
+func TestRunReportsFailedScenarios(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	bad := `{"seed": 1, "scenarios": [
+	  {"apps": ["A2"], "scheme": "baseline", "windows": 1, "skipCompute": true},
+	  {"apps": ["A99"], "scheme": "baseline", "windows": 1}
+	]}`
+	if err := os.WriteFile(path, []byte(bad), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	err := run([]string{"-spec", path}, &sb)
+	if err == nil || !strings.Contains(err.Error(), "1 of 2 scenarios failed") {
+		t.Errorf("err = %v, want failure count", err)
+	}
+	if !strings.Contains(sb.String(), "failed: scenario 1") {
+		t.Errorf("failed-scenario line missing:\n%s", sb.String())
+	}
+}

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -49,6 +50,7 @@ func run(args []string, out io.Writer) error {
 	failEvery := fs.Int("fail-every", 0, "inject a sensor read failure every Nth attempt (0 = none)")
 	chaos := fs.String("chaos", "", `fault schedule, e.g. "seed=7; link-corrupt:prob=0.05; mcu-crash:at=700ms,for=80ms"`)
 	check := fs.Bool("check", false, "run the post-simulation invariant checker verbosely and print the fault/resilience summary")
+	jsonOut := fs.Bool("json", false, "emit the full run result as machine-readable JSON instead of tables")
 	battery := fs.Float64("battery-mah", 0, "project battery lifetime for this workload (mAh at 5 V; single app only)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -98,6 +100,11 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
+	if *jsonOut {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(res)
+	}
 	printSummary(out, res, *windows)
 	if res.ReadRetries > 0 || res.DroppedSamples > 0 {
 		fmt.Fprintf(out, "faults: %d retries, %d dropped samples\n\n", res.ReadRetries, res.DroppedSamples)

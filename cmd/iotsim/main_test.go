@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -117,5 +118,27 @@ func TestRunBatteryProjection(t *testing.T) {
 	// Multi-app projection is rejected.
 	if err := run([]string{"-apps", "A2,A7", "-battery-mah", "100"}, &out); err == nil {
 		t.Error("multi-app battery projection accepted")
+	}
+}
+
+func TestRunJSONFlag(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-apps", "A2", "-scheme", "batching", "-windows", "1", "-json"}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var decoded struct {
+		Scheme       string
+		Energy       map[string]float64
+		BatchFlushes int
+	}
+	if err := json.Unmarshal(out.Bytes(), &decoded); err != nil {
+		t.Fatalf("-json output is not JSON: %v\n%s", err, out.String())
+	}
+	if decoded.Scheme != "Batching" || decoded.Energy["DataTransfer"] <= 0 || decoded.BatchFlushes < 1 {
+		t.Errorf("decoded = %+v", decoded)
+	}
+	if strings.Contains(out.String(), "energy per window") {
+		t.Error("-json still printed the human table")
 	}
 }

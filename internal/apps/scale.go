@@ -1,0 +1,63 @@
+package apps
+
+import (
+	"fmt"
+
+	"iothub/internal/sensor"
+)
+
+// ScaleRates returns a view of the app whose per-sensor sampling rates are
+// multiplied by mult — the knob behind QoS-rate sweeps (energy savings vs
+// sampling rate). A multiplier of 1 returns the app unchanged. Scaled rates
+// are clamped into the sensor's feasible band: at most MaxRateHz, and never
+// so low that a window sees no samples. Single-shot sensors (QoS rate 0)
+// keep their one-per-window schedule at any multiplier.
+func ScaleRates(a App, mult float64) (App, error) {
+	if mult <= 0 {
+		return nil, fmt.Errorf("apps: rate multiplier %v, want > 0", mult)
+	}
+	if mult == 1 {
+		return a, nil
+	}
+	sp := a.Spec()
+	scaled := make([]SensorUse, len(sp.Sensors))
+	copy(scaled, sp.Sensors)
+	for i := range scaled {
+		sspec, err := sensor.Lookup(scaled[i].Sensor)
+		if err != nil {
+			return nil, err
+		}
+		base := scaled[i].RateHz
+		if base == 0 {
+			base = sspec.QoSRateHz
+		}
+		if base == 0 {
+			continue // single-shot: one sample per window regardless of rate
+		}
+		rate := base * mult
+		if min := 1 / sp.Window.Seconds(); rate < min {
+			rate = min
+		}
+		if sspec.MaxRateHz > 0 && rate > sspec.MaxRateHz {
+			rate = sspec.MaxRateHz
+		}
+		scaled[i].RateHz = rate
+	}
+	sp.Sensors = scaled
+	if err := sp.Validate(); err != nil {
+		return nil, err
+	}
+	return &scaledApp{inner: a, spec: sp}, nil
+}
+
+// scaledApp overrides only the Spec; sources and computation delegate to the
+// wrapped app (synthetic sources are indexed by absolute sample number, so
+// they serve any rate).
+type scaledApp struct {
+	inner App
+	spec  Spec
+}
+
+func (s *scaledApp) Spec() Spec                                 { return s.spec }
+func (s *scaledApp) Source(id sensor.ID) (sensor.Source, error) { return s.inner.Source(id) }
+func (s *scaledApp) Compute(in WindowInput) (Result, error)     { return s.inner.Compute(in) }

@@ -1,0 +1,112 @@
+package apps_test
+
+import (
+	"testing"
+	"time"
+
+	"iothub/internal/apps"
+	"iothub/internal/apps/stepcounter"
+	"iothub/internal/sensor"
+)
+
+// fakeRateApp is a minimal App over the distance sensor (QoS 1000 Hz, max
+// 5000 Hz) for exercising the rate-scaling clamps.
+type fakeRateApp struct{ spec apps.Spec }
+
+func (f *fakeRateApp) Spec() apps.Spec { return f.spec }
+func (f *fakeRateApp) Source(id sensor.ID) (sensor.Source, error) {
+	return nil, apps.ErrUnknownSensor
+}
+func (f *fakeRateApp) Compute(in apps.WindowInput) (apps.Result, error) {
+	return apps.Result{Summary: "fake"}, nil
+}
+
+func newFakeRateApp() *fakeRateApp {
+	return &fakeRateApp{spec: apps.Spec{
+		ID: "AX", Name: "fake", Window: time.Second,
+		Sensors: []apps.SensorUse{{Sensor: sensor.Distance}},
+	}}
+}
+
+func TestScaleRatesScalesSamplesPerWindow(t *testing.T) {
+	a, err := stepcounter.New(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := a.Spec().InterruptsPerWindow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	half, err := apps.ScaleRates(a, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := half.Spec().InterruptsPerWindow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != base/2 {
+		t.Errorf("x0.5 interrupts = %d, want %d", got, base/2)
+	}
+	// The wrapped app keeps delegating the computation.
+	in, err := apps.CollectWindow(half, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := half.Compute(in); err != nil {
+		t.Errorf("scaled app compute: %v", err)
+	}
+}
+
+func TestScaleRatesIdentityAndValidation(t *testing.T) {
+	a := newFakeRateApp()
+	same, err := apps.ScaleRates(a, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same != apps.App(a) {
+		t.Error("x1 did not return the app unchanged")
+	}
+	if _, err := apps.ScaleRates(a, 0); err == nil {
+		t.Error("zero multiplier accepted")
+	}
+	if _, err := apps.ScaleRates(a, -2); err == nil {
+		t.Error("negative multiplier accepted")
+	}
+}
+
+func TestScaleRatesClamps(t *testing.T) {
+	rate := func(a apps.App) float64 { return a.Spec().Sensors[0].RateHz }
+	up, err := apps.ScaleRates(newFakeRateApp(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rate(up); got != 5000 {
+		t.Errorf("x100 rate = %v Hz, want clamped to max 5000", got)
+	}
+	down, err := apps.ScaleRates(newFakeRateApp(), 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rate(down); got != 1 {
+		t.Errorf("x1e-6 rate = %v Hz, want floored at 1 sample per 1 s window", got)
+	}
+	n, err := down.Spec().SamplesPerWindow(sensor.Distance)
+	if err != nil || n != 1 {
+		t.Errorf("floored samples/window = %d, %v; want 1", n, err)
+	}
+}
+
+func TestScaleRatesKeepsSingleShotSensors(t *testing.T) {
+	a := &fakeRateApp{spec: apps.Spec{
+		ID: "AY", Name: "single-shot", Window: time.Second,
+		Sensors: []apps.SensorUse{{Sensor: sensor.Fingerprint}},
+	}}
+	scaled, err := apps.ScaleRates(a, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := scaled.Spec().Sensors[0].RateHz; got != 0 {
+		t.Errorf("single-shot rate = %v, want untouched 0", got)
+	}
+}

@@ -57,6 +57,22 @@ func (r Routine) String() string {
 	}
 }
 
+// MarshalText encodes the routine as its display label, so routine-keyed
+// maps (Breakdown, busy-time tables) serialize to JSON with readable keys
+// instead of bare integers.
+func (r Routine) MarshalText() ([]byte, error) { return []byte(r.String()), nil }
+
+// UnmarshalText is the inverse of MarshalText.
+func (r *Routine) UnmarshalText(text []byte) error {
+	for _, known := range Routines {
+		if known.String() == string(text) {
+			*r = known
+			return nil
+		}
+	}
+	return fmt.Errorf("energy: unknown routine %q", text)
+}
+
 // Sample is one point of a recorded power trace.
 type Sample struct {
 	At    sim.Time

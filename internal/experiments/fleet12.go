@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"fmt"
+
+	"iothub/internal/apps"
+	"iothub/internal/fleet"
+	"iothub/internal/hub"
+	"iothub/internal/report"
+)
+
+// fig12Combos are Figure 12's heavy-weight app mixes.
+var fig12Combos = []struct {
+	Key string
+	IDs []apps.ID
+}{
+	{"A11", []apps.ID{apps.SpeechToTxt}},
+	{"A11+A6", []apps.ID{apps.SpeechToTxt, apps.DropboxMgr}},
+	{"A11+A6+A1", []apps.ID{apps.SpeechToTxt, apps.DropboxMgr, apps.CoAPServer}},
+}
+
+// fig12Rates are the QoS sampling-rate multipliers the sweep explores: half,
+// paper-default, and double rate.
+var fig12Rates = []float64{0.5, 1, 2}
+
+// FleetFig12Spec reproduces Figure 12 as a fleet sweep extended along the
+// sampling-rate axis: every heavy-weight combo under every applicable scheme
+// at half/default/double QoS rates. Each scenario is tagged
+// "<combo>|<scheme>|q<rate>" so the aggregates keep the cells separate.
+// Multi-app combos add BEAM and BCOM exactly as Fig. 12 does.
+func FleetFig12Spec() fleet.Spec {
+	var scens []hub.Scenario
+	for _, c := range fig12Combos {
+		schemes := []hub.Scheme{hub.Baseline, hub.Batching}
+		if len(c.IDs) > 1 {
+			schemes = append(schemes, hub.BEAM, hub.BCOM)
+		}
+		for _, s := range schemes {
+			for _, q := range fig12Rates {
+				scens = append(scens, hub.Scenario{
+					Apps: c.IDs, Scheme: s, Windows: Windows, QoSMult: q,
+					SkipAppCompute: true,
+					Tag:            fmt.Sprintf("%s|%v|q%g", c.Key, s, q),
+				})
+			}
+		}
+	}
+	return fleet.Spec{Seed: Seed, Scenarios: scens}
+}
+
+// AblFleet12 runs the FleetFig12Spec sweep through the fleet engine and
+// reports per-scheme energy savings against Baseline for every (combo, rate)
+// cell — the savings-vs-sampling-rate view of Figure 12.
+func AblFleet12() (*Result, error) {
+	spec := FleetFig12Spec()
+	res, err := fleet.Run(spec, fleet.Options{})
+	if err != nil {
+		return nil, err
+	}
+	if res.Agg.Errors > 0 {
+		return nil, fmt.Errorf("experiments: fleet12: %d of %d scenarios failed: %+v",
+			res.Agg.Errors, res.Completed, res.Failed)
+	}
+	mean := func(combo string, scheme hub.Scheme, q float64) (float64, error) {
+		key := fmt.Sprintf("%s|%v|q%g/total", combo, scheme, q)
+		m := res.Agg.Metric(key)
+		if m == nil {
+			return 0, fmt.Errorf("experiments: fleet12: no aggregate %q", key)
+		}
+		return m.Mean(), nil
+	}
+	t := &report.Table{
+		Title:  "Ablation: Fig. 12 savings vs QoS sampling rate (fleet sweep)",
+		Header: []string{"scenario", "rate", "baseline mJ/win", "batching", "BEAM", "BCOM"},
+		Notes: []string{
+			fmt.Sprintf("%d scenarios aggregated by the fleet engine (deterministic for any worker count)", res.Scenarios),
+			"savings are relative to the same combo and rate under Baseline; single-app rows have no BEAM/BCOM",
+		},
+	}
+	values := map[string]float64{}
+	for _, c := range fig12Combos {
+		for _, q := range fig12Rates {
+			base, err := mean(c.Key, hub.Baseline, q)
+			if err != nil {
+				return nil, err
+			}
+			row := []string{c.Key, fmt.Sprintf("x%g", q), report.Cell(base * 1000)}
+			schemes := []hub.Scheme{hub.Batching, hub.BEAM, hub.BCOM}
+			for _, s := range schemes {
+				if len(c.IDs) == 1 && s != hub.Batching {
+					row = append(row, "-")
+					continue
+				}
+				tot, err := mean(c.Key, s, q)
+				if err != nil {
+					return nil, err
+				}
+				saving := 1 - tot/base
+				values[fmt.Sprintf("%v:%s:q%g", s, c.Key, q)] = saving
+				row = append(row, report.Percent(saving))
+			}
+			values[fmt.Sprintf("base:%s:q%g", c.Key, q)] = base
+			t.AddRow(row...)
+		}
+	}
+	return &Result{ID: "abl-fleet12", Title: t.Title, Table: t, Values: values}, nil
+}

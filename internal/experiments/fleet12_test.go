@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"testing"
+
+	"iothub/internal/fleet"
+)
+
+func TestFleetFig12SpecShape(t *testing.T) {
+	spec := FleetFig12Spec()
+	scens, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 single-app combo x 2 schemes + 2 multi-app combos x 4 schemes, each
+	// at 3 rates.
+	if len(scens) != 30 {
+		t.Fatalf("spec expands to %d scenarios, want 30", len(scens))
+	}
+	tags := map[string]bool{}
+	for _, s := range scens {
+		if s.Tag == "" {
+			t.Fatalf("untagged scenario %s", s.Label())
+		}
+		if tags[s.Tag] {
+			t.Fatalf("duplicate tag %s", s.Tag)
+		}
+		tags[s.Tag] = true
+		if !s.SkipAppCompute {
+			t.Errorf("%s runs real computations; the sweep is energy-only", s.Tag)
+		}
+	}
+	if !tags["A11+A6|BCOM|q0.5"] || !tags["A11|Batching|q2"] {
+		t.Errorf("expected tags missing from %v", tags)
+	}
+}
+
+func TestAblFleet12SavingsVsRate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("30-scenario sweep is slow for -short")
+	}
+	res := mustRun(t, AblFleet12)
+	// At the paper-default rate the sweep must reproduce Fig. 12's ordering:
+	// batching saves a little on A11 alone, BCOM saves more on the combos.
+	if v := res.Values["Batching:A11:q1"]; v <= 0 || v > 0.3 {
+		t.Errorf("A11 batching saving = %.3f, want small positive (paper: ~5%%)", v)
+	}
+	for _, combo := range []string{"A11+A6", "A11+A6+A1"} {
+		if v := res.Values["BCOM:"+combo+":q1"]; v <= 0 {
+			t.Errorf("%s BCOM saving = %.3f, want positive (paper: ~9-10%%)", combo, v)
+		}
+		if res.Values["BCOM:"+combo+":q1"] < res.Values["Batching:A11:q1"]-0.05 {
+			t.Errorf("%s BCOM (%.3f) should not trail A11 batching (%.3f) by much",
+				combo, res.Values["BCOM:"+combo+":q1"], res.Values["Batching:A11:q1"])
+		}
+	}
+	// Baseline energy grows with the sampling rate for every combo.
+	for _, combo := range []string{"A11", "A11+A6", "A11+A6+A1"} {
+		lo := res.Values["base:"+combo+":q0.5"]
+		mid := res.Values["base:"+combo+":q1"]
+		hi := res.Values["base:"+combo+":q2"]
+		if !(lo < mid && mid < hi) {
+			t.Errorf("%s baseline energy not increasing with rate: %.4f, %.4f, %.4f", combo, lo, mid, hi)
+		}
+	}
+	// The sweep is a fleet job: running it through the engine twice (any
+	// worker count) yields identical aggregates.
+	a, err := fleet.Run(FleetFig12Spec(), fleet.Options{Workers: 1, MaxScenarios: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := fleet.Run(FleetFig12Spec(), fleet.Options{Workers: 3, MaxScenarios: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Agg.Fingerprint() != b.Agg.Fingerprint() {
+		t.Error("fleet12 prefix aggregates diverge across worker counts")
+	}
+}

@@ -115,27 +115,27 @@ func (r Rule) Validate() error {
 	switch r.Kind {
 	case LinkCorrupt, LinkLoss, MCUCrash, SensorStuck, SensorSlow, RadioOutage:
 	default:
-		return fmt.Errorf("faults: unknown kind %d", int(r.Kind))
+		return fmt.Errorf("unknown kind %d", int(r.Kind))
 	}
 	if r.Trigger.empty() {
-		return fmt.Errorf("faults: %v rule has no trigger", r.Kind)
+		return fmt.Errorf("%v rule has no trigger", r.Kind)
 	}
 	if r.Trigger.EveryNth < 0 || r.Trigger.Period < 0 || r.Trigger.Prob < 0 || r.Trigger.Prob > 1 {
-		return fmt.Errorf("faults: %v rule has invalid trigger", r.Kind)
+		return fmt.Errorf("%v rule has invalid trigger", r.Kind)
 	}
 	for i, at := range r.Trigger.At {
 		if at < 0 {
-			return fmt.Errorf("faults: %v rule at[%d] negative", r.Kind, i)
+			return fmt.Errorf("%v rule at[%d] negative", r.Kind, i)
 		}
 		if i > 0 && at < r.Trigger.At[i-1] {
-			return fmt.Errorf("faults: %v rule At instants not sorted", r.Kind)
+			return fmt.Errorf("%v rule At instants not sorted", r.Kind)
 		}
 	}
 	if r.Duration < 0 {
-		return fmt.Errorf("faults: %v rule negative duration", r.Kind)
+		return fmt.Errorf("%v rule negative duration", r.Kind)
 	}
 	if r.Kind == RadioOutage && r.Duration <= 0 {
-		return fmt.Errorf("faults: radio-outage rule needs for=<duration>")
+		return fmt.Errorf("radio-outage rule needs for=<duration>")
 	}
 	return nil
 }
@@ -157,14 +157,15 @@ type Schedule struct {
 // Active reports whether the schedule injects anything at all.
 func (s *Schedule) Active() bool { return s != nil && len(s.Rules) > 0 }
 
-// Validate checks every rule.
+// Validate checks every rule. Violations name the offending rule by its
+// 1-based index, matching ParseSchedule's numbering.
 func (s *Schedule) Validate() error {
 	if s == nil {
 		return nil
 	}
 	for i, r := range s.Rules {
 		if err := r.Validate(); err != nil {
-			return fmt.Errorf("rule %d: %w", i, err)
+			return fmt.Errorf("faults: rule %d: %w", i+1, err)
 		}
 	}
 	return nil

@@ -1,6 +1,7 @@
 package faults
 
 import (
+	"strings"
 	"testing"
 	"time"
 
@@ -273,5 +274,24 @@ func TestParseScheduleErrors(t *testing.T) {
 		if _, err := ParseSchedule(spec); err == nil {
 			t.Errorf("ParseSchedule(%q) accepted", spec)
 		}
+	}
+}
+
+// A bad rule deep inside a long schedule is reported with its 1-based index
+// and raw text, so the offending item is findable without bisecting the spec.
+func TestParseScheduleErrorNamesRule(t *testing.T) {
+	_, err := ParseSchedule("seed=7; link-corrupt:every=50; link-loss:prob=0.1; radio-outage:every=3")
+	if err == nil {
+		t.Fatal("bad schedule accepted")
+	}
+	msg := err.Error()
+	for _, want := range []string{`rule 3`, `"radio-outage:every=3"`, "for=<duration>"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error %q does not mention %s", msg, want)
+		}
+	}
+	// The seed item is not a rule and must not shift rule numbering.
+	if strings.Contains(msg, "rule 4") {
+		t.Errorf("error %q counts the seed item as a rule", msg)
 	}
 }

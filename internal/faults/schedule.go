@@ -32,6 +32,8 @@ import (
 // Kinds imply default targets: link faults hit "link", mcu-crash hits "mcu",
 // radio-outage hits "radio:mcu" (the COM notification uplink), and sensor
 // faults hit every sensor unless narrowed with on=.
+// A malformed item is reported with its 1-based rule index and raw text, so
+// one bad rule in a long schedule is easy to locate.
 func ParseSchedule(spec string) (*Schedule, error) {
 	s := &Schedule{}
 	for _, item := range strings.Split(spec, ";") {
@@ -49,7 +51,7 @@ func ParseSchedule(spec string) (*Schedule, error) {
 		}
 		rule, err := parseRule(item)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("faults: rule %d %q: %w", len(s.Rules)+1, item, err)
 		}
 		s.Rules = append(s.Rules, rule)
 	}
@@ -74,7 +76,7 @@ func parseKind(name string) (Kind, error) {
 	case "radio-outage":
 		return RadioOutage, nil
 	default:
-		return 0, fmt.Errorf("faults: unknown kind %q", name)
+		return 0, fmt.Errorf("unknown kind %q", name)
 	}
 }
 
@@ -103,10 +105,10 @@ func parseRule(item string) (Rule, error) {
 		for _, kv := range strings.Split(params, ",") {
 			key, val, ok := strings.Cut(strings.TrimSpace(kv), "=")
 			if !ok {
-				return Rule{}, fmt.Errorf("faults: %s: parameter %q is not key=value", name, kv)
+				return Rule{}, fmt.Errorf("parameter %q is not key=value", kv)
 			}
 			if err := applyParam(&rule, strings.TrimSpace(key), strings.TrimSpace(val)); err != nil {
-				return Rule{}, fmt.Errorf("faults: %s: %w", name, err)
+				return Rule{}, err
 			}
 		}
 	}

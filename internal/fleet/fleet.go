@@ -1,0 +1,233 @@
+package fleet
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+
+	"iothub/internal/core"
+	"iothub/internal/hub"
+)
+
+// Options tune one sweep execution without changing what it computes: the
+// same spec yields byte-identical aggregates under any Options.
+type Options struct {
+	// Workers is the pool size (0 = Spec.Workers, then GOMAXPROCS).
+	Workers int
+	// Journal is the checkpoint file path ("" = no journal).
+	Journal string
+	// Resume replays an existing journal at Journal and continues from the
+	// first unfinished scenario. Without Resume an existing journal is
+	// truncated and the sweep starts over.
+	Resume bool
+	// Progress, when non-nil, receives coarse progress lines.
+	Progress io.Writer
+	// MaxScenarios, when > 0, stops the sweep after that many scenarios
+	// have been applied (counting resumed ones) and leaves the journal
+	// resumable — the hook the interrupt-and-resume tests use.
+	MaxScenarios int
+}
+
+// ScenarioError records one failed scenario; the sweep keeps going.
+type ScenarioError struct {
+	Index int
+	Label string
+	Err   string
+}
+
+// Result is a completed (or MaxScenarios-truncated) sweep.
+type Result struct {
+	// Agg holds the streaming aggregates in scenario-index order.
+	Agg *Aggregator
+	// Scenarios is the expanded sweep size; Completed counts scenarios
+	// applied this run plus any resumed from the journal; Resumed counts
+	// only the latter.
+	Scenarios int
+	Completed int
+	Resumed   int
+	// Failed lists scenarios whose run errored (also counted in
+	// Agg.Errors). Failures seen only in a resumed journal prefix carry the
+	// journal's recorded error text.
+	Failed []ScenarioError
+}
+
+// RunScenario materializes and executes one scenario, planning the BCOM
+// partition when the scheme calls for it (this is the planner-aware sibling
+// of hub.RunScenario, and what fleet workers execute).
+func RunScenario(s hub.Scenario) (*hub.RunResult, error) {
+	cfg, err := s.Config()
+	if err != nil {
+		return nil, err
+	}
+	if s.Scheme == hub.BCOM {
+		plan, err := core.PlanBCOM(cfg.Apps, hub.DefaultParams())
+		if err != nil {
+			return nil, err
+		}
+		cfg.Assign = plan.Assign
+	}
+	return hub.Run(cfg)
+}
+
+// Run executes the sweep: Expand the spec, run every not-yet-journaled
+// scenario on the worker pool, and fold results into the aggregator in
+// strict scenario-index order (a reorder buffer holds early finishers), so
+// the final aggregates are byte-identical for any worker count.
+func Run(spec Spec, opt Options) (*Result, error) {
+	scens, err := spec.Expand()
+	if err != nil {
+		return nil, err
+	}
+	workers := opt.Workers
+	if workers == 0 {
+		workers = spec.Workers
+	}
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers < 1 {
+		return nil, fmt.Errorf("fleet: %d workers, want >= 1", workers)
+	}
+
+	header := journalHeader{Seed: spec.Seed, Scenarios: len(scens), Spec: specFingerprint(scens)}
+	tags := make([]string, len(scens))
+	for i, s := range scens {
+		tags[i] = Tag(s)
+	}
+
+	res := &Result{Agg: NewAggregator(), Scenarios: len(scens)}
+
+	// Resume: replay the journal prefix into the aggregator.
+	var resumed []journalDone
+	if opt.Resume {
+		if opt.Journal == "" {
+			return nil, fmt.Errorf("fleet: resume requested without a journal path")
+		}
+		resumed, err = readJournal(opt.Journal, header, tags)
+		if err != nil {
+			return nil, err
+		}
+		for _, d := range resumed {
+			if d.Err != "" {
+				res.Agg.ApplyError()
+				res.Failed = append(res.Failed, ScenarioError{Index: d.Index, Label: d.Label, Err: d.Err})
+			} else {
+				res.Agg.Apply(tags[d.Index], d.Metrics)
+			}
+		}
+		res.Resumed = len(resumed)
+		res.Completed = len(resumed)
+	}
+	next := len(resumed) // first scenario index still to run
+
+	var jw *journalWriter
+	if opt.Journal != "" {
+		jw, err = newJournalWriter(opt.Journal, header, !opt.Resume)
+		if err != nil {
+			return nil, err
+		}
+		defer jw.close()
+	}
+
+	limit := len(scens)
+	if opt.MaxScenarios > 0 && opt.MaxScenarios < limit {
+		limit = opt.MaxScenarios
+	}
+	if next >= limit {
+		progress(opt.Progress, res, len(scens))
+		return res, nil
+	}
+
+	type outcome struct {
+		index   int
+		metrics map[string]float64
+		err     string
+	}
+	indices := make(chan int)
+	outcomes := make(chan outcome, workers)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range indices {
+				s := scens[i]
+				r, err := RunScenario(s)
+				if err != nil {
+					outcomes <- outcome{index: i, err: err.Error()}
+					continue
+				}
+				outcomes <- outcome{index: i, metrics: Metrics(r, s.Windows)}
+			}
+		}()
+	}
+	go func() {
+		for i := next; i < limit; i++ {
+			indices <- i
+		}
+		close(indices)
+		wg.Wait()
+		close(outcomes)
+	}()
+
+	// Collector: apply outcomes in index order via a reorder buffer. The
+	// journal therefore also stays in index order, which keeps resume a
+	// straight prefix replay.
+	pending := map[int]outcome{}
+	var firstJournalErr error
+	for o := range outcomes {
+		pending[o.index] = o
+		for {
+			ready, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			d := journalDone{Index: ready.index, Label: scens[ready.index].Label(),
+				Metrics: ready.metrics, Err: ready.err}
+			if ready.err != "" {
+				res.Agg.ApplyError()
+				res.Failed = append(res.Failed, ScenarioError{Index: ready.index, Label: d.Label, Err: ready.err})
+			} else {
+				res.Agg.Apply(tags[ready.index], ready.metrics)
+			}
+			res.Completed++
+			next++
+			if jw != nil && firstJournalErr == nil {
+				if err := jw.write(journalLine{Done: &d}); err != nil {
+					firstJournalErr = err
+				} else if res.Completed%snapEvery == 0 || res.Completed == len(scens) {
+					fp := res.Agg.Fingerprint()
+					if err := jw.write(journalLine{Snap: &journalSnap{Applied: res.Completed, FP: fp}}); err != nil {
+						firstJournalErr = err
+					}
+				}
+			}
+			progress(opt.Progress, res, len(scens))
+		}
+	}
+	if len(pending) != 0 {
+		return nil, fmt.Errorf("fleet: internal: %d outcomes stuck in the reorder buffer", len(pending))
+	}
+	if firstJournalErr != nil {
+		return nil, firstJournalErr
+	}
+	return res, nil
+}
+
+// progress prints a coarse status line at ~1/16 completion steps (and at the
+// end) so long sweeps stay observable without flooding the terminal.
+func progress(w io.Writer, res *Result, total int) {
+	if w == nil {
+		return
+	}
+	step := total / 16
+	if step < 1 {
+		step = 1
+	}
+	if res.Completed%step == 0 || res.Completed == total {
+		fmt.Fprintf(w, "fleet: %d/%d scenarios (%d errors)\n", res.Completed, total, res.Agg.Errors)
+	}
+}

@@ -1,0 +1,188 @@
+package fleet
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+
+	"iothub/internal/hub"
+)
+
+// The journal is a JSON-lines file: one header line naming the fleet, then
+// one "done" line per completed scenario in strict index order (the reorder
+// buffer guarantees the order), with periodic "snap" lines carrying the
+// aggregator fingerprint for corruption detection. Because metrics are
+// float64s serialized by encoding/json (shortest round-trip representation),
+// replaying a journal rebuilds bit-identical aggregates.
+type journalLine struct {
+	Fleet *journalHeader `json:"fleet,omitempty"`
+	Done  *journalDone   `json:"done,omitempty"`
+	Snap  *journalSnap   `json:"snap,omitempty"`
+}
+
+type journalHeader struct {
+	Seed      int64  `json:"seed"`
+	Scenarios int    `json:"scenarios"`
+	Spec      string `json:"spec"` // fingerprint of the expanded scenario sequence
+}
+
+type journalDone struct {
+	Index   int                `json:"i"`
+	Label   string             `json:"label"`
+	Metrics map[string]float64 `json:"m,omitempty"`
+	Err     string             `json:"err,omitempty"`
+}
+
+type journalSnap struct {
+	Applied int    `json:"applied"`
+	FP      string `json:"fp"`
+}
+
+// snapEvery controls how often aggregate-fingerprint snapshots are written.
+const snapEvery = 16
+
+// journalWriter appends lines to an open journal, flushing after every line
+// so an interrupt loses at most the line being written.
+type journalWriter struct {
+	f *os.File
+	w *bufio.Writer
+}
+
+func newJournalWriter(path string, header journalHeader, fresh bool) (*journalWriter, error) {
+	flags := os.O_CREATE | os.O_WRONLY | os.O_APPEND
+	if fresh {
+		flags |= os.O_TRUNC
+	}
+	f, err := os.OpenFile(path, flags, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: journal: %w", err)
+	}
+	jw := &journalWriter{f: f, w: bufio.NewWriter(f)}
+	if fresh {
+		if err := jw.write(journalLine{Fleet: &header}); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return jw, nil
+}
+
+func (jw *journalWriter) write(line journalLine) error {
+	blob, err := json.Marshal(line)
+	if err != nil {
+		return fmt.Errorf("fleet: journal: %w", err)
+	}
+	if _, err := jw.w.Write(append(blob, '\n')); err != nil {
+		return fmt.Errorf("fleet: journal: %w", err)
+	}
+	if err := jw.w.Flush(); err != nil {
+		return fmt.Errorf("fleet: journal: %w", err)
+	}
+	return nil
+}
+
+func (jw *journalWriter) close() error {
+	if err := jw.w.Flush(); err != nil {
+		jw.f.Close()
+		return err
+	}
+	return jw.f.Close()
+}
+
+// readJournal parses an existing journal and validates it against the
+// current fleet identity: the header must match the expanded spec, done
+// lines must be sequential from zero, and every snapshot fingerprint must
+// agree with replaying the done lines up to it (tags[i] is scenario i's
+// aggregation tag). It returns the completed records in index order.
+func readJournal(path string, want journalHeader, tags []string) ([]journalDone, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: journal: %w", err)
+	}
+	defer f.Close()
+
+	var (
+		done     []journalDone
+		sawHead  bool
+		replayed = NewAggregator()
+	)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		var line journalLine
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			return nil, fmt.Errorf("fleet: journal line %d: %w", lineNo, err)
+		}
+		switch {
+		case line.Fleet != nil:
+			if sawHead {
+				return nil, fmt.Errorf("fleet: journal line %d: duplicate header", lineNo)
+			}
+			sawHead = true
+			if *line.Fleet != want {
+				return nil, fmt.Errorf("fleet: journal is for a different sweep (header %+v, want %+v)", *line.Fleet, want)
+			}
+		case line.Done != nil:
+			if !sawHead {
+				return nil, fmt.Errorf("fleet: journal line %d: done before header", lineNo)
+			}
+			d := *line.Done
+			if d.Index != len(done) {
+				return nil, fmt.Errorf("fleet: journal line %d: scenario %d out of order (want %d)",
+					lineNo, d.Index, len(done))
+			}
+			if d.Index >= len(tags) {
+				return nil, fmt.Errorf("fleet: journal line %d: scenario %d beyond the spec's %d",
+					lineNo, d.Index, len(tags))
+			}
+			if d.Err != "" {
+				replayed.ApplyError()
+			} else {
+				replayed.Apply(tags[d.Index], d.Metrics)
+			}
+			done = append(done, d)
+		case line.Snap != nil:
+			if line.Snap.Applied != len(done) {
+				return nil, fmt.Errorf("fleet: journal line %d: snapshot at %d but %d scenarios done",
+					lineNo, line.Snap.Applied, len(done))
+			}
+			if fp := replayed.Fingerprint(); fp != line.Snap.FP {
+				return nil, fmt.Errorf("fleet: journal line %d: snapshot fingerprint %s != replayed %s (journal corrupt?)",
+					lineNo, line.Snap.FP, fp)
+			}
+		default:
+			return nil, fmt.Errorf("fleet: journal line %d: unrecognized record", lineNo)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("fleet: journal: %w", err)
+	}
+	if !sawHead {
+		return nil, fmt.Errorf("fleet: journal has no header")
+	}
+	return done, nil
+}
+
+// specFingerprint hashes the expanded scenario sequence (labels and seeds)
+// so a journal refuses to resume under a different spec.
+func specFingerprint(scens []hub.Scenario) string {
+	h := uint64(1469598103934665603) // FNV-1a 64 offset basis
+	mix := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= 1099511628211
+		}
+		h ^= '|'
+		h *= 1099511628211
+	}
+	for _, s := range scens {
+		mix(s.Label())
+		mix(strconv.FormatInt(s.Seed, 10))
+		mix(s.Tag)
+	}
+	return fmt.Sprintf("%016x", h)
+}

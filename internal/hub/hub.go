@@ -84,6 +84,21 @@ func ParseScheme(name string) (Scheme, error) {
 	}
 }
 
+// MarshalText encodes the scheme by name so configs and results serialize
+// to JSON as "Batching" rather than a bare integer.
+func (s Scheme) MarshalText() ([]byte, error) { return []byte(s.String()), nil }
+
+// UnmarshalText is the inverse of MarshalText (it accepts any case,
+// delegating to ParseScheme).
+func (s *Scheme) UnmarshalText(text []byte) error {
+	parsed, err := ParseScheme(string(text))
+	if err != nil {
+		return err
+	}
+	*s = parsed
+	return nil
+}
+
 // Mode is the per-app execution decision inside a scheme.
 type Mode int
 
@@ -109,6 +124,20 @@ func (m Mode) String() string {
 	default:
 		return fmt.Sprintf("Mode(%d)", int(m))
 	}
+}
+
+// MarshalText encodes the mode by name (see Scheme.MarshalText).
+func (m Mode) MarshalText() ([]byte, error) { return []byte(m.String()), nil }
+
+// UnmarshalText is the inverse of MarshalText.
+func (m *Mode) UnmarshalText(text []byte) error {
+	for _, known := range []Mode{PerSample, Batched, Offloaded} {
+		if known.String() == string(text) {
+			*m = known
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: unknown mode %q", ErrConfig, text)
 }
 
 // Config describes one simulation run.

@@ -1,0 +1,113 @@
+package hub
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"iothub/internal/apps"
+	"iothub/internal/apps/catalog"
+	"iothub/internal/energy"
+	"iothub/internal/faults"
+)
+
+// RunResult must serialize to machine-readable JSON (fleet journals and
+// iotsim -json depend on it): enum-keyed maps get name keys, enums get name
+// values, and durations are plain nanosecond integers.
+func TestRunResultJSONSerializable(t *testing.T) {
+	a, err := catalog.New(apps.StepCounter, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	schedule, err := faults.ParseSchedule("seed=3; link-corrupt:every=40")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{
+		Apps: []apps.App{a}, Scheme: Baseline, Windows: 1, FaultSchedule: schedule,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := json.Marshal(res)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var decoded struct {
+		Scheme          string
+		Modes           map[string]string
+		Energy          map[string]float64
+		CPUBusy         map[string]int64
+		Duration        int64
+		LinkRetransmits int
+	}
+	if err := json.Unmarshal(blob, &decoded); err != nil {
+		t.Fatalf("re-decode: %v\n%s", err, blob)
+	}
+	if decoded.Scheme != "Baseline" {
+		t.Errorf("Scheme = %q, want Baseline", decoded.Scheme)
+	}
+	if decoded.Modes["A2"] != "PerSample" {
+		t.Errorf("Modes = %v, want A2:PerSample", decoded.Modes)
+	}
+	if decoded.Energy["DataTransfer"] <= 0 {
+		t.Errorf("Energy = %v, want positive DataTransfer", decoded.Energy)
+	}
+	if decoded.CPUBusy["Interrupt"] <= 0 {
+		t.Errorf("CPUBusy = %v, want positive Interrupt ns", decoded.CPUBusy)
+	}
+	if decoded.Duration != res.Duration.Nanoseconds() {
+		t.Errorf("Duration = %d ns, want %d", decoded.Duration, res.Duration.Nanoseconds())
+	}
+	if decoded.LinkRetransmits != res.LinkRetransmits {
+		t.Errorf("LinkRetransmits = %d, want %d", decoded.LinkRetransmits, res.LinkRetransmits)
+	}
+	if strings.Contains(string(blob), `"1":`) && strings.Contains(string(blob), `"Energy":{"1"`) {
+		t.Errorf("routine maps still use integer keys: %s", blob)
+	}
+}
+
+// Scheme and Mode round-trip through their text forms.
+func TestSchemeModeTextRoundTrip(t *testing.T) {
+	for _, s := range []Scheme{Baseline, Batching, COM, BCOM, BEAM} {
+		text, err := s.MarshalText()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Scheme
+		if err := back.UnmarshalText(text); err != nil {
+			t.Fatalf("%s: %v", text, err)
+		}
+		if back != s {
+			t.Errorf("scheme %v round-tripped to %v", s, back)
+		}
+	}
+	for _, m := range []Mode{PerSample, Batched, Offloaded} {
+		text, err := m.MarshalText()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Mode
+		if err := back.UnmarshalText(text); err != nil {
+			t.Fatalf("%s: %v", text, err)
+		}
+		if back != m {
+			t.Errorf("mode %v round-tripped to %v", m, back)
+		}
+	}
+	var s Scheme
+	if err := s.UnmarshalText([]byte("warp")); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+	var m Mode
+	if err := m.UnmarshalText([]byte("warp")); err == nil {
+		t.Error("unknown mode accepted")
+	}
+	var r energy.Routine
+	if err := r.UnmarshalText([]byte("DataTransfer")); err != nil || r != energy.DataTransfer {
+		t.Errorf("routine unmarshal = %v, %v", r, err)
+	}
+	if err := r.UnmarshalText([]byte("warp")); err == nil {
+		t.Error("unknown routine accepted")
+	}
+}

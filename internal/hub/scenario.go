@@ -1,0 +1,111 @@
+package hub
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"iothub/internal/apps"
+	"iothub/internal/apps/catalog"
+	"iothub/internal/faults"
+)
+
+// Scenario is a self-contained, serializable description of one hub run: the
+// value type fleet sweeps are made of. Unlike Config it holds no live App
+// instances — apps are named by Table II ID and instantiated from Seed at
+// run time, so the same Scenario value re-runs bit-for-bit anywhere (in a
+// fleet worker, from a journal, or standalone via RunScenario).
+type Scenario struct {
+	// Apps lists the concurrent workloads by Table II ID ("A2", "A11", ...).
+	Apps []apps.ID `json:"apps"`
+	// Scheme is the execution scheme. BCOM scenarios need the planner and
+	// are executed by fleet.RunScenario (hub cannot depend on the planner).
+	Scheme Scheme `json:"scheme"`
+	// Windows is the number of QoS windows to simulate.
+	Windows int `json:"windows"`
+	// Seed drives the apps' synthetic signals (and, via the fleet engine, is
+	// derived deterministically from the fleet seed and scenario index).
+	Seed int64 `json:"seed"`
+	// QoSMult scales every sensor's sampling rate (0 or 1 = paper defaults);
+	// see apps.ScaleRates for the clamping rules.
+	QoSMult float64 `json:"qos,omitempty"`
+	// Faults is a fault schedule in faults.ParseSchedule's compact text form
+	// ("" = fault-free run).
+	Faults string `json:"faults,omitempty"`
+	// SkipAppCompute skips the real user-level computations (energy/timing
+	// are still modeled) — the usual setting for pure-energy sweeps.
+	SkipAppCompute bool `json:"skipCompute,omitempty"`
+	// Tag optionally overrides the scenario's aggregation label; empty means
+	// the fleet aggregates this run under its scheme name.
+	Tag string `json:"tag,omitempty"`
+}
+
+// Label is the scenario's human-readable identity in fleet progress and
+// error reports: "A11+A6/BCOM/w3/q0.5" (+ "/chaos" when faults are injected).
+func (s Scenario) Label() string {
+	var b strings.Builder
+	for i, id := range s.Apps {
+		if i > 0 {
+			b.WriteByte('+')
+		}
+		b.WriteString(string(id))
+	}
+	fmt.Fprintf(&b, "/%v/w%d", s.Scheme, s.Windows)
+	if s.QoSMult != 0 && s.QoSMult != 1 {
+		b.WriteString("/q")
+		b.WriteString(strconv.FormatFloat(s.QoSMult, 'g', -1, 64))
+	}
+	if s.Faults != "" {
+		b.WriteString("/chaos")
+	}
+	return b.String()
+}
+
+// Config materializes the scenario: apps are instantiated from the catalog
+// with the scenario seed, rates are scaled, and the fault schedule is
+// compiled. BCOM scenarios come back with a nil Assign — the caller supplies
+// the planner's partition (fleet.RunScenario does).
+func (s Scenario) Config() (Config, error) {
+	if len(s.Apps) == 0 {
+		return Config{}, fmt.Errorf("%w: scenario lists no apps", ErrConfig)
+	}
+	cfg := Config{
+		Scheme:         s.Scheme,
+		Windows:        s.Windows,
+		SkipAppCompute: s.SkipAppCompute,
+	}
+	for _, id := range s.Apps {
+		a, err := catalog.New(id, s.Seed)
+		if err != nil {
+			return Config{}, fmt.Errorf("%w: %v", ErrConfig, err)
+		}
+		if s.QoSMult != 0 && s.QoSMult != 1 {
+			if a, err = apps.ScaleRates(a, s.QoSMult); err != nil {
+				return Config{}, fmt.Errorf("%w: %v", ErrConfig, err)
+			}
+		}
+		cfg.Apps = append(cfg.Apps, a)
+	}
+	if s.Faults != "" {
+		schedule, err := faults.ParseSchedule(s.Faults)
+		if err != nil {
+			return Config{}, fmt.Errorf("%w: %v", ErrConfig, err)
+		}
+		cfg.FaultSchedule = schedule
+	}
+	return cfg, nil
+}
+
+// RunScenario materializes and executes the scenario. BCOM scenarios are
+// rejected here — they need the internal/core planner, which sits above this
+// package; use fleet.RunScenario for those.
+func RunScenario(s Scenario) (*RunResult, error) {
+	cfg, err := s.Config()
+	if err != nil {
+		return nil, err
+	}
+	if s.Scheme == BCOM {
+		return nil, fmt.Errorf("%w: BCOM scenario %s needs the planner (use fleet.RunScenario)", ErrConfig, s.Label())
+	}
+	return Run(cfg)
+}

@@ -1,0 +1,83 @@
+package hub
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"iothub/internal/apps"
+	"iothub/internal/apps/catalog"
+)
+
+func TestScenarioLabel(t *testing.T) {
+	cases := []struct {
+		s    Scenario
+		want string
+	}{
+		{Scenario{Apps: []apps.ID{apps.StepCounter}, Scheme: Baseline, Windows: 3}, "A2/Baseline/w3"},
+		{Scenario{Apps: []apps.ID{apps.SpeechToTxt, apps.DropboxMgr}, Scheme: BCOM, Windows: 3, QoSMult: 0.5}, "A11+A6/BCOM/w3/q0.5"},
+		{Scenario{Apps: []apps.ID{apps.StepCounter}, Scheme: Batching, Windows: 1, QoSMult: 1, Faults: "link-loss:prob=0.1"}, "A2/Batching/w1/chaos"},
+	}
+	for _, c := range cases {
+		if got := c.s.Label(); got != c.want {
+			t.Errorf("Label() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestScenarioConfigErrors(t *testing.T) {
+	for name, s := range map[string]Scenario{
+		"no apps":     {Scheme: Baseline, Windows: 1},
+		"unknown app": {Apps: []apps.ID{"A99"}, Scheme: Baseline, Windows: 1, Seed: 1},
+		"bad qos":     {Apps: []apps.ID{apps.StepCounter}, Scheme: Baseline, Windows: 1, Seed: 1, QoSMult: -1},
+		"bad faults":  {Apps: []apps.ID{apps.StepCounter}, Scheme: Baseline, Windows: 1, Seed: 1, Faults: "warp-core:breach"},
+	} {
+		if _, err := s.Config(); !errors.Is(err, ErrConfig) {
+			t.Errorf("%s: Config() err = %v, want ErrConfig", name, err)
+		}
+	}
+}
+
+func TestRunScenarioRejectsBCOM(t *testing.T) {
+	s := Scenario{Apps: []apps.ID{apps.SpeechToTxt, apps.DropboxMgr}, Scheme: BCOM, Windows: 1, Seed: 1}
+	_, err := RunScenario(s)
+	if !errors.Is(err, ErrConfig) || !strings.Contains(err.Error(), "planner") {
+		t.Errorf("RunScenario(BCOM) err = %v, want ErrConfig mentioning the planner", err)
+	}
+}
+
+// A scenario run must be bit-for-bit the run of its hand-built config — the
+// property the fleet engine's standalone-replay guarantee rests on.
+func TestRunScenarioMatchesExplicitConfig(t *testing.T) {
+	s := Scenario{
+		Apps: []apps.ID{apps.StepCounter}, Scheme: Batching, Windows: 2, Seed: 42,
+		Faults: "seed=5; link-corrupt:every=60",
+	}
+	got, err := RunScenario(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := catalog.New(apps.StepCounter, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := Scenario{Apps: []apps.ID{apps.StepCounter}, Scheme: Batching, Windows: 2, Seed: 42,
+		Faults: "seed=5; link-corrupt:every=60"}.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Apps) != 1 || cfg.Apps[0].Spec().ID != a.Spec().ID {
+		t.Fatalf("Config() apps = %v", cfg.Apps)
+	}
+	want, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Energy.Attributed() != want.Energy.Attributed() {
+		t.Errorf("energy %v != %v", got.Energy.Attributed(), want.Energy.Attributed())
+	}
+	if got.Duration != want.Duration || got.LinkRetransmits != want.LinkRetransmits {
+		t.Errorf("run stats diverge: %v/%d vs %v/%d",
+			got.Duration, got.LinkRetransmits, want.Duration, want.LinkRetransmits)
+	}
+}

@@ -1,0 +1,37 @@
+package report
+
+import "strconv"
+
+// AggRow is one streaming-aggregate line (the fleet engine's per-metric
+// summary): distribution moments plus quantile-sketch estimates.
+type AggRow struct {
+	Metric string
+	Count  int64
+	Mean   float64
+	Std    float64
+	Min    float64
+	P50    float64
+	P95    float64
+	P99    float64
+	Max    float64
+}
+
+// Sig formats a float with six significant digits — aggregate values span
+// microjoules to joules, so fixed decimals would truncate either end.
+func Sig(v float64) string {
+	return strconv.FormatFloat(v, 'g', 6, 64)
+}
+
+// AggregateTable renders aggregate rows in the caller's order.
+func AggregateTable(title string, rows []AggRow) *Table {
+	t := &Table{
+		Title:  title,
+		Header: []string{"metric", "n", "mean", "std", "min", "p50", "p95", "p99", "max"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.Metric, strconv.FormatInt(r.Count, 10),
+			Sig(r.Mean), Sig(r.Std), Sig(r.Min),
+			Sig(r.P50), Sig(r.P95), Sig(r.P99), Sig(r.Max))
+	}
+	return t
+}

@@ -1,0 +1,138 @@
+package trace
+
+import (
+	"testing"
+	"time"
+
+	"iothub/internal/energy"
+)
+
+// Edge cases around degenerate windows: zero-duration analyses, traces with
+// a single power segment, and analysis windows extending past the recorded
+// trace (the final level persists).
+
+func TestZeroDurationAnalyses(t *testing.T) {
+	tr := sampleTrace()
+	if got := SleepFraction(tr, 1, 0); got != 0 {
+		t.Errorf("SleepFraction over zero window = %v, want 0", got)
+	}
+	if got := SleepFraction(tr, 1, ms(-5)); got != 0 {
+		t.Errorf("SleepFraction over negative window = %v, want 0", got)
+	}
+	if _, err := Resample(tr, 10*time.Millisecond, 0); err == nil {
+		t.Error("Resample accepted a zero-duration window")
+	}
+	if _, err := Resample(tr, 10*time.Millisecond, ms(-1)); err == nil {
+		t.Error("Resample accepted a negative window")
+	}
+	if _, err := Resample(tr, 0, ms(100)); err == nil {
+		t.Error("Resample accepted a zero step")
+	}
+	if _, err := Resample(tr, -time.Millisecond, ms(100)); err == nil {
+		t.Error("Resample accepted a negative step")
+	}
+}
+
+func TestSingleSegmentTrace(t *testing.T) {
+	tr := []energy.Sample{{At: 0, Watts: 2, R: energy.Idle}}
+	occ := Occupancy(tr, ms(250))
+	if got := occ[2.0]; got != 250*time.Millisecond {
+		t.Errorf("single segment dwell = %v, want the whole 250ms window", got)
+	}
+	wave, err := Resample(tr, 50*time.Millisecond, ms(250))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wave) != 5 {
+		t.Fatalf("waveform bins = %d, want 5", len(wave))
+	}
+	for i, w := range wave {
+		if w != 2 {
+			t.Errorf("bin %d = %v, want constant 2 W", i, w)
+		}
+	}
+	if got := SleepFraction(tr, 2, ms(250)); got != 1 {
+		t.Errorf("SleepFraction at threshold = %v, want 1 (level == threshold sleeps)", got)
+	}
+	if got := SleepFraction(tr, 1.9, ms(250)); got != 0 {
+		t.Errorf("SleepFraction below level = %v, want 0", got)
+	}
+}
+
+// A single segment that starts mid-window: the gap before the first sample
+// carries zero power.
+func TestSingleSegmentStartingLate(t *testing.T) {
+	tr := []energy.Sample{{At: ms(100), Watts: 4, R: energy.Idle}}
+	wave, err := Resample(tr, 100*time.Millisecond, ms(300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0, 4, 4}
+	for i := range want {
+		if wave[i] != want[i] {
+			t.Errorf("bin %d = %v, want %v", i, wave[i], want[i])
+		}
+	}
+	occ := Occupancy(tr, ms(300))
+	if got := occ[4.0]; got != 200*time.Millisecond {
+		t.Errorf("late segment dwell = %v, want 200ms", got)
+	}
+}
+
+// An analysis window far longer than the trace: the last recorded level
+// extends to the window's end in every analysis.
+func TestWindowLargerThanTrace(t *testing.T) {
+	tr := sampleTrace() // last sample at 900ms (5 W)
+	end := ms(10_000)
+	occ := Occupancy(tr, end)
+	if got := occ[5.0]; got != (100+9_100)*time.Millisecond {
+		t.Errorf("extended dwell at 5 W = %v, want 9.2s", got)
+	}
+	wave, err := Resample(tr, time.Second, end)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wave) != 10 {
+		t.Fatalf("bins = %d, want 10", len(wave))
+	}
+	for i := 1; i < 10; i++ {
+		if wave[i] != 5 {
+			t.Errorf("bin %d = %v, want the final level 5 W", i, wave[i])
+		}
+	}
+	// 100ms at 5W + 800ms at 0.35W + 100ms at 5W in the first second.
+	if first := wave[0]; first != (0.1*5+0.8*0.35+0.1*5)/1 {
+		t.Errorf("bin 0 = %v, want 1.28", first)
+	}
+	frac := SleepFraction(tr, 1, end)
+	if want := 0.08; frac != want { // 800ms of 10s at/below 1 W
+		t.Errorf("SleepFraction = %v, want %v", frac, want)
+	}
+}
+
+// The final partial resample step is dropped, even when it is the only step.
+func TestResampleDropsPartialStep(t *testing.T) {
+	tr := []energy.Sample{{At: 0, Watts: 3, R: energy.Idle}}
+	wave, err := Resample(tr, 300*time.Millisecond, ms(700))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wave) != 2 {
+		t.Errorf("bins = %d, want 2 (100ms remainder dropped)", len(wave))
+	}
+	wave, err = Resample(tr, time.Second, ms(700))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wave) != 0 {
+		t.Errorf("bins = %d, want 0 when the step exceeds the window", len(wave))
+	}
+	// Empty trace: defined waveform of zeros.
+	wave, err = Resample(nil, 100*time.Millisecond, ms(300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wave) != 3 || wave[0] != 0 || wave[2] != 0 {
+		t.Errorf("empty-trace waveform = %v, want three zero bins", wave)
+	}
+}
