@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt check fuzz fleet-smoke bench experiments ablations examples clean
+.PHONY: all build test race vet fmt check fuzz fleet-smoke bench bench-json bench-smoke experiments ablations examples clean
 
 all: build vet test check
 
@@ -38,6 +38,20 @@ fmt:
 # + per-package micro-benchmarks.
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Record a benchmark run as a trajectory point: parse the -bench output into
+# BENCH_<UTC stamp>.json (see cmd/benchjson). Commit the file to track
+# performance over time. BENCHTIME=2s for steadier numbers; default is the
+# go test default.
+BENCHTIME ?= 1s
+bench-json:
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) ./... \
+		| $(GO) run ./cmd/benchjson -o BENCH_$$(date -u +%Y%m%dT%H%M%SZ).json
+
+# One iteration of every benchmark: catches bit-rotted benchmark code in CI
+# without paying for real measurement.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
 # Regenerate every paper artifact (tables + figures) as ASCII.
 experiments:

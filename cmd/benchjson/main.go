@@ -1,0 +1,153 @@
+// Command benchjson converts `go test -bench` text output into a stable
+// JSON document, the record format behind `make bench-json`: each run lands
+// in a BENCH_<stamp>.json file, and the sequence of committed files is the
+// repo's performance trajectory (compare any two with a JSON diff).
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem ./... | benchjson -o BENCH_20260805T120000Z.json
+//	go test -bench SchedulerThroughput ./internal/sim | benchjson
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Record is the top-level document.
+type Record struct {
+	Stamp      string      `json:"stamp"`
+	GOOS       string      `json:"goos,omitempty"`
+	GOARCH     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// Benchmark is one `Benchmark...` result line.
+type Benchmark struct {
+	Pkg         string  `json:"pkg,omitempty"`
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op,omitempty"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	// Metrics holds any extra b.ReportMetric pairs (e.g. "scenarios").
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+func main() {
+	out := ""
+	args := os.Args[1:]
+	for len(args) > 0 {
+		switch args[0] {
+		case "-o":
+			if len(args) < 2 {
+				fmt.Fprintln(os.Stderr, "benchjson: -o needs a file path")
+				os.Exit(2)
+			}
+			out, args = args[1], args[2:]
+		default:
+			fmt.Fprintf(os.Stderr, "benchjson: unknown argument %q\n", args[0])
+			os.Exit(2)
+		}
+	}
+	rec, err := Parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	rec.Stamp = time.Now().UTC().Format(time.RFC3339)
+	blob, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	blob = append(blob, '\n')
+	if out == "" {
+		os.Stdout.Write(blob)
+		return
+	}
+	if err := os.WriteFile(out, blob, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks -> %s\n", len(rec.Benchmarks), out)
+}
+
+// Parse consumes `go test -bench` output. It tracks pkg/goos/goarch/cpu
+// header lines, collects every Benchmark result, and fails if the stream
+// contains a test failure marker (a half-failed run is not a trajectory
+// point worth recording).
+func Parse(r io.Reader) (*Record, error) {
+	rec := &Record{Benchmarks: []Benchmark{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	pkg := ""
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			rec.GOOS = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			rec.GOARCH = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			rec.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimPrefix(line, "pkg: ")
+		case line == "FAIL" || strings.HasPrefix(line, "FAIL\t") || strings.HasPrefix(line, "--- FAIL"):
+			return nil, fmt.Errorf("input contains a test failure: %q", line)
+		case strings.HasPrefix(line, "Benchmark"):
+			b, err := parseBench(line, pkg)
+			if err != nil {
+				return nil, err
+			}
+			rec.Benchmarks = append(rec.Benchmarks, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(rec.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no benchmark result lines found")
+	}
+	return rec, nil
+}
+
+func parseBench(line, pkg string) (Benchmark, error) {
+	f := strings.Fields(line)
+	if len(f) < 2 {
+		return Benchmark{}, fmt.Errorf("malformed benchmark line %q", line)
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, fmt.Errorf("benchmark line %q: iterations: %v", line, err)
+	}
+	b := Benchmark{Pkg: pkg, Name: f[0], Iterations: iters}
+	// The rest is (value, unit) pairs.
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Benchmark{}, fmt.Errorf("benchmark line %q: value %q: %v", line, f[i], err)
+		}
+		switch unit := f[i+1]; unit {
+		case "ns/op":
+			b.NsPerOp = v
+		case "B/op":
+			b.BytesPerOp = v
+		case "allocs/op":
+			b.AllocsPerOp = v
+		default:
+			if b.Metrics == nil {
+				b.Metrics = map[string]float64{}
+			}
+			b.Metrics[unit] = v
+		}
+	}
+	return b, nil
+}

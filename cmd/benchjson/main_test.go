@@ -1,0 +1,85 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: iothub
+cpu: AMD EPYC 7R13 Processor
+BenchmarkFleetSweep/workers=1         	       3	 244882689 ns/op	        64.00 scenarios	116854061 B/op	 1833768 allocs/op
+BenchmarkFleetSweep/workers=1#01      	       3	 245013against ns/op
+PASS
+ok  	iothub	2.412s
+pkg: iothub/internal/sim
+BenchmarkSchedulerThroughput-4        	    6816	    174992 ns/op	     208 B/op	       7 allocs/op
+BenchmarkSchedulerFanOut-4            	    1670	    716811 ns/op
+PASS
+ok  	iothub/internal/sim	3.001s
+`
+
+func TestParse(t *testing.T) {
+	// The deliberately corrupt second line above exercises the error path in
+	// its own subtest; build a clean copy for the happy path.
+	clean := strings.Replace(sampleOutput,
+		"BenchmarkFleetSweep/workers=1#01      \t       3\t 245013against ns/op\n", "", 1)
+	rec, err := Parse(strings.NewReader(clean))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.GOOS != "linux" || rec.GOARCH != "amd64" {
+		t.Errorf("goos/goarch = %q/%q", rec.GOOS, rec.GOARCH)
+	}
+	if rec.CPU != "AMD EPYC 7R13 Processor" {
+		t.Errorf("cpu = %q", rec.CPU)
+	}
+	if len(rec.Benchmarks) != 3 {
+		t.Fatalf("got %d benchmarks, want 3: %+v", len(rec.Benchmarks), rec.Benchmarks)
+	}
+
+	sweep := rec.Benchmarks[0]
+	if sweep.Name != "BenchmarkFleetSweep/workers=1" || sweep.Pkg != "iothub" {
+		t.Errorf("first benchmark = %q pkg %q", sweep.Name, sweep.Pkg)
+	}
+	if sweep.Iterations != 3 || sweep.NsPerOp != 244882689 {
+		t.Errorf("sweep iterations/ns = %d/%v", sweep.Iterations, sweep.NsPerOp)
+	}
+	if sweep.BytesPerOp != 116854061 || sweep.AllocsPerOp != 1833768 {
+		t.Errorf("sweep B/allocs = %v/%v", sweep.BytesPerOp, sweep.AllocsPerOp)
+	}
+	if got := sweep.Metrics["scenarios"]; got != 64 {
+		t.Errorf("sweep scenarios metric = %v, want 64", got)
+	}
+
+	sched := rec.Benchmarks[1]
+	if sched.Pkg != "iothub/internal/sim" {
+		t.Errorf("scheduler pkg = %q", sched.Pkg)
+	}
+	if sched.AllocsPerOp != 7 || sched.BytesPerOp != 208 {
+		t.Errorf("scheduler B/allocs = %v/%v", sched.BytesPerOp, sched.AllocsPerOp)
+	}
+	if fan := rec.Benchmarks[2]; fan.Metrics != nil || fan.BytesPerOp != 0 {
+		t.Errorf("fan-out without -benchmem should have no memory fields: %+v", fan)
+	}
+}
+
+func TestParseRejectsFailure(t *testing.T) {
+	in := "BenchmarkX 1 5 ns/op\n--- FAIL: TestY (0.00s)\nFAIL\nFAIL\tiothub\t0.1s\n"
+	if _, err := Parse(strings.NewReader(in)); err == nil {
+		t.Fatal("Parse accepted output containing a FAIL marker")
+	}
+}
+
+func TestParseRejectsEmpty(t *testing.T) {
+	if _, err := Parse(strings.NewReader("PASS\nok  \tiothub\t0.1s\n")); err == nil {
+		t.Fatal("Parse accepted output with no benchmark lines")
+	}
+}
+
+func TestParseRejectsMalformedValue(t *testing.T) {
+	if _, err := Parse(strings.NewReader(sampleOutput)); err == nil {
+		t.Fatal("Parse accepted a benchmark line with a non-numeric value")
+	}
+}

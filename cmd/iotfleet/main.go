@@ -19,6 +19,7 @@ import (
 	"os"
 
 	"iothub/internal/fleet"
+	"iothub/internal/profiling"
 	"iothub/internal/report"
 )
 
@@ -29,7 +30,7 @@ func main() {
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(args []string, out io.Writer) (retErr error) {
 	fs := flag.NewFlagSet("iotfleet", flag.ContinueOnError)
 	specPath := fs.String("spec", "", "sweep spec file (JSON; see internal/fleet/testdata/smoke.json)")
 	workers := fs.Int("workers", 0, "worker pool size (0 = spec's workers, then GOMAXPROCS)")
@@ -37,12 +38,23 @@ func run(args []string, out io.Writer) error {
 	resume := fs.Bool("resume", false, "replay the journal and continue from the first unfinished scenario")
 	progress := fs.Bool("progress", false, "print progress lines to stderr while the sweep runs")
 	format := fs.String("format", "ascii", "output format: ascii, csv, or markdown")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
+	memProfile := fs.String("memprofile", "", "write an allocation profile of the sweep to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *specPath == "" {
 		return fmt.Errorf("-spec is required")
 	}
+	stopProfiles, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProfiles(); perr != nil && retErr == nil {
+			retErr = perr
+		}
+	}()
 	render, err := renderer(*format)
 	if err != nil {
 		return err

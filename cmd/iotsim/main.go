@@ -26,6 +26,7 @@ import (
 	"iothub/internal/energy"
 	"iothub/internal/faults"
 	"iothub/internal/hub"
+	"iothub/internal/profiling"
 	"iothub/internal/report"
 	"iothub/internal/sensor"
 	"iothub/internal/sim"
@@ -39,7 +40,7 @@ func main() {
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(args []string, out io.Writer) (retErr error) {
 	fs := flag.NewFlagSet("iotsim", flag.ContinueOnError)
 	appsFlag := fs.String("apps", "A2", "comma-separated Table II workload IDs (A1..A11)")
 	schemeFlag := fs.String("scheme", "baseline", "baseline, batching, com, bcom, or beam")
@@ -52,9 +53,20 @@ func run(args []string, out io.Writer) error {
 	check := fs.Bool("check", false, "run the post-simulation invariant checker verbosely and print the fault/resilience summary")
 	jsonOut := fs.Bool("json", false, "emit the full run result as machine-readable JSON instead of tables")
 	battery := fs.Float64("battery-mah", 0, "project battery lifetime for this workload (mAh at 5 V; single app only)")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the simulation to this file")
+	memProfile := fs.String("memprofile", "", "write an allocation profile of the simulation to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProfiles, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProfiles(); perr != nil && retErr == nil {
+			retErr = perr
+		}
+	}()
 
 	scheme, err := hub.ParseScheme(*schemeFlag)
 	if err != nil {

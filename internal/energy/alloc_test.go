@@ -1,0 +1,148 @@
+package energy
+
+import (
+	"testing"
+	"time"
+
+	"iothub/internal/sim"
+)
+
+// TestSetZeroAlloc pins the meter's hot-path contract: a power transition
+// (and a redundant re-report) allocates nothing — joules accrue into the
+// track's fixed per-routine array.
+func TestSetZeroAlloc(t *testing.T) {
+	s := sim.NewScheduler()
+	m := NewMeter(s)
+	tr := m.Track("cpu")
+	tick := sim.Time(0)
+	got := testing.AllocsPerRun(200, func() {
+		tick = tick.Add(time.Microsecond)
+		if err := s.RunUntil(tick); err != nil {
+			t.Fatal(err)
+		}
+		tr.Set(3.5, AppCompute)
+		tr.Set(3.5, AppCompute) // redundant re-report: settles, no trace, no alloc
+		tr.Set(0.4, Idle)
+	})
+	if got != 0 {
+		t.Errorf("Track.Set allocates %v per run, want 0", got)
+	}
+}
+
+// TestBreakdownIntoZeroAlloc pins the zero-allocation read path: reusing the
+// caller's buffer, BreakdownInto settles and copies without allocating.
+func TestBreakdownIntoZeroAlloc(t *testing.T) {
+	s := sim.NewScheduler()
+	m := NewMeter(s)
+	tr := m.Track("cpu")
+	tr.Set(2, DataTransfer)
+	buf := NewBreakdown()
+	tick := sim.Time(0)
+	got := testing.AllocsPerRun(200, func() {
+		tick = tick.Add(time.Microsecond)
+		if err := s.RunUntil(tick); err != nil {
+			t.Fatal(err)
+		}
+		buf = tr.BreakdownInto(buf)
+		if buf.Get(DataTransfer) <= 0 {
+			t.Fatal("no energy accrued")
+		}
+	})
+	if got != 0 {
+		t.Errorf("Track.BreakdownInto allocates %v per run, want 0", got)
+	}
+}
+
+// TestBreakdownIntoMatchesBreakdown keeps the convenience and the pooled
+// read paths interchangeable.
+func TestBreakdownIntoMatchesBreakdown(t *testing.T) {
+	s := sim.NewScheduler()
+	m := NewMeter(s)
+	tr := m.Track("c")
+	tr.Set(1.5, Interrupt)
+	if err := s.RunUntil(sim.Time(time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	tr.Set(0, Idle)
+	if err := s.RunUntil(sim.Time(2 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	a := tr.Breakdown()
+	b := tr.BreakdownInto(make(Breakdown, 0, 16))
+	for _, r := range Routines {
+		if a.Get(r) != b.Get(r) || a.Has(r) != b.Has(r) {
+			t.Errorf("%v: Breakdown %v/%v != BreakdownInto %v/%v", r, a.Get(r), a.Has(r), b.Get(r), b.Has(r))
+		}
+	}
+	if !b.Has(Idle) || b.Get(Idle) != 0 {
+		t.Errorf("explicit zero-joule Idle stretch lost: has=%v get=%v", b.Has(Idle), b.Get(Idle))
+	}
+}
+
+// TestTraceDedup verifies that redundant Set calls do not append duplicate
+// samples while real transitions still do.
+func TestTraceDedup(t *testing.T) {
+	s := sim.NewScheduler()
+	m := NewMeter(s)
+	tr := m.Track("cpu")
+	tr.EnableTrace()
+	advanceTo := func(d time.Duration) {
+		if err := s.RunUntil(sim.Time(d)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tr.Set(1, AppCompute)
+	advanceTo(1 * time.Millisecond)
+	tr.Set(1, AppCompute) // duplicate: dropped
+	advanceTo(2 * time.Millisecond)
+	tr.Set(1, AppCompute) // duplicate: dropped
+	advanceTo(3 * time.Millisecond)
+	tr.Set(2, AppCompute) // level change: kept
+	tr.Set(2, Interrupt)  // routine change at same watts: kept
+	got := tr.TraceSamples()
+	if len(got) != 4 {
+		t.Fatalf("trace has %d samples, want 4 (initial + transition + level + routine)", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Watts == got[i-1].Watts && got[i].R == got[i-1].R {
+			t.Errorf("consecutive identical samples at %d: %+v", i, got[i])
+		}
+	}
+}
+
+// TestBreakdownJSONRoundTrip checks MarshalJSON keeps the historical object
+// shape (lexical keys, explicit zeros preserved) and survives a round trip.
+func TestBreakdownJSONRoundTrip(t *testing.T) {
+	s := sim.NewScheduler()
+	m := NewMeter(s)
+	tr := m.Track("link")
+	// 0 W idle stretch: accrues an explicit zero entry, like the real link.
+	if err := s.RunUntil(sim.Time(time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	tr.Set(2, DataTransfer)
+	if err := s.RunUntil(sim.Time(2 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	b := tr.Breakdown()
+	blob, err := b.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"DataTransfer":0.002,"Idle":0}`
+	if string(blob) != want {
+		t.Errorf("MarshalJSON = %s, want %s", blob, want)
+	}
+	var back Breakdown
+	if err := back.UnmarshalJSON(blob); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range Routines {
+		if back.Get(r) != b.Get(r) || back.Has(r) != b.Has(r) {
+			t.Errorf("%v: round trip %v/%v != original %v/%v", r, back.Get(r), back.Has(r), b.Get(r), b.Has(r))
+		}
+	}
+	if err := back.UnmarshalJSON([]byte(`{"NoSuchRoutine":1}`)); err == nil {
+		t.Error("UnmarshalJSON accepted an unknown routine")
+	}
+}

@@ -8,9 +8,16 @@
 // energy to one of the paper's four routines (plus Idle). A Breakdown can be
 // taken at any instant and is exact: no sampling error, because the power
 // waveform is piecewise constant between reported transitions.
+//
+// The accounting is designed to be invisible to the workload it measures:
+// Routine is a dense enum, so a Track accrues joules into a fixed array, a
+// power transition (Track.Set) performs zero allocations, and a redundant
+// transition (same watts, same routine) is a no-op that neither settles nor
+// records a duplicate trace sample.
 package energy
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 	"time"
@@ -36,6 +43,10 @@ const (
 	Idle
 )
 
+// routineSlots sizes the dense per-routine arrays: slot 0 is reserved (it
+// carries a Breakdown's presence mask), slots 1..5 are the Routines.
+const routineSlots = int(Idle) + 1
+
 // Routines lists all routines in display order.
 var Routines = []Routine{DataCollection, Interrupt, DataTransfer, AppCompute, Idle}
 
@@ -58,8 +69,8 @@ func (r Routine) String() string {
 }
 
 // MarshalText encodes the routine as its display label, so routine-keyed
-// maps (Breakdown, busy-time tables) serialize to JSON with readable keys
-// instead of bare integers.
+// maps (busy-time tables) serialize to JSON with readable keys instead of
+// bare integers.
 func (r Routine) MarshalText() ([]byte, error) { return []byte(r.String()), nil }
 
 // UnmarshalText is the inverse of MarshalText.
@@ -80,14 +91,17 @@ type Sample struct {
 	R     Routine
 }
 
-// Track accumulates the energy of a single component.
+// Track accumulates the energy of a single component. Joules accrue into a
+// fixed per-routine array — the hot path (Set/settle) touches no maps and
+// performs no allocations.
 type Track struct {
 	name    string
 	clock   *sim.Scheduler
 	lastAt  sim.Time
 	watts   float64
 	routine Routine
-	joules  map[Routine]float64
+	joules  [routineSlots]float64
+	touched uint8 // bit r set once routine r has accrued an interval
 	trace   []Sample
 	tracing bool
 }
@@ -96,7 +110,8 @@ type Track struct {
 type Meter struct {
 	clock  *sim.Scheduler
 	tracks map[string]*Track
-	order  []string
+	order  []string // creation order, for Components
+	sorted []*Track // name-sorted, maintained at insertion; Total's summation order
 }
 
 // NewMeter returns a meter bound to the given virtual clock.
@@ -115,10 +130,16 @@ func (m *Meter) Track(name string) *Track {
 		clock:   m.clock,
 		lastAt:  m.clock.Now(),
 		routine: Idle,
-		joules:  make(map[Routine]float64),
 	}
 	m.tracks[name] = tr
 	m.order = append(m.order, name)
+	// Keep the sorted view incrementally so Total never re-sorts: insert at
+	// the track's rank among existing names. Sorted summation order keeps
+	// Meter.Total's float accumulation bit-identical run to run.
+	i := sort.Search(len(m.sorted), func(i int) bool { return m.sorted[i].name >= name })
+	m.sorted = append(m.sorted, nil)
+	copy(m.sorted[i+1:], m.sorted[i:])
+	m.sorted[i] = tr
 	return tr
 }
 
@@ -130,8 +151,17 @@ func (m *Meter) Components() []string {
 }
 
 // Set reports that the component now draws watts attributed to routine r.
-// The interval since the previous report is integrated at the previous level.
+// The interval since the previous report is integrated at the previous
+// level. Reporting the level already in effect records no duplicate trace
+// sample, so chatty callers don't bloat traces; it still settles at the
+// report instant, keeping the float accumulation grouping (and therefore
+// every serialized joule) bit-identical whether or not callers dedup
+// themselves.
 func (tr *Track) Set(watts float64, r Routine) {
+	if watts == tr.watts && r == tr.routine {
+		tr.settle()
+		return
+	}
 	tr.settle()
 	tr.watts = watts
 	tr.routine = r
@@ -152,17 +182,23 @@ func (tr *Track) settle() {
 	dt := now - tr.lastAt
 	if dt > 0 {
 		tr.joules[tr.routine] += tr.watts * float64(dt) / float64(time.Second)
+		tr.touched |= 1 << uint(tr.routine)
 	}
 	tr.lastAt = now
 }
 
-// EnableTrace starts recording every Set call (plus an initial sample) so a
-// power-state timeline (Figure 5) can be rendered afterwards.
+// EnableTrace starts recording every power transition (plus an initial
+// sample) so a power-state timeline (Figure 5) can be rendered afterwards.
+// The buffer is preallocated; consecutive identical samples never appear
+// because Set dedups redundant transitions.
 func (tr *Track) EnableTrace() {
 	if tr.tracing {
 		return
 	}
 	tr.tracing = true
+	if tr.trace == nil {
+		tr.trace = make([]Sample, 0, 256)
+	}
 	tr.trace = append(tr.trace, Sample{At: tr.clock.Now(), Watts: tr.watts, R: tr.routine})
 }
 
@@ -173,15 +209,51 @@ func (tr *Track) TraceSamples() []Sample {
 	return out
 }
 
-// Breakdown is energy per routine, in joules.
-type Breakdown map[Routine]float64
+// Breakdown is energy per routine, in joules, backed by a dense array:
+// index r holds routine r's joules. Index 0 is reserved — it stores a small
+// presence bitmask distinguishing "accrued exactly zero joules" (e.g. a 0 W
+// idle stretch) from "never ran", which keeps serialized breakdowns
+// byte-identical to the old map representation. Construct literals with
+// routine-keyed indices (Breakdown{DataTransfer: 8}) or NewBreakdown; use
+// Get/Has to read entries of unknown provenance safely.
+type Breakdown []float64
+
+// NewBreakdown returns an empty full-size breakdown that can be indexed by
+// any Routine.
+func NewBreakdown() Breakdown { return make(Breakdown, routineSlots) }
+
+// Get reports routine r's joules (0 when absent). Unlike direct indexing it
+// is safe on short or nil breakdowns.
+func (b Breakdown) Get(r Routine) float64 {
+	if i := int(r); i > 0 && i < len(b) {
+		return b[i]
+	}
+	return 0
+}
+
+// Has reports whether routine r has an entry: either a nonzero value or a
+// zero explicitly accrued (presence bit set).
+func (b Breakdown) Has(r Routine) bool {
+	i := int(r)
+	if i <= 0 || i >= len(b) {
+		return false
+	}
+	return b[i] != 0 || b.mask()&(1<<uint(i)) != 0
+}
+
+func (b Breakdown) mask() uint64 {
+	if len(b) == 0 {
+		return 0
+	}
+	return uint64(b[0])
+}
 
 // Total sums all routines. Summation follows the fixed Routines order so
 // identical breakdowns always total to the bit-identical float.
 func (b Breakdown) Total() float64 {
 	var sum float64
 	for _, r := range Routines {
-		sum += b[r]
+		sum += b.Get(r)
 	}
 	return sum
 }
@@ -189,7 +261,7 @@ func (b Breakdown) Total() float64 {
 // Attributed sums all routines except Idle — the energy the paper's
 // normalized figures account for.
 func (b Breakdown) Attributed() float64 {
-	return b.Total() - b[Idle]
+	return b.Total() - b.Get(Idle)
 }
 
 // Fraction reports routine r's share of the attributed (non-idle) energy,
@@ -202,26 +274,33 @@ func (b Breakdown) Fraction(r Routine) float64 {
 	if r == Idle {
 		return 0
 	}
-	return b[r] / att
+	return b.Get(r) / att
 }
 
-// Add returns the element-wise sum of b and other.
+// Add returns the element-wise sum of b and other. Routines whose sum is
+// zero are absent from the result.
 func (b Breakdown) Add(other Breakdown) Breakdown {
-	out := make(Breakdown, len(Routines))
+	out := NewBreakdown()
 	for _, r := range Routines {
-		if v := b[r] + other[r]; v != 0 {
+		if v := b.Get(r) + other.Get(r); v != 0 {
 			out[r] = v
 		}
 	}
 	return out
 }
 
-// Scale returns b with every entry multiplied by k.
+// Scale returns b with every entry multiplied by k. Presence is preserved:
+// entries of b remain entries of the result.
 func (b Breakdown) Scale(k float64) Breakdown {
-	out := make(Breakdown, len(b))
-	for r, v := range b {
-		out[r] = v * k
+	out := NewBreakdown()
+	var mask uint64
+	for _, r := range Routines {
+		if b.Has(r) {
+			out[r] = b.Get(r) * k
+			mask |= 1 << uint(r)
+		}
 	}
+	out[0] = float64(mask)
 	return out
 }
 
@@ -229,11 +308,11 @@ func (b Breakdown) Scale(k float64) Breakdown {
 func (b Breakdown) String() string {
 	s := ""
 	for _, r := range Routines {
-		if v, ok := b[r]; ok {
+		if b.Has(r) {
 			if s != "" {
 				s += " "
 			}
-			s += fmt.Sprintf("%s=%.2fmJ", r, v*1e3)
+			s += fmt.Sprintf("%s=%.2fmJ", r, b.Get(r)*1e3)
 		}
 	}
 	if s == "" {
@@ -242,31 +321,75 @@ func (b Breakdown) String() string {
 	return s
 }
 
+// MarshalJSON keeps the historical JSON shape: an object keyed by routine
+// label, lexically sorted, with one entry per present routine.
+func (b Breakdown) MarshalJSON() ([]byte, error) {
+	m := make(map[string]float64, len(Routines))
+	for _, r := range Routines {
+		if b.Has(r) {
+			m[r.String()] = b.Get(r)
+		}
+	}
+	return json.Marshal(m)
+}
+
+// UnmarshalJSON is the inverse of MarshalJSON; explicit zero entries survive
+// the round trip.
+func (b *Breakdown) UnmarshalJSON(data []byte) error {
+	var m map[string]float64
+	if err := json.Unmarshal(data, &m); err != nil {
+		return err
+	}
+	out := NewBreakdown()
+	var mask uint64
+	for k, v := range m {
+		var r Routine
+		if err := r.UnmarshalText([]byte(k)); err != nil {
+			return err
+		}
+		out[r] = v
+		mask |= 1 << uint(r)
+	}
+	out[0] = float64(mask)
+	*b = out
+	return nil
+}
+
 // Breakdown integrates up to now and returns the component's per-routine
 // energy so far.
 func (tr *Track) Breakdown() Breakdown {
+	return tr.BreakdownInto(nil)
+}
+
+// BreakdownInto is Breakdown reusing dst's storage when it has capacity —
+// the zero-allocation variant for callers polling a track in a loop.
+func (tr *Track) BreakdownInto(dst Breakdown) Breakdown {
 	tr.settle()
-	out := make(Breakdown, len(tr.joules))
-	for r, j := range tr.joules {
-		out[r] = j
+	if cap(dst) < routineSlots {
+		dst = NewBreakdown()
 	}
-	return out
+	dst = dst[:routineSlots]
+	copy(dst, tr.joules[:])
+	dst[0] = float64(tr.touched)
+	return dst
 }
 
 // Total integrates up to now and returns the meter-wide per-routine energy
-// summed over all components.
+// summed over all components, accumulated in name order (the incrementally
+// maintained sorted view — no per-call sort or re-keying).
 func (m *Meter) Total() Breakdown {
-	out := make(Breakdown, len(Routines))
-	names := make([]string, 0, len(m.tracks))
-	for name := range m.tracks {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	for _, name := range names {
-		for r, j := range m.tracks[name].Breakdown() {
-			out[r] += j
+	out := NewBreakdown()
+	var mask uint64
+	for _, tr := range m.sorted {
+		tr.settle()
+		mask |= uint64(tr.touched)
+		for _, r := range Routines {
+			if tr.touched&(1<<uint(r)) != 0 {
+				out[r] += tr.joules[r]
+			}
 		}
 	}
+	out[0] = float64(mask)
 	return out
 }
 

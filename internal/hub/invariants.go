@@ -33,23 +33,27 @@ func (r *RunResult) CheckInvariants() error {
 	}
 
 	// Energy conservation across components, per routine and in total.
-	sum := energy.Breakdown{}
+	sum := energy.NewBreakdown()
 	for name, bd := range r.PerComponent {
-		for rt, j := range bd {
+		for _, rt := range energy.Routines {
+			if !bd.Has(rt) {
+				continue
+			}
+			j := bd.Get(rt)
 			if j < -invariantEps {
 				return fmt.Errorf("component %s: negative %v energy %g J", name, rt, j)
 			}
 			sum[rt] += j
 		}
 	}
-	for rt, j := range r.Energy {
-		if math.Abs(j-sum[rt]) > invariantEps {
-			return fmt.Errorf("energy not conserved for %v: hub-wide %g J, components sum to %g J", rt, j, sum[rt])
+	for _, rt := range energy.Routines {
+		if r.Energy.Has(rt) {
+			if j := r.Energy.Get(rt); math.Abs(j-sum.Get(rt)) > invariantEps {
+				return fmt.Errorf("energy not conserved for %v: hub-wide %g J, components sum to %g J", rt, j, sum.Get(rt))
+			}
 		}
-	}
-	for rt, j := range sum {
-		if math.Abs(j-r.Energy[rt]) > invariantEps {
-			return fmt.Errorf("energy not conserved for %v: components %g J, hub-wide %g J", rt, j, r.Energy[rt])
+		if j := sum.Get(rt); j != 0 && math.Abs(j-r.Energy.Get(rt)) > invariantEps {
+			return fmt.Errorf("energy not conserved for %v: components %g J, hub-wide %g J", rt, j, r.Energy.Get(rt))
 		}
 	}
 

@@ -10,10 +10,14 @@
 // structure of classic DES engines (e.g. ns-3, SimPy) and is what makes the
 // energy accounting in package energy exact — power-state changes are totally
 // ordered on the virtual timeline.
+//
+// Internally the queue is an index-based 4-ary min-heap over a value-typed
+// event arena with a free list, so steady-state schedule→dispatch performs
+// no heap allocations: popped slots are recycled, and cancellation is safe
+// across recycling because EventIDs carry a per-slot generation counter.
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"time"
@@ -40,60 +44,34 @@ func (t Time) Add(d time.Duration) Time { return t + Time(d) }
 // before the event queue drained.
 var ErrStopped = errors.New("simulation stopped")
 
-// event is a scheduled callback.
+// event is one arena slot. A slot is live while it sits in the heap
+// (pos >= 0) and free otherwise; gen increments every time the slot is
+// released, which invalidates any EventID minted for an earlier occupancy.
 type event struct {
-	at    Time
-	seq   uint64 // tie-breaker: schedule order
-	fn    func()
-	index int // heap index, -1 once popped or cancelled
+	at  Time
+	seq uint64 // tie-breaker: schedule order
+	fn  func()
+	gen uint32
+	pos int32 // heap index, -1 while the slot is free or executing
 }
 
-// eventHeap orders events by (at, seq).
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
+// EventID identifies a scheduled event so it can be cancelled. The zero
+// value identifies no event. IDs are generation-counted: once the event has
+// run or been cancelled its arena slot may be reused, and a stale ID for the
+// old occupancy keeps reporting false from Cancel (no ABA confusion).
+type EventID struct {
+	slot int32 // 1-based arena index; 0 means "no event"
+	gen  uint32
 }
-
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-
-func (h *eventHeap) Push(x any) {
-	ev, ok := x.(*event)
-	if !ok {
-		return // cannot happen: Push is only reached via heap.Push below
-	}
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*h = old[:n-1]
-	return ev
-}
-
-// EventID identifies a scheduled event so it can be cancelled.
-type EventID struct{ ev *event }
 
 // Scheduler is the discrete-event engine. The zero value is not usable; call
 // NewScheduler.
 type Scheduler struct {
 	now     Time
 	seq     uint64
-	queue   eventHeap
+	arena   []event
+	free    []int32 // stack of recyclable arena slots
+	heap    []int32 // 4-ary min-heap of arena indices, ordered by (at, seq)
 	stopped bool
 	running bool
 }
@@ -107,7 +85,7 @@ func NewScheduler() *Scheduler {
 func (s *Scheduler) Now() Time { return s.now }
 
 // Pending reports how many events are currently scheduled.
-func (s *Scheduler) Pending() int { return len(s.queue) }
+func (s *Scheduler) Pending() int { return len(s.heap) }
 
 // At schedules fn to run at instant t. Scheduling in the past (t < Now) is a
 // programming error in the model and returns an error; the event is not
@@ -119,10 +97,21 @@ func (s *Scheduler) At(t Time, fn func()) (EventID, error) {
 	if fn == nil {
 		return EventID{}, errors.New("sim: schedule nil callback")
 	}
-	ev := &event{at: t, seq: s.seq, fn: fn}
+	var idx int32
+	if n := len(s.free); n > 0 {
+		idx = s.free[n-1]
+		s.free = s.free[:n-1]
+	} else {
+		s.arena = append(s.arena, event{})
+		idx = int32(len(s.arena) - 1)
+	}
+	ev := &s.arena[idx]
+	ev.at = t
+	ev.seq = s.seq
+	ev.fn = fn
 	s.seq++
-	heap.Push(&s.queue, ev)
-	return EventID{ev: ev}, nil
+	s.heapPush(idx)
+	return EventID{slot: idx + 1, gen: ev.gen}, nil
 }
 
 // After schedules fn to run d after the current virtual time. Negative d is
@@ -135,14 +124,32 @@ func (s *Scheduler) After(d time.Duration, fn func()) (EventID, error) {
 }
 
 // Cancel removes a scheduled event. Cancelling an event that already ran or
-// was already cancelled is a no-op and reports false.
+// was already cancelled is a no-op and reports false — including when its
+// arena slot has since been reused by a newer event, which the generation
+// counter detects.
 func (s *Scheduler) Cancel(id EventID) bool {
-	if id.ev == nil || id.ev.index < 0 {
+	idx := id.slot - 1
+	if idx < 0 || int(idx) >= len(s.arena) {
 		return false
 	}
-	heap.Remove(&s.queue, id.ev.index)
-	id.ev.index = -1
+	ev := &s.arena[idx]
+	if ev.gen != id.gen || ev.pos < 0 {
+		return false
+	}
+	s.heapRemove(ev.pos)
+	s.release(idx)
 	return true
+}
+
+// release returns an arena slot to the free list. Bumping gen here is what
+// invalidates outstanding EventIDs; clearing fn releases the callback's
+// closure to the collector.
+func (s *Scheduler) release(idx int32) {
+	ev := &s.arena[idx]
+	ev.fn = nil
+	ev.pos = -1
+	ev.gen++
+	s.free = append(s.free, idx)
 }
 
 // Stop halts the simulation: the currently executing event finishes and Run
@@ -172,20 +179,108 @@ func (s *Scheduler) run(keep func(Time) bool) error {
 	s.running = true
 	defer func() { s.running = false }()
 	s.stopped = false
-	for len(s.queue) > 0 {
+	for len(s.heap) > 0 {
 		if s.stopped {
 			return ErrStopped
 		}
-		next := s.queue[0]
-		if !keep(next.at) {
+		top := s.heap[0]
+		at := s.arena[top].at
+		if !keep(at) {
 			return nil
 		}
-		popped, ok := heap.Pop(&s.queue).(*event)
-		if !ok {
-			return errors.New("sim: corrupted event queue")
-		}
-		s.now = popped.at
-		popped.fn()
+		s.popTop()
+		fn := s.arena[top].fn
+		s.release(top)
+		s.now = at
+		fn()
 	}
 	return nil
+}
+
+// less orders arena indices by (at, seq). seq is unique, so the order is
+// total and the dispatch sequence is independent of heap shape or arity.
+func (s *Scheduler) less(a, b int32) bool {
+	ea, eb := &s.arena[a], &s.arena[b]
+	if ea.at != eb.at {
+		return ea.at < eb.at
+	}
+	return ea.seq < eb.seq
+}
+
+func (s *Scheduler) heapPush(idx int32) {
+	s.heap = append(s.heap, idx)
+	s.siftUp(int32(len(s.heap) - 1))
+}
+
+// popTop removes heap[0]. The caller still owns the arena slot and must
+// release it after reading the callback.
+func (s *Scheduler) popTop() {
+	n := len(s.heap) - 1
+	s.heap[0] = s.heap[n]
+	s.heap = s.heap[:n]
+	if n > 0 {
+		s.siftDown(0)
+	}
+}
+
+// heapRemove deletes the element at heap position pos (cancellation path).
+func (s *Scheduler) heapRemove(pos int32) {
+	n := int32(len(s.heap)) - 1
+	if pos != n {
+		s.heap[pos] = s.heap[n]
+		s.heap = s.heap[:n]
+		if pos > 0 && s.less(s.heap[pos], s.heap[(pos-1)/4]) {
+			s.siftUp(pos)
+		} else {
+			s.siftDown(pos)
+		}
+	} else {
+		s.heap = s.heap[:n]
+	}
+}
+
+func (s *Scheduler) siftUp(i int32) {
+	h := s.heap
+	moving := h[i]
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !s.less(moving, h[parent]) {
+			break
+		}
+		h[i] = h[parent]
+		s.arena[h[i]].pos = i
+		i = parent
+	}
+	h[i] = moving
+	s.arena[moving].pos = i
+}
+
+func (s *Scheduler) siftDown(i int32) {
+	h := s.heap
+	n := int32(len(h))
+	moving := h[i]
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		best := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if s.less(h[c], h[best]) {
+				best = c
+			}
+		}
+		if !s.less(h[best], moving) {
+			break
+		}
+		h[i] = h[best]
+		s.arena[h[i]].pos = i
+		i = best
+	}
+	h[i] = moving
+	s.arena[moving].pos = i
 }

@@ -1,0 +1,100 @@
+package trace
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"iothub/internal/energy"
+	"iothub/internal/sim"
+)
+
+// withDuplicates re-inserts the redundant samples that energy.Track.Set now
+// dedups: for every sample, a copy at a later instant with identical
+// (watts, routine) — exactly what chatty pre-dedup traces contained.
+func withDuplicates(samples []energy.Sample) []energy.Sample {
+	out := make([]energy.Sample, 0, 2*len(samples))
+	for i, s := range samples {
+		out = append(out, s)
+		dup := s
+		dup.At += 200 * sim.Time(time.Microsecond)
+		if i+1 < len(samples) && samples[i+1].At <= dup.At {
+			continue // no room before the next transition
+		}
+		out = append(out, dup)
+	}
+	return out
+}
+
+// TestResampleOccupancyUnchangedByDedup is the regression for trace dedup:
+// a deduped trace and its duplicate-bearing equivalent describe the same
+// piecewise-constant waveform, so Resample, Occupancy, and SleepFraction
+// must be identical on both.
+func TestResampleOccupancyUnchangedByDedup(t *testing.T) {
+	s := sim.NewScheduler()
+	m := energy.NewMeter(s)
+	tr := m.Track("cpu")
+	tr.EnableTrace()
+	levels := []struct {
+		w float64
+		r energy.Routine
+		d time.Duration
+	}{
+		{2.1, energy.AppCompute, time.Millisecond},
+		{2.1, energy.AppCompute, time.Millisecond}, // redundant report
+		{0.094, energy.Idle, 3 * time.Millisecond},
+		{0.094, energy.Idle, 2 * time.Millisecond}, // redundant report
+		{1.2, energy.DataTransfer, time.Millisecond},
+		{2.1, energy.AppCompute, 2 * time.Millisecond},
+	}
+	for _, lv := range levels {
+		tr.Set(lv.w, lv.r)
+		if err := s.RunUntil(s.Now().Add(lv.d)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deduped := tr.TraceSamples()
+	for i := 1; i < len(deduped); i++ {
+		if deduped[i].Watts == deduped[i-1].Watts && deduped[i].R == deduped[i-1].R {
+			t.Fatalf("Track recorded consecutive identical samples at %d", i)
+		}
+	}
+	noisy := withDuplicates(deduped)
+	if len(noisy) == len(deduped) {
+		t.Fatal("test is vacuous: no duplicates inserted")
+	}
+	end := s.Now()
+
+	const step = 500 * time.Microsecond
+	wantWave, err := Resample(noisy, step, end)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotWave, err := Resample(deduped, step, end)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotWave) != len(wantWave) {
+		t.Fatalf("Resample lengths differ: %d vs %d", len(gotWave), len(wantWave))
+	}
+	for i := range gotWave {
+		if math.Abs(gotWave[i]-wantWave[i]) > 1e-12 {
+			t.Errorf("Resample bin %d: deduped %v, with duplicates %v", i, gotWave[i], wantWave[i])
+		}
+	}
+
+	wantOcc := Occupancy(noisy, end)
+	gotOcc := Occupancy(deduped, end)
+	if len(gotOcc) != len(wantOcc) {
+		t.Fatalf("Occupancy levels differ: %v vs %v", gotOcc, wantOcc)
+	}
+	for w, d := range wantOcc {
+		if gotOcc[w] != d {
+			t.Errorf("Occupancy[%v] = %v, want %v", w, gotOcc[w], d)
+		}
+	}
+
+	if a, b := SleepFraction(deduped, 0.1, end), SleepFraction(noisy, 0.1, end); a != b {
+		t.Errorf("SleepFraction differs: deduped %v, with duplicates %v", a, b)
+	}
+}
