@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt check fuzz fleet-smoke bench bench-json bench-smoke experiments ablations examples clean
+.PHONY: all build test race vet fmt check fuzz fleet-smoke obs-smoke bench bench-json bench-diff bench-smoke experiments ablations examples clean
 
 all: build vet test check
 
@@ -27,9 +27,24 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzUnmarshal -fuzztime 10s ./internal/coapmsg
 
 # Tiny end-to-end fleet sweep (8 scenarios) under the race detector: exercises
-# the worker pool, reorder-buffer aggregation, and the CLI in one shot.
+# the worker pool, reorder-buffer aggregation, the Prometheus endpoint (the
+# sweep self-scrapes its own /metrics at the end), and the CLI in one shot.
 fleet-smoke:
-	$(GO) run -race ./cmd/iotfleet -spec internal/fleet/testdata/smoke.json -workers 4 -progress
+	$(GO) run -race ./cmd/iotfleet -spec internal/fleet/testdata/smoke.json \
+		-workers 4 -progress -metrics-addr 127.0.0.1:0
+
+# End-to-end observability smoke: one clean and one chaotic instrumented run
+# dumping trace + counters (+ flight ring under chaos), then the exporter
+# test suite — golden trace bytes, analytic Table II counter values, and the
+# instrumented-run-is-byte-identical guarantee.
+OBS_TMP ?= /tmp
+obs-smoke:
+	$(GO) run ./cmd/iotsim -apps A2 -scheme baseline -windows 2 -outputs=false \
+		-trace $(OBS_TMP)/obs-baseline-trace.json -counters
+	$(GO) run ./cmd/iotsim -apps A2,A7 -scheme beam -windows 2 -outputs=false \
+		-chaos "seed=7; link-corrupt:prob=0.05; mcu-crash:at=700ms,for=80ms" \
+		-trace $(OBS_TMP)/obs-chaos-trace.json -counters -flight
+	$(GO) test -run 'TestObs|TestChromeTrace' ./internal/hub ./internal/obs
 
 fmt:
 	gofmt -l -w .
@@ -47,6 +62,14 @@ BENCHTIME ?= 1s
 bench-json:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) ./... \
 		| $(GO) run ./cmd/benchjson -o BENCH_$$(date -u +%Y%m%dT%H%M%SZ).json
+
+# Compare the two newest committed trajectory points (the UTC stamp in the
+# file name sorts lexically = chronologically) as a % delta table.
+bench-diff:
+	@set -- $$(ls BENCH_*.json | sort | tail -2); \
+	if [ $$# -lt 2 ]; then echo "bench-diff: need two BENCH_*.json files, have $$#"; exit 1; fi; \
+	echo "bench-diff: $$1 -> $$2"; \
+	$(GO) run ./cmd/benchjson -diff $$1 $$2
 
 # One iteration of every benchmark: catches bit-rotted benchmark code in CI
 # without paying for real measurement.

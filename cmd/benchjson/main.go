@@ -7,6 +7,7 @@
 //
 //	go test -run '^$' -bench . -benchmem ./... | benchjson -o BENCH_20260805T120000Z.json
 //	go test -bench SchedulerThroughput ./internal/sim | benchjson
+//	benchjson -diff BENCH_old.json BENCH_new.json   # % delta table
 package main
 
 import (
@@ -15,6 +16,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/exec"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -22,7 +25,11 @@ import (
 
 // Record is the top-level document.
 type Record struct {
-	Stamp      string      `json:"stamp"`
+	Stamp string `json:"stamp"`
+	// Commit and GoVersion pin the trajectory point to the code that
+	// produced it; Commit is empty outside a git checkout.
+	Commit     string      `json:"commit,omitempty"`
+	GoVersion  string      `json:"go_version,omitempty"`
 	GOOS       string      `json:"goos,omitempty"`
 	GOARCH     string      `json:"goarch,omitempty"`
 	CPU        string      `json:"cpu,omitempty"`
@@ -52,6 +59,16 @@ func main() {
 				os.Exit(2)
 			}
 			out, args = args[1], args[2:]
+		case "-diff":
+			if len(args) < 3 {
+				fmt.Fprintln(os.Stderr, "benchjson: -diff needs two BENCH_*.json paths (old new)")
+				os.Exit(2)
+			}
+			if err := diffFiles(os.Stdout, args[1], args[2]); err != nil {
+				fmt.Fprintln(os.Stderr, "benchjson:", err)
+				os.Exit(1)
+			}
+			return
 		default:
 			fmt.Fprintf(os.Stderr, "benchjson: unknown argument %q\n", args[0])
 			os.Exit(2)
@@ -63,6 +80,8 @@ func main() {
 		os.Exit(1)
 	}
 	rec.Stamp = time.Now().UTC().Format(time.RFC3339)
+	rec.Commit = gitCommit()
+	rec.GoVersion = runtime.Version()
 	blob, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
@@ -78,6 +97,89 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks -> %s\n", len(rec.Benchmarks), out)
+}
+
+// gitCommit reports the checkout's short commit hash, or "" when git (or a
+// repository) is unavailable — the stamp is best-effort metadata.
+func gitCommit() string {
+	blob, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(blob))
+}
+
+// diffFiles loads two trajectory points and prints their delta table.
+func diffFiles(w io.Writer, oldPath, newPath string) error {
+	load := func(path string) (*Record, error) {
+		blob, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		var rec Record
+		if err := json.Unmarshal(blob, &rec); err != nil {
+			return nil, fmt.Errorf("%s: %v", path, err)
+		}
+		return &rec, nil
+	}
+	oldRec, err := load(oldPath)
+	if err != nil {
+		return err
+	}
+	newRec, err := load(newPath)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "old: %s (%s %s)\nnew: %s (%s %s)\n\n",
+		oldPath, oldRec.Stamp, oldRec.Commit, newPath, newRec.Stamp, newRec.Commit)
+	return WriteDiff(w, oldRec, newRec)
+}
+
+// delta formats a percentage change; a zero or missing old value has no
+// meaningful ratio.
+func delta(oldV, newV float64) string {
+	if oldV == 0 || newV == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%+.1f%%", (newV-oldV)/oldV*100)
+}
+
+// WriteDiff renders the benchmark-by-benchmark comparison of two records,
+// matching entries on (pkg, name) and listing unmatched benchmarks at the
+// bottom so renames and deletions are visible rather than silently dropped.
+func WriteDiff(w io.Writer, oldRec, newRec *Record) error {
+	key := func(b Benchmark) string { return b.Pkg + " " + b.Name }
+	olds := make(map[string]Benchmark, len(oldRec.Benchmarks))
+	for _, b := range oldRec.Benchmarks {
+		olds[key(b)] = b
+	}
+	fmt.Fprintf(w, "%-52s %14s %14s %9s %9s\n",
+		"benchmark", "old ns/op", "new ns/op", "ns delta", "allocs")
+	matched := map[string]bool{}
+	for _, nb := range newRec.Benchmarks {
+		ob, ok := olds[key(nb)]
+		if !ok {
+			continue
+		}
+		matched[key(nb)] = true
+		fmt.Fprintf(w, "%-52s %14.0f %14.0f %9s %9s\n",
+			nb.Name, ob.NsPerOp, nb.NsPerOp,
+			delta(ob.NsPerOp, nb.NsPerOp), delta(ob.AllocsPerOp, nb.AllocsPerOp))
+	}
+	if len(matched) == 0 {
+		return fmt.Errorf("no benchmarks in common between the two records")
+	}
+	for _, b := range oldRec.Benchmarks {
+		if !matched[key(b)] {
+			fmt.Fprintf(w, "%-52s only in old record\n", b.Name)
+		}
+	}
+	for _, b := range newRec.Benchmarks {
+		if _, ok := olds[key(b)]; !ok {
+			fmt.Fprintf(w, "%-52s only in new record\n", b.Name)
+		}
+	}
+	return nil
 }
 
 // Parse consumes `go test -bench` output. It tracks pkg/goos/goarch/cpu

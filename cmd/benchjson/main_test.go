@@ -1,6 +1,7 @@
 package main
 
 import (
+	"io"
 	"strings"
 	"testing"
 )
@@ -62,6 +63,45 @@ func TestParse(t *testing.T) {
 	}
 	if fan := rec.Benchmarks[2]; fan.Metrics != nil || fan.BytesPerOp != 0 {
 		t.Errorf("fan-out without -benchmem should have no memory fields: %+v", fan)
+	}
+}
+
+func TestWriteDiff(t *testing.T) {
+	oldRec := &Record{Benchmarks: []Benchmark{
+		{Pkg: "iothub", Name: "BenchmarkSweep", NsPerOp: 200, AllocsPerOp: 10},
+		{Pkg: "iothub", Name: "BenchmarkGone", NsPerOp: 50},
+	}}
+	newRec := &Record{Benchmarks: []Benchmark{
+		{Pkg: "iothub", Name: "BenchmarkSweep", NsPerOp: 150, AllocsPerOp: 10},
+		{Pkg: "iothub", Name: "BenchmarkNew", NsPerOp: 75},
+	}}
+	var b strings.Builder
+	if err := WriteDiff(&b, oldRec, newRec); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"-25.0%", "+0.0%", "BenchmarkGone", "only in old record",
+		"BenchmarkNew", "only in new record"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("diff output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteDiffDisjoint(t *testing.T) {
+	oldRec := &Record{Benchmarks: []Benchmark{{Name: "BenchmarkA", NsPerOp: 1}}}
+	newRec := &Record{Benchmarks: []Benchmark{{Name: "BenchmarkB", NsPerOp: 1}}}
+	if err := WriteDiff(io.Discard, oldRec, newRec); err == nil {
+		t.Fatal("WriteDiff accepted records with no benchmarks in common")
+	}
+}
+
+func TestDeltaGuardsZero(t *testing.T) {
+	if got := delta(0, 5); got != "n/a" {
+		t.Errorf("delta(0, 5) = %q, want n/a", got)
+	}
+	if got := delta(100, 110); got != "+10.0%" {
+		t.Errorf("delta(100, 110) = %q", got)
 	}
 }
 

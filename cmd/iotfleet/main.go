@@ -19,6 +19,7 @@ import (
 	"os"
 
 	"iothub/internal/fleet"
+	"iothub/internal/obs"
 	"iothub/internal/profiling"
 	"iothub/internal/report"
 )
@@ -36,7 +37,8 @@ func run(args []string, out io.Writer) (retErr error) {
 	workers := fs.Int("workers", 0, "worker pool size (0 = spec's workers, then GOMAXPROCS)")
 	journal := fs.String("journal", "", "checkpoint journal path (JSON lines; enables -resume)")
 	resume := fs.Bool("resume", false, "replay the journal and continue from the first unfinished scenario")
-	progress := fs.Bool("progress", false, "print progress lines to stderr while the sweep runs")
+	progress := fs.Bool("progress", false, "print structured JSON progress lines to stderr while the sweep runs")
+	metricsAddr := fs.String("metrics-addr", "", "serve live sweep gauges in Prometheus text format on this address (e.g. :9090)")
 	format := fs.String("format", "ascii", "output format: ascii, csv, or markdown")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 	memProfile := fs.String("memprofile", "", "write an allocation profile of the sweep to this file")
@@ -67,9 +69,28 @@ func run(args []string, out io.Writer) (retErr error) {
 	if *progress {
 		opt.Progress = os.Stderr
 	}
+	var srv *obs.MetricsServer
+	if *metricsAddr != "" {
+		opt.Gauges = obs.NewGauges()
+		srv, err = obs.StartMetricsServer(*metricsAddr, opt.Gauges)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "metrics: serving /metrics on %s\n", srv.Addr())
+	}
 	res, err := fleet.Run(spec, opt)
 	if err != nil {
 		return err
+	}
+	if srv != nil {
+		// Self-scrape once so every instrumented sweep proves its own
+		// endpoint end-to-end (CI greps this for the final gauge values).
+		text, err := obs.Scrape(srv.Addr())
+		if err != nil {
+			return fmt.Errorf("metrics self-scrape: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "metrics: final scrape of %s:\n%s", srv.Addr(), text)
 	}
 
 	title := fmt.Sprintf("fleet sweep: %d scenarios (seed %d), energy in J/window",

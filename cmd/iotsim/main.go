@@ -26,6 +26,7 @@ import (
 	"iothub/internal/energy"
 	"iothub/internal/faults"
 	"iothub/internal/hub"
+	"iothub/internal/obs"
 	"iothub/internal/profiling"
 	"iothub/internal/report"
 	"iothub/internal/sensor"
@@ -52,6 +53,9 @@ func run(args []string, out io.Writer) (retErr error) {
 	chaos := fs.String("chaos", "", `fault schedule, e.g. "seed=7; link-corrupt:prob=0.05; mcu-crash:at=700ms,for=80ms"`)
 	check := fs.Bool("check", false, "run the post-simulation invariant checker verbosely and print the fault/resilience summary")
 	jsonOut := fs.Bool("json", false, "emit the full run result as machine-readable JSON instead of tables")
+	traceOut := fs.String("trace", "", "write a Perfetto-loadable Chrome trace-event JSON of the run's routine spans to this file")
+	counters := fs.Bool("counters", false, "print the hardware counter registry after the run (oprofile-style)")
+	flight := fs.Bool("flight", false, "print the flight recorder — the last hub events as JSON lines — after the run")
 	battery := fs.Float64("battery-mah", 0, "project battery lifetime for this workload (mAh at 5 V; single app only)")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the simulation to this file")
 	memProfile := fs.String("memprofile", "", "write an allocation profile of the simulation to this file")
@@ -83,6 +87,16 @@ func run(args []string, out io.Writer) (retErr error) {
 	}
 
 	cfg := hub.Config{Apps: list, Scheme: scheme, Windows: *windows, TracePower: *timeline}
+	var rec *obs.Recorder
+	if *traceOut != "" || *counters || *flight {
+		rec = obs.NewRecorder()
+		if *traceOut != "" {
+			rec.EnableTracing()
+		}
+		p := hub.DefaultParams()
+		p.Obs = rec
+		cfg.Params = &p
+	}
 	if *failEvery > 0 {
 		plan := &hub.FaultPlan{ReadFailEvery: map[sensor.ID]int{}, MaxRetries: 1}
 		for _, a := range list {
@@ -109,13 +123,22 @@ func run(args []string, out io.Writer) (retErr error) {
 	}
 	res, err := hub.Run(cfg)
 	if err != nil {
+		if *flight && rec != nil {
+			// Post-mortem: the flight ring holds the last hub events
+			// leading up to the failure.
+			fmt.Fprintln(os.Stderr, "flight recorder (most recent last):")
+			_ = obs.WriteFlight(os.Stderr, rec)
+		}
 		return err
 	}
 
 	if *jsonOut {
 		enc := json.NewEncoder(out)
 		enc.SetIndent("", "  ")
-		return enc.Encode(res)
+		if err := enc.Encode(res); err != nil {
+			return err
+		}
+		return exportObs(out, rec, *traceOut, *counters, *flight)
 	}
 	printSummary(out, res, *windows)
 	if res.ReadRetries > 0 || res.DroppedSamples > 0 {
@@ -140,6 +163,44 @@ func run(args []string, out io.Writer) (retErr error) {
 	}
 	if *timeline {
 		printTimeline(out, res, *windows)
+	}
+	return exportObs(out, rec, *traceOut, *counters, *flight)
+}
+
+// exportObs dumps whatever the run's recorder captured: the Chrome
+// trace-event file, the counter registry, and the flight ring. A nil
+// recorder (no obs flag given) is a no-op, keeping the default output
+// byte-identical to an uninstrumented build.
+func exportObs(out io.Writer, rec *obs.Recorder, tracePath string, counters, flight bool) error {
+	if rec == nil {
+		return nil
+	}
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		if err := obs.WriteChromeTrace(f, rec); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "trace: %d spans (%d dropped) -> %s\n\n", len(rec.Spans()), rec.SpansDropped(), tracePath)
+	}
+	if counters {
+		fmt.Fprintln(out, "counters:")
+		if err := obs.WriteCounters(out, rec); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+	}
+	if flight {
+		fmt.Fprintln(out, "flight recorder (most recent last):")
+		if err := obs.WriteFlight(out, rec); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"iothub/internal/energy"
+	"iothub/internal/obs"
 	"iothub/internal/sim"
 )
 
@@ -99,9 +100,10 @@ func (p Params) SleepBreakEven() time.Duration {
 }
 
 type workItem struct {
-	d    time.Duration
-	r    energy.Routine
-	done func()
+	d       time.Duration
+	r       energy.Routine
+	done    func()
+	startAt sim.Time // execution start, for routine spans
 }
 
 // CPU is one main-board processor instance with two execution lanes that
@@ -130,6 +132,12 @@ type CPU struct {
 
 	busy  map[energy.Routine]time.Duration
 	wakes int
+
+	obs *obs.Recorder
+	// Residency accounting: virtual time spent in each power state, settled
+	// on every transition. Always on — one subtraction per state change.
+	resid     [Waking + 1]time.Duration
+	lastTrans sim.Time
 }
 
 // isIO reports whether a routine executes on the serialized IO lane.
@@ -154,6 +162,35 @@ func New(sched *sim.Scheduler, meter *energy.Meter, name string, params Params) 
 	}
 	c.track.Set(params.WFIW, energy.Idle)
 	return c, nil
+}
+
+// Observe attaches an observability recorder: routine spans are emitted at
+// work completion. A nil recorder (the default) costs one branch per call.
+func (c *CPU) Observe(r *obs.Recorder) { c.obs = r }
+
+// setState moves the power-state machine, settling residency for the state
+// being left.
+func (c *CPU) setState(s State) {
+	now := c.sched.Now()
+	c.resid[c.state] += time.Duration(now - c.lastTrans)
+	c.lastTrans = now
+	c.state = s
+}
+
+// Residency reports cumulative virtual time per power state, including the
+// still-open occupancy of the current state.
+func (c *CPU) Residency() map[State]time.Duration {
+	out := make(map[State]time.Duration, len(c.resid))
+	for s := Active; s <= Waking; s++ {
+		d := c.resid[s]
+		if s == c.state {
+			d += time.Duration(c.sched.Now() - c.lastTrans)
+		}
+		if d > 0 {
+			out[s] = d
+		}
+	}
+	return out
 }
 
 // Params returns the processor's calibration constants.
@@ -227,11 +264,11 @@ func (c *CPU) maybeStart() error {
 		if len(c.queueIO) > 0 {
 			wakeFor = c.queueIO[0].r
 		}
-		c.state = Waking
+		c.setState(Waking)
 		c.wakes++
 		c.track.Set(c.params.TransitionW, wakeFor)
 		if _, err := c.sched.After(wake, func() {
-			c.state = WFI
+			c.setState(WFI)
 			if err := c.maybeStart(); err != nil {
 				// Scheduling in a DES only fails on programming errors;
 				// surface it by stopping the run.
@@ -264,8 +301,9 @@ func (c *CPU) maybeStart() error {
 }
 
 func (c *CPU) beginWork(item workItem) error {
-	c.state = Active
+	c.setState(Active)
 	c.setActivePower()
+	item.startAt = c.sched.Now()
 	_, err := c.sched.After(item.d, func() { c.endWork(item) })
 	if err != nil {
 		return fmt.Errorf("cpu: schedule work end: %w", err)
@@ -286,6 +324,7 @@ func (c *CPU) setActivePower() {
 
 func (c *CPU) endWork(item workItem) {
 	c.busy[item.r] += item.d
+	c.obs.Span("cpu", item.r.String(), item.startAt, c.sched.Now())
 	if isIO(item.r) {
 		c.ioBusy = false
 	} else {
@@ -296,7 +335,7 @@ func (c *CPU) endWork(item workItem) {
 	} else if len(c.queueIO) == 0 && len(c.queueCompute) == 0 {
 		// Default to stalling; the scheme's done callback typically refines
 		// this with an Idle call carrying the expected gap.
-		c.state = WFI
+		c.setState(WFI)
 		c.track.Set(c.params.WFIW, energy.Idle)
 	}
 	if item.done != nil {
@@ -321,13 +360,13 @@ func (c *CPU) Idle(gap time.Duration, r energy.Routine, allowDeep bool) error {
 	}
 	switch {
 	case allowDeep && gap >= c.params.DeepGapMin:
-		c.state = DeepSleep
+		c.setState(DeepSleep)
 		c.track.Set(c.params.DeepSleepW, r)
 	case gap > c.params.SleepBreakEven():
-		c.state = Sleep
+		c.setState(Sleep)
 		c.track.Set(c.params.SleepW, r)
 	default:
-		c.state = WFI
+		c.setState(WFI)
 		c.track.Set(c.params.WFIW, r)
 	}
 	return nil
@@ -352,7 +391,7 @@ func (c *CPU) ForceState(s State, r energy.Routine) error {
 	default:
 		return fmt.Errorf("cpu: cannot force state %v", s)
 	}
-	c.state = s
+	c.setState(s)
 	c.track.Set(w, r)
 	return nil
 }

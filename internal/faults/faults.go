@@ -211,6 +211,17 @@ type ruleState struct {
 type Engine struct {
 	schedule Schedule
 	states   []map[string]*ruleState // per rule, per probed target
+	// activations counts probe hits — rules Fires reported as firing. Timed
+	// (self-firing) events are counted by the hub as it runs them.
+	activations uint64
+}
+
+// Activations reports how many probes hit a firing rule so far.
+func (e *Engine) Activations() uint64 {
+	if e == nil {
+		return 0
+	}
+	return e.activations
 }
 
 // NewEngine compiles a schedule. A nil or empty schedule returns a nil
@@ -299,6 +310,7 @@ func (e *Engine) Fires(kind Kind, target string, now sim.Time) (Rule, bool) {
 	if hit < 0 {
 		return Rule{}, false
 	}
+	e.activations++
 	return e.schedule.Rules[hit], true
 }
 

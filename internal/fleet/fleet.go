@@ -8,6 +8,7 @@ import (
 
 	"iothub/internal/core"
 	"iothub/internal/hub"
+	"iothub/internal/obs"
 )
 
 // Options tune one sweep execution without changing what it computes: the
@@ -27,6 +28,11 @@ type Options struct {
 	// have been applied (counting resumed ones) and leaves the journal
 	// resumable — the hook the interrupt-and-resume tests use.
 	MaxScenarios int
+	// Gauges, when non-nil, receives live sweep state (scenarios done,
+	// worker occupancy, aggregate fingerprints) — the backing store of
+	// iotfleet's Prometheus endpoint. Nil allocates a private set so
+	// progress lines always carry rate and ETA.
+	Gauges *obs.Gauges
 }
 
 // ScenarioError records one failed scenario; the sweep keeps going.
@@ -90,6 +96,12 @@ func Run(spec Spec, opt Options) (*Result, error) {
 		return nil, fmt.Errorf("fleet: %d workers, want >= 1", workers)
 	}
 
+	gauges := opt.Gauges
+	if gauges == nil {
+		gauges = obs.NewGauges()
+	}
+	gauges.StartSweep(len(scens), workers)
+
 	header := journalHeader{Seed: spec.Seed, Scenarios: len(scens), Spec: specFingerprint(scens)}
 	tags := make([]string, len(scens))
 	for i, s := range scens {
@@ -115,6 +127,7 @@ func Run(spec Spec, opt Options) (*Result, error) {
 			} else {
 				res.Agg.Apply(tags[d.Index], d.Metrics)
 			}
+			gauges.ScenarioDone(d.Err != "")
 		}
 		res.Resumed = len(resumed)
 		res.Completed = len(resumed)
@@ -135,7 +148,8 @@ func Run(spec Spec, opt Options) (*Result, error) {
 		limit = opt.MaxScenarios
 	}
 	if next >= limit {
-		progress(opt.Progress, res, len(scens))
+		gauges.SetFingerprint(res.Agg.Fingerprint())
+		progress(opt.Progress, res, len(scens), gauges)
 		return res, nil
 	}
 
@@ -154,7 +168,9 @@ func Run(spec Spec, opt Options) (*Result, error) {
 			defer wg.Done()
 			for i := range indices {
 				s := scens[i]
+				gauges.WorkerBusy(+1)
 				r, err := RunScenario(s)
+				gauges.WorkerBusy(-1)
 				if err != nil {
 					outcomes <- outcome{index: i, err: err.Error()}
 					continue
@@ -195,17 +211,22 @@ func Run(spec Spec, opt Options) (*Result, error) {
 			}
 			res.Completed++
 			next++
+			gauges.ScenarioDone(ready.err != "")
 			if jw != nil && firstJournalErr == nil {
 				if err := jw.write(journalLine{Done: &d}); err != nil {
 					firstJournalErr = err
-				} else if res.Completed%snapEvery == 0 || res.Completed == len(scens) {
-					fp := res.Agg.Fingerprint()
+				}
+			}
+			if res.Completed%snapEvery == 0 || res.Completed == len(scens) {
+				fp := res.Agg.Fingerprint()
+				gauges.SetFingerprint(fp)
+				if jw != nil && firstJournalErr == nil {
 					if err := jw.write(journalLine{Snap: &journalSnap{Applied: res.Completed, FP: fp}}); err != nil {
 						firstJournalErr = err
 					}
 				}
 			}
-			progress(opt.Progress, res, len(scens))
+			progress(opt.Progress, res, len(scens), gauges)
 		}
 	}
 	if len(pending) != 0 {
@@ -217,9 +238,10 @@ func Run(spec Spec, opt Options) (*Result, error) {
 	return res, nil
 }
 
-// progress prints a coarse status line at ~1/16 completion steps (and at the
-// end) so long sweeps stay observable without flooding the terminal.
-func progress(w io.Writer, res *Result, total int) {
+// progress prints a structured one-line JSON status at ~1/16 completion
+// steps (and at the end) so long sweeps stay observable without flooding the
+// terminal and CI logs stay machine-parseable.
+func progress(w io.Writer, res *Result, total int, g *obs.Gauges) {
 	if w == nil {
 		return
 	}
@@ -227,7 +249,10 @@ func progress(w io.Writer, res *Result, total int) {
 	if step < 1 {
 		step = 1
 	}
-	if res.Completed%step == 0 || res.Completed == total {
-		fmt.Fprintf(w, "fleet: %d/%d scenarios (%d errors)\n", res.Completed, total, res.Agg.Errors)
+	if res.Completed%step != 0 && res.Completed != total {
+		return
 	}
+	s := g.Read()
+	fmt.Fprintf(w, `{"done":%d,"total":%d,"errors":%d,"rate_per_sec":%.2f,"eta_sec":%.1f}`+"\n",
+		res.Completed, total, res.Agg.Errors, s.RatePerSec, s.ETASeconds)
 }

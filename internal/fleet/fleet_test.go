@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"encoding/json"
 	"math"
 	"path/filepath"
 	"sort"
@@ -354,8 +355,29 @@ func TestProgressOutput(t *testing.T) {
 	if _, err := Run(testSpec(), Options{Workers: 2, Progress: &sb}); err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(sb.String(), "8/8 scenarios") {
-		t.Errorf("progress output missing completion line:\n%s", sb.String())
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) == 0 {
+		t.Fatalf("no progress lines:\n%s", sb.String())
+	}
+	// Every line is one JSON object; the last reports completion.
+	type prog struct {
+		Done       int     `json:"done"`
+		Total      int     `json:"total"`
+		Errors     int     `json:"errors"`
+		RatePerSec float64 `json:"rate_per_sec"`
+		ETASec     float64 `json:"eta_sec"`
+	}
+	var last prog
+	for _, l := range lines {
+		if err := json.Unmarshal([]byte(l), &last); err != nil {
+			t.Fatalf("progress line %q is not JSON: %v", l, err)
+		}
+	}
+	if last.Done != 8 || last.Total != 8 || last.Errors != 0 {
+		t.Errorf("final progress = %+v, want done=8 total=8 errors=0", last)
+	}
+	if last.ETASec != 0 {
+		t.Errorf("final ETA = %v, want 0 at completion", last.ETASec)
 	}
 }
 

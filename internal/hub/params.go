@@ -7,6 +7,7 @@ import (
 	"iothub/internal/cpu"
 	"iothub/internal/link"
 	"iothub/internal/mcu"
+	"iothub/internal/obs"
 	"iothub/internal/radio"
 )
 
@@ -38,6 +39,11 @@ type Params struct {
 	// UplinkDriverCPU is the host-side driver cost to hand one burst to its
 	// radio (the NIC DMAs the frames).
 	UplinkDriverCPU time.Duration
+	// Obs is the run's observability recorder (counters, spans, flight ring).
+	// Nil — the default — disables the layer at the cost of one branch per
+	// instrumentation point; the recorder only observes, never schedules, so
+	// simulation output is identical either way.
+	Obs *obs.Recorder `json:"-"`
 }
 
 // DefaultParams returns the Raspberry Pi 3B + ESP8266 calibration.

@@ -10,6 +10,7 @@ import (
 	"iothub/internal/faults"
 	"iothub/internal/link"
 	"iothub/internal/mcu"
+	"iothub/internal/obs"
 	"iothub/internal/radio"
 	"iothub/internal/sensor"
 	"iothub/internal/sim"
@@ -130,6 +131,9 @@ type runner struct {
 	link      *link.Link
 	mainRadio *radio.Radio
 	mcuRadio  *radio.Radio
+	// obs is the run's observability recorder; nil (the default) makes every
+	// instrumentation point a single-branch no-op.
+	obs *obs.Recorder
 
 	states  []*appState
 	streams []*stream
@@ -190,6 +194,13 @@ func Run(cfg Config) (*RunResult, error) {
 	if r.mcuRadio, err = radio.New(r.sched, r.meter, "radio:mcu", params.MCURadio); err != nil {
 		return nil, err
 	}
+	r.obs = params.Obs
+	r.obs.Bind(r.sched)
+	r.cpu.Observe(r.obs)
+	r.mcu.Observe(r.obs)
+	r.link.Observe(r.obs)
+	r.mainRadio.Observe(r.obs)
+	r.mcuRadio.Observe(r.obs)
 	if cfg.TracePower {
 		r.cpu.Track().EnableTrace()
 		r.mcu.Track().EnableTrace()
@@ -261,6 +272,10 @@ func (r *runner) armFaults() error {
 			if err := rad.AddOutage(ev.At, ev.At.Add(ev.Rule.Duration)); err != nil {
 				return fmt.Errorf("%w: %v", ErrConfig, err)
 			}
+			r.obs.Inc(obs.FaultActivations)
+			if r.obs.Enabled() {
+				r.obs.Note("radio-outage", fmt.Sprintf("%s off air %v..%v", target, ev.At, ev.At.Add(ev.Rule.Duration)))
+			}
 		}
 	}
 
@@ -320,6 +335,10 @@ func (r *runner) onMCUCrash(d time.Duration) {
 		d = r.params.MCU.RebootTime
 	}
 	r.windowFault(r.windowAt(now)).Crashes++
+	r.obs.Inc(obs.FaultActivations)
+	if r.obs.Enabled() {
+		r.obs.Note("mcu-crash", fmt.Sprintf("window %d, reboot %v", r.windowAt(now), d))
+	}
 
 	// Everything resident in batch RAM is gone: rewind the owning windows'
 	// read progress and queue re-reads for after the reboot.
@@ -438,6 +457,9 @@ func (r *runner) degradeAll(reason string) {
 			Window: wNext, App: st.spec.ID, From: from, To: to, Reason: reason,
 		})
 		r.windowFault(wNext).Degradations++
+		if r.obs.Enabled() {
+			r.obs.Note("degrade", fmt.Sprintf("%s %v->%v from window %d: %s", st.spec.ID, from, to, wNext, reason))
+		}
 		changed = true
 	}
 	if changed {
@@ -710,6 +732,7 @@ func (r *runner) startRead(s *stream, k int) {
 
 func (r *runner) attemptRead(s *stream, k, retriesUsed int) {
 	s.attempts++
+	r.obs.Inc(obs.SensorReads)
 	failed := false
 	if n := r.cfg.Faults.failEvery(s.id); n > 0 && s.attempts%n == 0 {
 		failed = true
@@ -771,6 +794,9 @@ func (r *runner) noteRetry(s *stream, k int) {
 	if s.retriesInWindow[w] > r.pol.RetryBudgetPerWindow && !s.downshifted[w] {
 		s.downshifted[w] = true
 		r.res.RateDownshifts++
+		if r.obs.Enabled() {
+			r.obs.Note("rate-downshift", fmt.Sprintf("%s window %d over retry budget", s.id, w))
+		}
 	}
 }
 
@@ -781,8 +807,12 @@ func (r *runner) noteRetry(s *stream, k int) {
 // computed outputs (real apps tolerate missing samples; see DESIGN.md).
 func (r *runner) dropSample(s *stream, k int) {
 	r.res.DroppedSamples++
+	r.obs.Inc(obs.SamplesDropped)
 	w := k / s.perWindow
 	r.windowFault(w).Drops++
+	if r.obs.Enabled() {
+		r.obs.Note("sample-drop", fmt.Sprintf("%s sample %d (window %d)", s.id, k, w))
+	}
 	for _, l := range s.consumers {
 		if !l.wants(k) {
 			continue
@@ -824,7 +854,7 @@ func (r *runner) maybeComplete(st *appState, w int) {
 func (r *runner) sampleReady(s *stream, k int) {
 	w := k / s.perWindow
 	r.res.DeliveredSamples++
-	perSample := false
+	perSample := 0
 	for _, l := range s.consumers {
 		if !l.wants(k) {
 			continue
@@ -833,7 +863,7 @@ func (r *runner) sampleReady(s *stream, k int) {
 		st.readsDone[w]++
 		switch st.modeFor(w) {
 		case PerSample:
-			perSample = true
+			perSample++
 		case Batched:
 			r.batchSample(st, s, w, k)
 			r.maybeComplete(st, w)
@@ -841,7 +871,11 @@ func (r *runner) sampleReady(s *stream, k int) {
 			r.maybeComplete(st, w)
 		}
 	}
-	if perSample {
+	if perSample > 0 {
+		// BEAM's extra sharers ride the single interrupt: coalesced.
+		if perSample > 1 {
+			r.obs.Add(obs.InterruptsCoalesced, uint64(perSample-1))
+		}
 		r.interruptAndTransfer(s, k, w)
 	}
 }
@@ -909,6 +943,9 @@ func (r *runner) linkSend(n int) (time.Duration, bool, error) {
 	r.res.LinkLostFrames += rep.Lost
 	if err == nil && !rep.Delivered {
 		r.res.LinkAbortedTransfers++
+		if r.obs.Enabled() {
+			r.obs.Note("link-abort", fmt.Sprintf("%d bytes undelivered after %d attempts", n, rep.Attempts))
+		}
 	}
 	return rep.Duration, rep.Delivered, err
 }
@@ -921,6 +958,7 @@ func (r *runner) linkSend(n int) (time.Duration, bool, error) {
 func (r *runner) interruptAndTransfer(s *stream, k, w int) {
 	err := r.mcu.Exec(r.params.MCU.IrqRaise, energy.Interrupt, func() {
 		r.res.Interrupts++
+		r.obs.Inc(obs.InterruptsRaised)
 		err := r.cpu.Exec(r.params.CPUIrqHandle, energy.Interrupt, func() {
 			r.transferToCPU(s.bytes, func(delivered bool) {
 				for _, l := range s.consumers {
@@ -973,6 +1011,9 @@ func (r *runner) batchSample(st *appState, s *stream, w int, k int) {
 	st.batchAllocd += s.bytes
 	st.batchFill += s.bytes
 	st.batchRefs = append(st.batchRefs, batchRef{s: s, k: k})
+	// A batched sample crosses in a later bulk transfer, raising no
+	// interrupt of its own.
+	r.obs.Inc(obs.InterruptsCoalesced)
 }
 
 // flushBatch raises one interrupt and bulk-transfers the app's batch. The
@@ -998,6 +1039,8 @@ func (r *runner) flushBatch(st *appState, w int, final bool) {
 	err := r.mcu.Exec(r.params.MCU.IrqRaise, energy.Interrupt, func() {
 		r.res.Interrupts++
 		r.res.BatchFlushes++
+		r.obs.Inc(obs.InterruptsRaised)
+		r.obs.Inc(obs.BatchFlushes)
 		err := r.cpu.Exec(r.params.CPUIrqHandle, energy.Interrupt, func() {
 			r.transferToCPU(fill, func(bool) {
 				st.pendingFlushes[w]--
@@ -1039,6 +1082,7 @@ func (r *runner) offloadCompute(st *appState, w int) {
 		delete(st.offloadInFlight, w)
 		err := r.mcu.Exec(r.params.MCU.IrqRaise, energy.Interrupt, func() {
 			r.res.Interrupts++
+			r.obs.Inc(obs.InterruptsRaised)
 			err := r.cpu.Exec(r.params.CPUIrqHandle, energy.Interrupt, func() {
 				r.transferToCPU(r.params.ResultBytes, func(delivered bool) {
 					if delivered {
@@ -1078,6 +1122,14 @@ func (r *runner) finishWindow(st *appState, w int) {
 	deadline := sim.Time(int64(w+3) * int64(r.window))
 	if wr.At > deadline {
 		r.res.QoSViolations++
+		if r.obs.Enabled() {
+			r.obs.Note("qos-violation", fmt.Sprintf("%s window %d finished %v past deadline", st.spec.ID, w, (wr.At-deadline)))
+		}
+	}
+	if r.obs.Tracing() {
+		// Per-app window span: the window's sampling start to its output.
+		r.obs.Span("app:"+string(st.spec.ID), fmt.Sprintf("window %d", w),
+			sim.Time(int64(w)*int64(r.window)), wr.At)
 	}
 	st.results = append(st.results, wr)
 	r.uplink(st, w, wr.Result.Upstream)
@@ -1092,6 +1144,7 @@ func (r *runner) uplink(st *appState, w int, payload []byte) {
 		return
 	}
 	r.res.UpstreamBytes += len(payload)
+	r.obs.Add(obs.UpstreamBytes, uint64(len(payload)))
 	if st.modeFor(w) == Offloaded {
 		if err := r.mcu.Exec(r.params.UplinkDriverCPU, energy.AppCompute, nil); err != nil {
 			r.fail(err)
@@ -1131,6 +1184,7 @@ func errorsIsBusy(err error) bool {
 
 // collect finalizes the result after the event queue drains.
 func (r *runner) collect() {
+	r.collectObs()
 	r.res.Energy = r.meter.Total()
 	for _, name := range r.meter.Components() {
 		r.res.PerComponent[name] = r.meter.Track(name).Breakdown()
@@ -1153,6 +1207,35 @@ func (r *runner) collect() {
 			"mcu": r.mcu.Track().TraceSamples(),
 		}
 	}
+}
+
+// collectObs copies component-kept running totals into the recorder — the
+// event kernel's traffic, CPU residency and wakes, MCU high-water and
+// crashes, fault-engine probe hits — and closes the run-level scheme span.
+func (r *runner) collectObs() {
+	if !r.obs.Enabled() {
+		return
+	}
+	scheduled, cancelled := r.sched.Stats()
+	r.obs.Store(obs.SimEventsScheduled, scheduled)
+	r.obs.Store(obs.SimEventsCancelled, cancelled)
+	stateCounter := map[cpu.State]obs.Counter{
+		cpu.Active:    obs.CPUTicksActive,
+		cpu.WFI:       obs.CPUTicksWFI,
+		cpu.Sleep:     obs.CPUTicksSleep,
+		cpu.DeepSleep: obs.CPUTicksDeepSleep,
+		cpu.Waking:    obs.CPUTicksWaking,
+	}
+	for s, d := range r.cpu.Residency() {
+		if c, ok := stateCounter[s]; ok {
+			r.obs.Store(c, uint64(d))
+		}
+	}
+	r.obs.Store(obs.CPUWakes, uint64(r.cpu.Wakes()))
+	r.obs.SetMax(obs.MCUBufferHighWater, uint64(r.mcu.RAMHighWater()))
+	r.obs.Store(obs.MCUCrashes, uint64(r.mcu.Crashes()))
+	r.obs.Add(obs.FaultActivations, r.engine.Activations())
+	r.obs.Span("hub", r.cfg.Scheme.String(), 0, r.sched.Now())
 }
 
 // RunIdle measures the idle hub (Figure 1's reference): CPU suspended, MCU

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"iothub/internal/energy"
+	"iothub/internal/obs"
 	"iothub/internal/sim"
 )
 
@@ -51,7 +52,13 @@ type Link struct {
 	params Params
 	sched  *sim.Scheduler
 	track  *energy.Track
+	obs    *obs.Recorder
 }
+
+// Observe attaches an observability recorder: frame/byte/stall/retransmit
+// counters and wire-occupancy spans. A nil recorder costs one branch per
+// attempt.
+func (l *Link) Observe(r *obs.Recorder) { l.obs = r }
 
 // New returns a link using the given meter track.
 func New(sched *sim.Scheduler, meter *energy.Meter, name string, params Params) (*Link, error) {
@@ -92,7 +99,13 @@ func (l *Link) TransferDuration(n int) time.Duration {
 // is attributed to routine r (DataTransfer in every scheme).
 func (l *Link) Transmit(n int, r energy.Routine) (time.Duration, error) {
 	wire := l.WireTime(n)
+	l.obs.Inc(obs.UARTFrames)
+	if n > 0 {
+		l.obs.Add(obs.UARTBytes, uint64(n))
+	}
 	if wire > 0 {
+		now := l.sched.Now()
+		l.obs.Span("link", "frame", now, now.Add(wire))
 		l.track.Set(l.params.WireW, r)
 		if _, err := l.sched.After(wire, func() { l.track.Set(0, energy.Idle) }); err != nil {
 			return 0, fmt.Errorf("link: schedule wire-off: %w", err)
@@ -163,8 +176,17 @@ func (l *Link) TransmitReliable(n int, r energy.Routine, pol RetryPolicy, check 
 	elapsed := time.Duration(0)
 	for {
 		rep.Attempts++
+		l.obs.Inc(obs.UARTFrames)
+		if frame > 0 {
+			l.obs.Add(obs.UARTBytes, uint64(frame))
+		}
+		if rep.Attempts > 1 {
+			l.obs.Inc(obs.UARTRetransmits)
+		}
 		if wire > 0 {
 			on := elapsed
+			start := l.sched.Now().Add(on)
+			l.obs.Span("link", "frame", start, start.Add(wire))
 			if _, err := l.sched.After(on, func() { l.track.Set(l.params.WireW, r) }); err != nil {
 				return rep, fmt.Errorf("link: schedule wire-on: %w", err)
 			}
@@ -182,6 +204,7 @@ func (l *Link) TransmitReliable(n int, r energy.Routine, pol RetryPolicy, check 
 			rep.Corrupted++
 		case TxLost:
 			rep.Lost++
+			l.obs.Inc(obs.UARTStalls)
 			elapsed += l.params.LossTimeout
 		}
 		if rep.Attempts-1 >= pol.MaxRetries {

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"iothub/internal/energy"
+	"iothub/internal/obs"
 	"iothub/internal/sim"
 )
 
@@ -63,9 +64,10 @@ var (
 )
 
 type workItem struct {
-	d    time.Duration
-	r    energy.Routine
-	done func()
+	d       time.Duration
+	r       energy.Routine
+	done    func()
+	startAt sim.Time // execution start, for routine spans
 }
 
 // MCU is one micro-controller board instance.
@@ -84,6 +86,9 @@ type MCU struct {
 	crashes   int
 	current   workItem // the running item, so a crash can requeue it
 	endEv     sim.EventID
+
+	obs       *obs.Recorder
+	highWater int // peak RAM allocation, for the buffer high-water counter
 }
 
 // New returns an idle MCU metered on the named track.
@@ -107,6 +112,15 @@ func New(sched *sim.Scheduler, meter *energy.Meter, name string, params Params) 
 	return m, nil
 }
 
+// Observe attaches an observability recorder: work and reboot spans are
+// emitted on the "mcu" track. A nil recorder costs one branch per call.
+func (m *MCU) Observe(r *obs.Recorder) { m.obs = r }
+
+// RAMHighWater reports the peak concurrent RAM allocation over the run —
+// the MCU buffer high-water mark. Crashes zero live allocations but not the
+// mark: it records the worst case that occurred.
+func (m *MCU) RAMHighWater() int { return m.highWater }
+
 // Params returns the MCU's calibration constants.
 func (m *MCU) Params() Params { return m.params }
 
@@ -129,6 +143,9 @@ func (m *MCU) Alloc(n int) error {
 		return fmt.Errorf("%w: need %d bytes, %d free", ErrNoRAM, n, m.RAMFree())
 	}
 	m.ramUsed += n
+	if m.ramUsed > m.highWater {
+		m.highWater = m.ramUsed
+	}
 	return nil
 }
 
@@ -178,6 +195,7 @@ func (m *MCU) maybeStart() error {
 	m.queue = m.queue[1:]
 	m.current = item
 	m.track.Set(m.params.ActiveW, item.r)
+	item.startAt = m.sched.Now()
 	ev, err := m.sched.After(item.d, func() { m.endWork(item) })
 	if err != nil {
 		return fmt.Errorf("mcu: schedule work end: %w", err)
@@ -188,6 +206,7 @@ func (m *MCU) maybeStart() error {
 
 func (m *MCU) endWork(item workItem) {
 	m.busy[item.r] += item.d
+	m.obs.Span("mcu", item.r.String(), item.startAt, m.sched.Now())
 	m.running = false
 	if len(m.queue) == 0 {
 		m.track.Set(m.params.IdleW, energy.Idle)
@@ -224,8 +243,10 @@ func (m *MCU) Crash(d time.Duration, onAlive func()) error {
 	m.ramUsed = 0
 	m.rebooting = true
 	m.track.Set(m.params.RebootW, energy.Idle)
+	crashAt := m.sched.Now()
 	_, err := m.sched.After(d, func() {
 		m.rebooting = false
+		m.obs.Span("mcu", "reboot", crashAt, m.sched.Now())
 		if len(m.queue) == 0 {
 			m.track.Set(m.params.IdleW, energy.Idle)
 		}

@@ -1,0 +1,86 @@
+// Chrome trace-event export: the span tracer's Perfetto-loadable output.
+// The format is the Trace Event Format's JSON-object flavor — an object with
+// a "traceEvents" array of complete ("X") events plus thread-name metadata
+// ("M") events — which chrome://tracing and ui.perfetto.dev both ingest.
+// Timestamps are virtual microseconds (the format's native unit); the
+// emitted bytes are a pure function of the recorded spans, so traces diff
+// cleanly and golden files stay stable.
+
+package obs
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// TraceEvent is one entry of the trace-event JSON. Exported so tests (and
+// downstream tools) can round-trip emitted traces through encoding/json.
+type TraceEvent struct {
+	Name string `json:"name"`
+	// Ph is the event phase: "X" for complete spans, "M" for metadata.
+	Ph  string `json:"ph"`
+	Pid int    `json:"pid"`
+	Tid int    `json:"tid"`
+	// Ts and Dur are virtual microseconds (fractional: the simulator is
+	// nanosecond-resolution).
+	Ts  float64 `json:"ts"`
+	Dur float64 `json:"dur,omitempty"`
+	Cat string  `json:"cat,omitempty"`
+	// Args carries metadata payloads (the thread name for "M" events).
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// TraceDocument is the top-level trace-event JSON object.
+type TraceDocument struct {
+	TraceEvents []TraceEvent `json:"traceEvents"`
+	// DisplayTimeUnit hints the viewer's ruler; virtual runs are ms-scale.
+	DisplayTimeUnit string `json:"displayTimeUnit,omitempty"`
+	// SpansDropped reports truncation at the recorder's span cap — absent
+	// from healthy traces.
+	SpansDropped uint64 `json:"spansDropped,omitempty"`
+}
+
+// micros converts virtual nanoseconds to the format's microsecond unit.
+func micros(t int64) float64 { return float64(t) / 1e3 }
+
+// BuildTrace assembles the trace document from a recorder's spans: one tid
+// per distinct track in first-seen order, thread-name metadata first, then
+// every span as a complete event in recorded order.
+func BuildTrace(r *Recorder) *TraceDocument {
+	spans := r.Spans()
+	doc := &TraceDocument{
+		TraceEvents:     make([]TraceEvent, 0, len(spans)+8),
+		DisplayTimeUnit: "ms",
+		SpansDropped:    r.SpansDropped(),
+	}
+	tids := make(map[string]int)
+	order := make([]string, 0, 8)
+	for _, s := range spans {
+		if _, ok := tids[s.Track]; !ok {
+			tids[s.Track] = len(order) + 1
+			order = append(order, s.Track)
+		}
+	}
+	for _, track := range order {
+		doc.TraceEvents = append(doc.TraceEvents, TraceEvent{
+			Name: "thread_name", Ph: "M", Pid: 1, Tid: tids[track],
+			Args: map[string]string{"name": track},
+		})
+	}
+	for _, s := range spans {
+		doc.TraceEvents = append(doc.TraceEvents, TraceEvent{
+			Name: s.Name, Ph: "X", Pid: 1, Tid: tids[s.Track],
+			Ts: micros(int64(s.Start)), Dur: micros(int64(s.End - s.Start)),
+			Cat: "sim",
+		})
+	}
+	return doc
+}
+
+// WriteChromeTrace emits the recorder's spans as trace-event JSON. The
+// output is deterministic byte-for-byte for a deterministic run.
+func WriteChromeTrace(w io.Writer, r *Recorder) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(BuildTrace(r))
+}

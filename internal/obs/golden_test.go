@@ -1,0 +1,43 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestChromeTraceGolden pins the exporter's exact bytes for a fixed span
+// set: the trace-event output is part of the tool contract (CI validates
+// dumped traces against it, and committed traces must diff cleanly), so any
+// byte change here is a deliberate format change, re-blessed with -update.
+func TestChromeTraceGolden(t *testing.T) {
+	r := NewRecorder()
+	r.EnableTracing()
+	r.Span("cpu", "DataCollection", 0, 1500)
+	r.Span("mcu", "Interrupt", 1500, 1548)
+	r.Span("cpu", "DataTransfer", 1548, 12000)
+	r.Span("link", "frame", 2000, 9000)
+	r.Span("hub", "Baseline", 0, 12000)
+
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "golden_trace.json")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/obs -run TestChromeTraceGolden -update` to bless)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("trace bytes diverge from %s:\ngot:\n%s\nwant:\n%s", golden, buf.Bytes(), want)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"iothub/internal/energy"
+	"iothub/internal/obs"
 	"iothub/internal/sim"
 )
 
@@ -75,6 +76,8 @@ type Radio struct {
 	params Params
 	sched  *sim.Scheduler
 	track  *energy.Track
+	name   string // track name, doubles as the span track ("radio:main")
+	obs    *obs.Recorder
 	// busyUntil serializes bursts on the single air interface.
 	busyUntil sim.Time
 
@@ -93,10 +96,14 @@ func New(sched *sim.Scheduler, meter *energy.Meter, name string, params Params) 
 	if err := params.Validate(); err != nil {
 		return nil, err
 	}
-	r := &Radio{params: params, sched: sched, track: meter.Track(name)}
+	r := &Radio{params: params, sched: sched, track: meter.Track(name), name: name}
 	r.track.Set(params.IdleW, energy.Idle)
 	return r, nil
 }
+
+// Observe attaches an observability recorder: burst/byte counters and
+// airtime spans. A nil recorder costs one branch per burst.
+func (r *Radio) Observe(rec *obs.Recorder) { r.obs = rec }
 
 // Params returns the radio's calibration constants.
 func (r *Radio) Params() Params { return r.params }
@@ -183,6 +190,11 @@ func (r *Radio) Transmit(n int, rt energy.Routine, done func()) error {
 	}
 	end := start.Add(d)
 	r.busyUntil = end
+	r.obs.Inc(obs.RadioBursts)
+	if n > 0 {
+		r.obs.Add(obs.RadioBytes, uint64(n))
+	}
+	r.obs.Span(r.name, "burst", start, end)
 	if d == 0 {
 		if done != nil {
 			done()

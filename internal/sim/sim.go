@@ -74,6 +74,18 @@ type Scheduler struct {
 	heap    []int32 // 4-ary min-heap of arena indices, ordered by (at, seq)
 	stopped bool
 	running bool
+
+	// Kernel traffic counters, always on (two integer adds): the DES analog
+	// of oprofile's interrupt-descriptor statistics. The observability layer
+	// copies them out via Stats; sim cannot import obs (obs imports sim).
+	scheduled uint64
+	cancelled uint64
+}
+
+// Stats reports kernel traffic since construction: events scheduled and
+// events removed by Cancel before dispatch.
+func (s *Scheduler) Stats() (scheduled, cancelled uint64) {
+	return s.scheduled, s.cancelled
 }
 
 // NewScheduler returns an empty scheduler with the clock at zero.
@@ -110,6 +122,7 @@ func (s *Scheduler) At(t Time, fn func()) (EventID, error) {
 	ev.seq = s.seq
 	ev.fn = fn
 	s.seq++
+	s.scheduled++
 	s.heapPush(idx)
 	return EventID{slot: idx + 1, gen: ev.gen}, nil
 }
@@ -138,6 +151,7 @@ func (s *Scheduler) Cancel(id EventID) bool {
 	}
 	s.heapRemove(ev.pos)
 	s.release(idx)
+	s.cancelled++
 	return true
 }
 

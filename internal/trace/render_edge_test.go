@@ -1,0 +1,91 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"iothub/internal/energy"
+)
+
+// Degenerate renderer inputs: the ASCII chart and level extraction must stay
+// well-formed on empty traces, single samples, one-row charts, and the
+// (nonsensical but possible) negative-watts sample.
+
+func TestLevelsEmpty(t *testing.T) {
+	if got := Levels(nil); len(got) != 0 {
+		t.Errorf("Levels(nil) = %v, want empty", got)
+	}
+	if got := Levels([]energy.Sample{}); len(got) != 0 {
+		t.Errorf("Levels([]) = %v, want empty", got)
+	}
+}
+
+func TestLevelsSingleSample(t *testing.T) {
+	got := Levels([]energy.Sample{{At: 0, Watts: 1.25, R: energy.Idle}})
+	if len(got) != 1 || got[0] != 1.25 {
+		t.Errorf("Levels = %v, want [1.25]", got)
+	}
+}
+
+func TestLevelsNegativeWattsSortFirst(t *testing.T) {
+	got := Levels([]energy.Sample{
+		{At: 0, Watts: 2, R: energy.Idle},
+		{At: ms(1), Watts: -0.5, R: energy.Idle},
+		{At: ms(2), Watts: 2, R: energy.Idle},
+	})
+	if len(got) != 2 || got[0] != -0.5 || got[1] != 2 {
+		t.Errorf("Levels = %v, want [-0.5 2]", got)
+	}
+}
+
+func TestRenderASCIIHeightOne(t *testing.T) {
+	out := RenderASCII([]float64{0, 3, 0.001}, 1)
+	lines := strings.Split(strings.TrimSuffix(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("height-1 chart has %d lines, want chart row + axis:\n%s", len(lines), out)
+	}
+	// Any nonzero power is visible on the bottom row, zero is blank.
+	if lines[0] != " ##" {
+		t.Errorf("chart row = %q, want \" ##\"", lines[0])
+	}
+	if lines[1] != "---" {
+		t.Errorf("axis = %q, want \"---\"", lines[1])
+	}
+}
+
+func TestRenderASCIIHeightZeroOrNegative(t *testing.T) {
+	if out := RenderASCII([]float64{1, 2}, 0); out != "" {
+		t.Errorf("height 0 rendered %q, want empty", out)
+	}
+	if out := RenderASCII([]float64{1, 2}, -3); out != "" {
+		t.Errorf("negative height rendered %q, want empty", out)
+	}
+}
+
+func TestRenderASCIISingleBin(t *testing.T) {
+	out := RenderASCII([]float64{4}, 3)
+	lines := strings.Split(strings.TrimSuffix(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("chart has %d lines, want 3 rows + axis:\n%s", len(lines), out)
+	}
+	for i, line := range lines[:3] {
+		if line != "#" {
+			t.Errorf("row %d = %q, want full bar", i, line)
+		}
+	}
+}
+
+func TestRenderASCIINegativeWatts(t *testing.T) {
+	// A negative bin never paints, and must not disturb its neighbors.
+	out := RenderASCII([]float64{-1, 2}, 2)
+	lines := strings.Split(strings.TrimSuffix(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("chart has %d lines:\n%s", len(lines), out)
+	}
+	if lines[0] != " #" || lines[1] != " #" {
+		t.Errorf("rows = %q %q, want \" #\" twice", lines[0], lines[1])
+	}
+	if strings.Contains(lines[0]+lines[1], "-") {
+		t.Errorf("negative bin leaked into the chart:\n%s", out)
+	}
+}
