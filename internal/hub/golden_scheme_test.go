@@ -1,0 +1,151 @@
+// Golden differential corpus for the scheme-policy refactor: every execution
+// scheme, clean and under chaos, with an armed observability recorder, pinned
+// byte-for-byte. The corpus was recorded before the hub runner was decomposed
+// into the internal/scheme policy engine; the refactor is only legitimate
+// while these bytes — RunResult JSON, hardware counters, and routine traces —
+// stay identical, which proves the paper-reproduction energy tables are
+// untouched. Regenerate (only for a deliberate semantic change) with:
+//
+//	go test ./internal/hub -run Golden -update
+//
+// External test package: BCOM needs the planner in internal/core, which
+// itself imports hub.
+package hub_test
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"iothub/internal/apps"
+	"iothub/internal/faults"
+	"iothub/internal/hub"
+	"iothub/internal/obs"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden scheme corpus")
+
+// goldenChaos is the fault schedule shared by every chaotic corpus entry: a
+// lossy link plus one mid-run MCU crash, enough to exercise retransmission,
+// batch re-collection, and the degradation ladder deterministically.
+const goldenChaos = "seed=7; link-corrupt:prob=0.05; mcu-crash:at=700ms,for=80ms"
+
+// goldenCases enumerates the corpus: all five schemes x clean/chaos. App
+// mixes match the obs perturbation tests (BCOM gets one offloadable and one
+// heavy app so the planner splits them; BEAM shares the accelerometer).
+func goldenCases() []struct {
+	name   string
+	ids    []apps.ID
+	scheme hub.Scheme
+	chaos  string
+} {
+	type tc = struct {
+		name   string
+		ids    []apps.ID
+		scheme hub.Scheme
+		chaos  string
+	}
+	var cases []tc
+	for _, base := range []tc{
+		{"baseline", []apps.ID{apps.StepCounter}, hub.Baseline, ""},
+		{"batching", []apps.ID{apps.StepCounter}, hub.Batching, ""},
+		{"com", []apps.ID{apps.CoAPServer}, hub.COM, ""},
+		{"bcom", []apps.ID{apps.SpeechToTxt, apps.DropboxMgr}, hub.BCOM, ""},
+		{"beam", []apps.ID{apps.StepCounter, apps.Earthquake}, hub.BEAM, ""},
+	} {
+		cases = append(cases, base)
+		chaotic := base
+		chaotic.name += "_chaos"
+		chaotic.chaos = goldenChaos
+		cases = append(cases, chaotic)
+	}
+	return cases
+}
+
+// runGolden executes one corpus entry twice — bare and obs-armed — asserts
+// the armed run does not perturb the result, and returns the three byte
+// streams the corpus pins: result JSON, counter registry, Chrome trace.
+func runGolden(t *testing.T, ids []apps.ID, scheme hub.Scheme, chaos string) (result, counters, trace []byte) {
+	t.Helper()
+	run := func(rec *obs.Recorder) []byte {
+		cfg := obsConfig(t, ids, scheme, 2, rec)
+		if chaos != "" {
+			schedule, err := faults.ParseSchedule(chaos)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg.FaultSchedule = schedule
+		}
+		res, err := hub.Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blob, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return append(blob, '\n')
+	}
+	bare := run(nil)
+	rec := obs.NewRecorder()
+	rec.EnableTracing()
+	armed := run(rec)
+	if !bytes.Equal(bare, armed) {
+		t.Fatalf("armed recorder perturbed the run:\nbare:  %.200s\narmed: %.200s", bare, armed)
+	}
+	var cbuf, tbuf bytes.Buffer
+	if err := obs.WriteCounters(&cbuf, rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.WriteChromeTrace(&tbuf, rec); err != nil {
+		t.Fatal(err)
+	}
+	return bare, cbuf.Bytes(), tbuf.Bytes()
+}
+
+// checkGolden compares one byte stream against its committed golden file,
+// rewriting it under -update.
+func checkGolden(t *testing.T, path string, got []byte) {
+	t.Helper()
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden %s (run with -update to record): %v", path, err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s diverged from golden (%d vs %d bytes).\nThe scheme refactor must be bit-reproducible; "+
+			"regenerate with -update ONLY for a deliberate semantic change.\ngot:  %.300s\nwant: %.300s",
+			path, len(got), len(want), got, want)
+	}
+}
+
+// TestSchemeRefactorGolden is the refactor gate: every scheme's RunResult
+// JSON, hardware-counter registry, and routine trace must match the corpus
+// recorded before the runner was decomposed into scheme policies.
+func TestSchemeRefactorGolden(t *testing.T) {
+	for _, tc := range goldenCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			result, counters, trace := runGolden(t, tc.ids, tc.scheme, tc.chaos)
+			dir := filepath.Join("testdata", "golden")
+			checkGolden(t, filepath.Join(dir, tc.name+".result.json"), result)
+			checkGolden(t, filepath.Join(dir, tc.name+".counters.txt"), counters)
+			// Traces run to megabytes (one span per sample), so the corpus
+			// pins their digest: still byte-identity, without the bulk.
+			digest := fmt.Sprintf("sha256:%x %d bytes\n", sha256.Sum256(trace), len(trace))
+			checkGolden(t, filepath.Join(dir, tc.name+".trace.sha256"), []byte(digest))
+		})
+	}
+}
