@@ -60,11 +60,7 @@ func main() {
 			}
 			out, args = args[1], args[2:]
 		case "-diff":
-			if len(args) < 3 {
-				fmt.Fprintln(os.Stderr, "benchjson: -diff needs two BENCH_*.json paths (old new)")
-				os.Exit(2)
-			}
-			if err := diffFiles(os.Stdout, args[1], args[2]); err != nil {
+			if err := runDiff(os.Stdout, args[1:]); err != nil {
 				fmt.Fprintln(os.Stderr, "benchjson:", err)
 				os.Exit(1)
 			}
@@ -107,6 +103,17 @@ func gitCommit() string {
 		return ""
 	}
 	return strings.TrimSpace(string(blob))
+}
+
+// runDiff implements -diff. A trajectory with a single recorded point (or
+// none yet) has nothing to compare — that is a fresh checkout, not an error:
+// report it and succeed, so `make bench-diff` works from the first commit.
+func runDiff(w io.Writer, paths []string) error {
+	if len(paths) < 2 {
+		fmt.Fprintf(w, "benchjson: need >=2 trajectory files, have %d\n", len(paths))
+		return nil
+	}
+	return diffFiles(w, paths[0], paths[1])
 }
 
 // diffFiles loads two trajectory points and prints their delta table.

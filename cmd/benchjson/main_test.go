@@ -1,6 +1,7 @@
 package main
 
 import (
+	"fmt"
 	"io"
 	"strings"
 	"testing"
@@ -93,6 +94,25 @@ func TestWriteDiffDisjoint(t *testing.T) {
 	newRec := &Record{Benchmarks: []Benchmark{{Name: "BenchmarkB", NsPerOp: 1}}}
 	if err := WriteDiff(io.Discard, oldRec, newRec); err == nil {
 		t.Fatal("WriteDiff accepted records with no benchmarks in common")
+	}
+}
+
+func TestRunDiffDegradesGracefully(t *testing.T) {
+	// A fresh checkout has zero or one trajectory points; -diff must report
+	// that and succeed so `make bench-diff` works from the first commit.
+	for _, paths := range [][]string{nil, {"BENCH_only.json"}} {
+		var b strings.Builder
+		if err := runDiff(&b, paths); err != nil {
+			t.Fatalf("runDiff(%v): %v", paths, err)
+		}
+		want := fmt.Sprintf("benchjson: need >=2 trajectory files, have %d\n", len(paths))
+		if b.String() != want {
+			t.Errorf("runDiff(%v) output = %q, want %q", paths, b.String(), want)
+		}
+	}
+	// With two paths it proceeds to the real diff — a missing file is an error.
+	if err := runDiff(io.Discard, []string{"no-such-a.json", "no-such-b.json"}); err == nil {
+		t.Fatal("runDiff with unreadable files did not error")
 	}
 }
 

@@ -29,6 +29,7 @@ import (
 	"iothub/internal/obs"
 	"iothub/internal/profiling"
 	"iothub/internal/report"
+	"iothub/internal/scheme"
 	"iothub/internal/sensor"
 	"iothub/internal/sim"
 	"iothub/internal/trace"
@@ -44,7 +45,7 @@ func main() {
 func run(args []string, out io.Writer) (retErr error) {
 	fs := flag.NewFlagSet("iotsim", flag.ContinueOnError)
 	appsFlag := fs.String("apps", "A2", "comma-separated Table II workload IDs (A1..A11)")
-	schemeFlag := fs.String("scheme", "baseline", "baseline, batching, com, bcom, or beam")
+	schemeFlag := fs.String("scheme", "baseline", "execution scheme: "+strings.Join(scheme.Names(), ", "))
 	windows := fs.Int("windows", 3, "number of QoS windows to simulate")
 	seed := fs.Int64("seed", 1, "synthetic signal seed")
 	timeline := fs.Bool("timeline", false, "print the CPU power timeline (Fig. 5 style)")
@@ -72,7 +73,11 @@ func run(args []string, out io.Writer) (retErr error) {
 		}
 	}()
 
-	scheme, err := hub.ParseScheme(*schemeFlag)
+	sch, err := hub.ParseScheme(*schemeFlag)
+	if err != nil {
+		return err
+	}
+	def, err := scheme.Lookup(sch)
 	if err != nil {
 		return err
 	}
@@ -86,7 +91,7 @@ func run(args []string, out io.Writer) (retErr error) {
 		list = append(list, a)
 	}
 
-	cfg := hub.Config{Apps: list, Scheme: scheme, Windows: *windows, TracePower: *timeline}
+	cfg := hub.Config{Apps: list, Scheme: sch, Windows: *windows, TracePower: *timeline}
 	var rec *obs.Recorder
 	if *traceOut != "" || *counters || *flight {
 		rec = obs.NewRecorder()
@@ -113,7 +118,7 @@ func run(args []string, out io.Writer) (retErr error) {
 		}
 		cfg.FaultSchedule = schedule
 	}
-	if scheme == hub.BCOM {
+	if def.RequiresAssign() {
 		plan, err := core.PlanBCOM(list, hub.DefaultParams())
 		if err != nil {
 			return err

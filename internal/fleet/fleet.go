@@ -9,6 +9,7 @@ import (
 	"iothub/internal/core"
 	"iothub/internal/hub"
 	"iothub/internal/obs"
+	"iothub/internal/scheme"
 )
 
 // Options tune one sweep execution without changing what it computes: the
@@ -58,15 +59,20 @@ type Result struct {
 	Failed []ScenarioError
 }
 
-// RunScenario materializes and executes one scenario, planning the BCOM
-// partition when the scheme calls for it (this is the planner-aware sibling
+// RunScenario materializes and executes one scenario, planning the partition
+// when the scheme's registry entry calls for one — BCOM today, any future
+// partitioned scheme without changes here (this is the planner-aware sibling
 // of hub.RunScenario, and what fleet workers execute).
 func RunScenario(s hub.Scenario) (*hub.RunResult, error) {
 	cfg, err := s.Config()
 	if err != nil {
 		return nil, err
 	}
-	if s.Scheme == hub.BCOM {
+	def, err := scheme.Lookup(s.Scheme)
+	if err != nil {
+		return nil, err
+	}
+	if def.RequiresAssign() {
 		plan, err := core.PlanBCOM(cfg.Apps, hub.DefaultParams())
 		if err != nil {
 			return nil, err

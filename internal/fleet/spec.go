@@ -35,7 +35,8 @@ type Grid struct {
 	// Apps lists the app mixes to sweep, each a set of Table II IDs run
 	// concurrently on one hub.
 	Apps [][]apps.ID `json:"apps"`
-	// Schemes names the execution schemes ("baseline", "batching", "com",
+	// Schemes names the execution schemes, parsed against the scheme
+	// registry via hub.ParseScheme ("baseline", "batching", "com",
 	// "bcom", "beam").
 	Schemes []string `json:"schemes"`
 	// Windows lists QoS-window counts per run.

@@ -23,122 +23,50 @@
 package hub
 
 import (
-	"errors"
 	"fmt"
-	"strings"
 	"time"
 
 	"iothub/internal/apps"
 	"iothub/internal/energy"
 	"iothub/internal/faults"
+	"iothub/internal/scheme"
 	"iothub/internal/sensor"
 	"iothub/internal/sim"
 )
 
-// Scheme selects the execution scheme for a run.
-type Scheme int
+// Scheme selects the execution scheme for a run. The type (with its String,
+// Parse, and text-marshaling behavior) lives in internal/scheme, where every
+// scheme is a registered composition of per-app policies; the aliases here
+// keep hub.Baseline etc. as the stable public spelling.
+type Scheme = scheme.Scheme
 
 // Execution schemes (§III, §IV).
 const (
-	Baseline Scheme = iota + 1
-	Batching
-	COM
-	BCOM
-	BEAM
+	Baseline = scheme.Baseline
+	Batching = scheme.Batching
+	COM      = scheme.COM
+	BCOM     = scheme.BCOM
+	BEAM     = scheme.BEAM
 )
 
-// String names the scheme as the paper's figures do.
-func (s Scheme) String() string {
-	switch s {
-	case Baseline:
-		return "Baseline"
-	case Batching:
-		return "Batching"
-	case COM:
-		return "COM"
-	case BCOM:
-		return "BCOM"
-	case BEAM:
-		return "BEAM"
-	default:
-		return fmt.Sprintf("Scheme(%d)", int(s))
-	}
-}
+// ParseScheme resolves a case-insensitive scheme name against the registry
+// ("baseline", "batching", "com", "bcom", "beam") — the CLI-facing inverse
+// of Scheme.String.
+func ParseScheme(name string) (Scheme, error) { return scheme.Parse(name) }
 
-// ParseScheme resolves a case-insensitive scheme name ("baseline",
-// "batching", "com", "bcom", "beam") — the CLI-facing inverse of String.
-func ParseScheme(name string) (Scheme, error) {
-	switch strings.ToLower(strings.TrimSpace(name)) {
-	case "baseline":
-		return Baseline, nil
-	case "batching":
-		return Batching, nil
-	case "com":
-		return COM, nil
-	case "bcom":
-		return BCOM, nil
-	case "beam":
-		return BEAM, nil
-	default:
-		return 0, fmt.Errorf("%w: unknown scheme %q", ErrConfig, name)
-	}
-}
-
-// MarshalText encodes the scheme by name so configs and results serialize
-// to JSON as "Batching" rather than a bare integer.
-func (s Scheme) MarshalText() ([]byte, error) { return []byte(s.String()), nil }
-
-// UnmarshalText is the inverse of MarshalText (it accepts any case,
-// delegating to ParseScheme).
-func (s *Scheme) UnmarshalText(text []byte) error {
-	parsed, err := ParseScheme(string(text))
-	if err != nil {
-		return err
-	}
-	*s = parsed
-	return nil
-}
-
-// Mode is the per-app execution decision inside a scheme.
-type Mode int
+// Mode is the per-app execution decision inside a scheme (see
+// internal/scheme: every Mode maps to one built-in Policy).
+type Mode = scheme.Mode
 
 // Per-app modes.
 const (
 	// PerSample interrupts the CPU for every sensor sample (Baseline/BEAM).
-	PerSample Mode = iota + 1
+	PerSample = scheme.PerSample
 	// Batched buffers a window at the MCU and transfers in bulk.
-	Batched
+	Batched = scheme.Batched
 	// Offloaded runs the app-specific computation on the MCU.
-	Offloaded
+	Offloaded = scheme.Offloaded
 )
-
-// String names the mode.
-func (m Mode) String() string {
-	switch m {
-	case PerSample:
-		return "PerSample"
-	case Batched:
-		return "Batched"
-	case Offloaded:
-		return "Offloaded"
-	default:
-		return fmt.Sprintf("Mode(%d)", int(m))
-	}
-}
-
-// MarshalText encodes the mode by name (see Scheme.MarshalText).
-func (m Mode) MarshalText() ([]byte, error) { return []byte(m.String()), nil }
-
-// UnmarshalText is the inverse of MarshalText.
-func (m *Mode) UnmarshalText(text []byte) error {
-	for _, known := range []Mode{PerSample, Batched, Offloaded} {
-		if known.String() == string(text) {
-			*m = known
-			return nil
-		}
-	}
-	return fmt.Errorf("%w: unknown mode %q", ErrConfig, text)
-}
 
 // Config describes one simulation run.
 type Config struct {
@@ -380,10 +308,12 @@ func (r *RunResult) OutputLatency() LatencyStats {
 	return stats
 }
 
-// Errors callers match with errors.Is.
+// Errors callers match with errors.Is. The sentinels live in internal/scheme
+// (which owns config authority); the aliases preserve errors.Is identity for
+// every existing caller.
 var (
-	ErrConfig        = errors.New("hub: invalid config")
-	ErrUnoffloadable = errors.New("hub: app cannot be offloaded")
+	ErrConfig        = scheme.ErrConfig
+	ErrUnoffloadable = scheme.ErrUnoffloadable
 )
 
 // validate normalizes and checks the configuration.
@@ -407,17 +337,12 @@ func (c *Config) validate() (Params, error) {
 	if err := c.Resilience.Validate(); err != nil {
 		return Params{}, fmt.Errorf("%w: %v", ErrConfig, err)
 	}
-	switch c.Scheme {
-	case Baseline, Batching, COM, BEAM:
-		if c.Assign != nil {
-			return Params{}, fmt.Errorf("%w: Assign is only valid with BCOM", ErrConfig)
-		}
-	case BCOM:
-		if c.Assign == nil {
-			return Params{}, fmt.Errorf("%w: BCOM requires Assign (see internal/core planner)", ErrConfig)
-		}
-	default:
-		return Params{}, fmt.Errorf("%w: unknown scheme %v", ErrConfig, c.Scheme)
+	def, err := scheme.Lookup(c.Scheme)
+	if err != nil {
+		return Params{}, err
+	}
+	if err := def.Validate(c.schemeView()); err != nil {
+		return Params{}, err
 	}
 	seen := make(map[apps.ID]bool, len(c.Apps))
 	window := time.Duration(0)
@@ -436,37 +361,24 @@ func (c *Config) validate() (Params, error) {
 			return Params{}, fmt.Errorf("%w: mixed window lengths (%v vs %v)", ErrConfig, window, sp.Window)
 		}
 	}
-	if c.Scheme == BEAM && len(c.Apps) < 2 {
-		return Params{}, fmt.Errorf("%w: BEAM needs at least two apps", ErrConfig)
-	}
 	return params, nil
 }
 
-// modes resolves the per-app mode map for the scheme.
-func (c *Config) modes() (map[apps.ID]Mode, error) {
-	out := make(map[apps.ID]Mode, len(c.Apps))
-	for _, a := range c.Apps {
-		sp := a.Spec()
-		switch c.Scheme {
-		case Baseline, BEAM:
-			out[sp.ID] = PerSample
-		case Batching:
-			out[sp.ID] = Batched
-		case COM:
-			if sp.Heavy {
-				return nil, fmt.Errorf("%w: %s is heavy-weight", ErrUnoffloadable, sp.ID)
-			}
-			out[sp.ID] = Offloaded
-		case BCOM:
-			m, ok := c.Assign[sp.ID]
-			if !ok {
-				return nil, fmt.Errorf("%w: no assignment for %s", ErrConfig, sp.ID)
-			}
-			if m == Offloaded && sp.Heavy {
-				return nil, fmt.Errorf("%w: %s is heavy-weight", ErrUnoffloadable, sp.ID)
-			}
-			out[sp.ID] = m
-		}
+// schemeView projects the config onto the slice a scheme definition is
+// allowed to see (specs, the optional partition, the QoS window).
+func (c *Config) schemeView() scheme.ConfigView {
+	specs := make([]apps.Spec, len(c.Apps))
+	for i, a := range c.Apps {
+		specs[i] = a.Spec()
 	}
-	return out, nil
+	return scheme.ConfigView{Specs: specs, Assign: c.Assign, Window: specs[0].Window}
+}
+
+// policies resolves each app's execution policy through the scheme registry.
+func (c *Config) policies() (map[apps.ID]scheme.Policy, error) {
+	def, err := scheme.Lookup(c.Scheme)
+	if err != nil {
+		return nil, err
+	}
+	return def.Policies(c.schemeView())
 }

@@ -1,5 +1,14 @@
 package hub
 
+// The runner is a scheme-agnostic event conductor. Every scheme-dependent
+// decision — interrupt vs buffer vs hold on a fresh sample, per-sample vs
+// coalesced vs result-only transfer, CPU vs MCU computation, which progress
+// gate closes a window — is delegated to the active per-app scheme.Policy;
+// the conductor only executes the verdicts against the hardware models, so
+// run timing and energy depend on the policies' decisions, never on how a
+// scheme happens to be spelled. Fault injection and resilience live in
+// chaos.go; the decision seams themselves in internal/scheme.
+
 import (
 	"fmt"
 	"time"
@@ -12,112 +21,10 @@ import (
 	"iothub/internal/mcu"
 	"iothub/internal/obs"
 	"iothub/internal/radio"
+	"iothub/internal/scheme"
 	"iothub/internal/sensor"
 	"iothub/internal/sim"
 )
-
-// modeChange is one degradation step: mode applies from fromWindow on.
-type modeChange struct {
-	fromWindow int
-	mode       Mode
-}
-
-// batchRef identifies one sample resident in the MCU batch buffer, so a
-// crash can re-collect exactly what the RAM held.
-type batchRef struct {
-	s *stream
-	k int
-}
-
-// appState is one app's runtime bookkeeping.
-type appState struct {
-	app  apps.App
-	spec apps.Spec
-	mode Mode
-
-	// modeChanges records degradation steps; in-flight windows keep the
-	// mode they started with (see modeFor).
-	modeChanges []modeChange
-	// batchRefs tracks the samples currently resident in the MCU batch
-	// buffer (cleared on flush, re-collected on crash).
-	batchRefs []batchRef
-	// offloadInFlight marks windows whose MCU computation has been
-	// dispatched but not finished — a crash re-enters their budget check.
-	offloadInFlight map[int]bool
-
-	// cpuComputeTime / mcuComputeTime are the per-window app-specific
-	// computation costs on each processor.
-	cpuComputeTime time.Duration
-	mcuComputeTime time.Duration
-
-	// samplesPerWindow across all of the app's streams.
-	samplesPerWindow int
-	// readsDone / delivered count per-window progress; expected starts at
-	// samplesPerWindow and shrinks when fault injection drops samples.
-	readsDone map[int]int // window -> samples formatted at the MCU
-	delivered map[int]int // window -> samples landed at the CPU
-	expected  map[int]int // window -> samples still anticipated
-	// fired guards against double-triggering a window's computation when
-	// drops rearrange completion order.
-	fired map[int]bool
-
-	// Batched-mode buffer state.
-	batchFill      int
-	batchAllocd    int
-	pendingFlushes map[int]int // window -> in-flight bulk transfers
-
-	results []WindowResult
-}
-
-// consumerLink attaches one app to a stream. Under BEAM a stream runs at
-// the fastest consumer's rate and slower consumers take every stride-th
-// sample (BEAM's downsampling for rate-mismatched sharers).
-type consumerLink struct {
-	st     *appState
-	stride int
-}
-
-// wants reports whether the consumer takes the stream's k-th sample.
-func (l consumerLink) wants(k int) bool { return k%l.stride == 0 }
-
-// stream is one physical sampling schedule: a sensor read sequence feeding
-// one or more apps (more than one only under BEAM).
-type stream struct {
-	id        sensor.ID
-	spec      sensor.Spec
-	bytes     int
-	perWindow int
-	period    time.Duration
-	track     *energy.Track
-	consumers []consumerLink
-	// attempts counts read attempts for deterministic fault injection.
-	attempts int
-	// retriesInWindow / downshifted drive the resilience layer's
-	// rate-downshift: once a window's retries blow the budget, every other
-	// remaining read of the stream is skipped.
-	retriesInWindow map[int]int
-	downshifted     map[int]bool
-}
-
-// expectedFor reports how many samples window w still anticipates.
-func (st *appState) expectedFor(w int) int {
-	if _, ok := st.expected[w]; !ok {
-		st.expected[w] = st.samplesPerWindow
-	}
-	return st.expected[w]
-}
-
-// modeFor resolves the app's mode for window w: the base mode unless a
-// degradation step took effect at or before w.
-func (st *appState) modeFor(w int) Mode {
-	mode := st.mode
-	for _, ch := range st.modeChanges {
-		if ch.fromWindow <= w {
-			mode = ch.mode
-		}
-	}
-	return mode
-}
 
 type runner struct {
 	cfg    Config
@@ -145,7 +52,8 @@ type runner struct {
 	// freed, §III-B4).
 	allowDeep bool
 
-	// Fault-injection machinery; all nil/zero when no schedule is active.
+	// Fault-injection machinery (chaos.go); all nil/zero when no schedule
+	// is active.
 	engine *faults.Engine
 	pol    *ResiliencePolicy
 	// linkFaulty short-circuits the reliable link path when no link rules
@@ -172,7 +80,7 @@ func Run(cfg Config) (*RunResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	modes, err := cfg.modes()
+	pols, err := cfg.policies()
 	if err != nil {
 		return nil, err
 	}
@@ -207,11 +115,11 @@ func Run(cfg Config) (*RunResult, error) {
 	}
 	r.res = &RunResult{
 		Scheme:       cfg.Scheme,
-		Modes:        modes,
+		Modes:        scheme.ModesOf(pols),
 		Outputs:      make(map[apps.ID][]WindowResult, len(cfg.Apps)),
 		PerComponent: make(map[string]energy.Breakdown),
 	}
-	if err := r.build(modes); err != nil {
+	if err := r.build(pols); err != nil {
 		return nil, err
 	}
 	if err := r.armFaults(); err != nil {
@@ -237,67 +145,6 @@ func Run(cfg Config) (*RunResult, error) {
 	return r.res, nil
 }
 
-// armFaults compiles the fault schedule and wires the self-firing fault
-// events, the watchdog, and the radio-side buffers. With an inactive
-// schedule everything stays nil and the run is byte-identical to a
-// fault-free one.
-func (r *runner) armFaults() error {
-	r.horizon = time.Duration(r.cfg.Windows) * r.window
-	engine, err := faults.NewEngine(r.cfg.FaultSchedule)
-	if err != nil {
-		return fmt.Errorf("%w: %v", ErrConfig, err)
-	}
-	r.engine = engine
-	r.pol = r.cfg.Resilience
-	if engine == nil && r.pol == nil {
-		return nil
-	}
-	if r.pol == nil {
-		r.pol = DefaultResilience()
-	}
-	r.linkFaulty = engine.HasKind(faults.LinkCorrupt, faults.LinkLoss)
-
-	// Radio outages and bounded buffering.
-	radios := []struct {
-		target string
-		rad    *radio.Radio
-	}{{"radio:main", r.mainRadio}, {"radio:mcu", r.mcuRadio}}
-	for _, rr := range radios {
-		target, rad := rr.target, rr.rad
-		evs := engine.TimedEvents(faults.RadioOutage, target, r.horizon)
-		if len(evs) > 0 && r.pol.RadioBufferBytes > 0 {
-			rad.SetQueueLimit(r.pol.RadioBufferBytes)
-		}
-		for _, ev := range evs {
-			if err := rad.AddOutage(ev.At, ev.At.Add(ev.Rule.Duration)); err != nil {
-				return fmt.Errorf("%w: %v", ErrConfig, err)
-			}
-			r.obs.Inc(obs.FaultActivations)
-			if r.obs.Enabled() {
-				r.obs.Note("radio-outage", fmt.Sprintf("%s off air %v..%v", target, ev.At, ev.At.Add(ev.Rule.Duration)))
-			}
-		}
-	}
-
-	// MCU crashes fire at schedule instants; the watchdog (when enabled)
-	// detects the dead board and walks the degradation ladder.
-	crashes := engine.TimedEvents(faults.MCUCrash, "mcu", r.horizon)
-	for _, ev := range crashes {
-		d := ev.Rule.Duration
-		if _, err := r.sched.At(ev.At, func() { r.onMCUCrash(d) }); err != nil {
-			return err
-		}
-	}
-	if len(crashes) > 0 && r.pol.WatchdogInterval > 0 {
-		for at := r.pol.WatchdogInterval; at <= r.horizon; at += r.pol.WatchdogInterval {
-			if _, err := r.sched.At(sim.Time(at), r.watchdogProbe); err != nil {
-				return err
-			}
-		}
-	}
-	return nil
-}
-
 // fail aborts the simulation with an error (used from event callbacks).
 func (r *runner) fail(err error) {
 	if r.runErr == nil {
@@ -306,190 +153,11 @@ func (r *runner) fail(err error) {
 	r.sched.Stop()
 }
 
-// windowFault lazily creates the per-window fault record; fault-free runs
-// keep the map nil.
-func (r *runner) windowFault(w int) *WindowFaults {
-	if r.res.WindowFaults == nil {
-		r.res.WindowFaults = make(map[int]*WindowFaults)
-	}
-	wf := r.res.WindowFaults[w]
-	if wf == nil {
-		wf = &WindowFaults{}
-		r.res.WindowFaults[w] = wf
-	}
-	return wf
-}
-
 // windowAt is the window index the virtual instant falls in.
 func (r *runner) windowAt(t sim.Time) int { return int(t / sim.Time(r.window)) }
 
-// onMCUCrash injects one MCU reboot: resident batch samples are lost and
-// must be re-collected, in-flight offloaded windows re-enter the time-budget
-// check, and (watchdog disabled) the degradation ladder steps immediately.
-func (r *runner) onMCUCrash(d time.Duration) {
-	if !r.mcu.Alive() {
-		return // absorbed by an ongoing reboot
-	}
-	now := r.sched.Now()
-	if d <= 0 {
-		d = r.params.MCU.RebootTime
-	}
-	r.windowFault(r.windowAt(now)).Crashes++
-	r.obs.Inc(obs.FaultActivations)
-	if r.obs.Enabled() {
-		r.obs.Note("mcu-crash", fmt.Sprintf("window %d, reboot %v", r.windowAt(now), d))
-	}
-
-	// Everything resident in batch RAM is gone: rewind the owning windows'
-	// read progress and queue re-reads for after the reboot.
-	var redo []batchRef
-	for _, st := range r.states {
-		for _, ref := range st.batchRefs {
-			w := ref.k / ref.s.perWindow
-			st.readsDone[w]--
-			redo = append(redo, ref)
-		}
-		r.res.RecollectedSamples += len(st.batchRefs)
-		if len(st.batchRefs) > 0 {
-			r.windowFault(r.windowAt(now)).Recollected += len(st.batchRefs)
-		}
-		st.batchRefs = nil
-		// The buffer bytes evaporate with the RAM; zeroing the counters
-		// keeps flushBatch from freeing bytes that no longer exist.
-		st.batchFill = 0
-		st.batchAllocd = 0
-
-		// Offloaded windows whose computation was in flight restart from
-		// scratch after the reboot — re-enter the MCU time-budget check.
-		for w := range st.offloadInFlight {
-			r.checkOffloadBudget(st, w, now.Add(d))
-		}
-	}
-	if err := r.mcu.Crash(d, func() { r.afterReboot(redo) }); err != nil {
-		r.fail(err)
-		return
-	}
-	if r.pol != nil && r.pol.DegradeOnCrash && r.pol.WatchdogInterval <= 0 {
-		r.lastDegradedCrash = r.mcu.Crashes()
-		r.degradeAll("mcu crash")
-	}
-}
-
-// afterReboot re-reserves the offload footprint (the binary reloads from
-// flash) and re-issues the reads the crash destroyed, serialized so each
-// stream's bus transactions do not overlap.
-func (r *runner) afterReboot(redo []batchRef) {
-	if r.offloadNeed > 0 && r.anyOffloadedAhead() {
-		if err := r.mcu.Alloc(r.offloadNeed); err != nil {
-			r.fail(err)
-			return
-		}
-	}
-	for i, ref := range redo {
-		ref := ref
-		delay := time.Duration(i) * ref.s.spec.ReadTime
-		if _, err := r.sched.After(delay, func() { r.startRead(ref.s, ref.k) }); err != nil {
-			r.fail(err)
-			return
-		}
-	}
-}
-
-// anyOffloadedAhead reports whether any app still runs offloaded in the
-// current or a future window.
-func (r *runner) anyOffloadedAhead() bool {
-	from := r.windowAt(r.sched.Now())
-	for _, st := range r.states {
-		for w := from; w < r.cfg.Windows; w++ {
-			if st.modeFor(w) == Offloaded {
-				return true
-			}
-		}
-	}
-	return false
-}
-
-// checkOffloadBudget re-enters the planner's MCU time-budget check for an
-// offloaded window: will the (re)computation still meet the QoS deadline?
-func (r *runner) checkOffloadBudget(st *appState, w int, earliestStart sim.Time) {
-	r.res.OffloadBudgetChecks++
-	deadline := sim.Time(int64(w+3) * int64(r.window))
-	if earliestStart.Add(st.mcuComputeTime) > deadline {
-		r.res.OffloadBudgetMisses++
-	}
-}
-
-// watchdogProbe checks MCU liveness; a dead board walks the degradation
-// ladder once per crash.
-func (r *runner) watchdogProbe() {
-	if r.mcu.Alive() || r.pol == nil || !r.pol.DegradeOnCrash {
-		return
-	}
-	if r.lastDegradedCrash >= r.mcu.Crashes() {
-		return
-	}
-	r.lastDegradedCrash = r.mcu.Crashes()
-	r.degradeAll("watchdog: mcu dead")
-}
-
-// degradeAll steps every app one rung down the scheme ladder (Offloaded →
-// Batched → PerSample) starting at the next window; in-flight windows keep
-// the mode they started with.
-func (r *runner) degradeAll(reason string) {
-	wNext := r.windowAt(r.sched.Now()) + 1
-	if wNext >= r.cfg.Windows {
-		return // no future window left to protect
-	}
-	changed := false
-	for _, st := range r.states {
-		from := st.modeFor(wNext)
-		var to Mode
-		switch from {
-		case Offloaded:
-			to = Batched
-		case Batched:
-			to = PerSample
-		default:
-			continue // PerSample is the ladder's floor
-		}
-		st.modeChanges = append(st.modeChanges, modeChange{fromWindow: wNext, mode: to})
-		r.res.Degradations = append(r.res.Degradations, Degradation{
-			Window: wNext, App: st.spec.ID, From: from, To: to, Reason: reason,
-		})
-		r.windowFault(wNext).Degradations++
-		if r.obs.Enabled() {
-			r.obs.Note("degrade", fmt.Sprintf("%s %v->%v from window %d: %s", st.spec.ID, from, to, wNext, reason))
-		}
-		changed = true
-	}
-	if changed {
-		r.retuneGovernor(wNext)
-	}
-}
-
-// retuneGovernor recomputes the CPU idle policy after a degradation: a
-// formerly all-offloaded hub now fields interrupts again.
-func (r *runner) retuneGovernor(w int) {
-	allOffloaded := true
-	minGap := r.window
-	for _, st := range r.states {
-		if st.modeFor(w) != Offloaded {
-			allOffloaded = false
-		}
-	}
-	for _, s := range r.streams {
-		for _, l := range s.consumers {
-			if l.st.modeFor(w) == PerSample && s.period*time.Duration(l.stride) < minGap {
-				minGap = s.period
-			}
-		}
-	}
-	r.gapHint = minGap
-	r.allowDeep = allOffloaded
-}
-
-// build constructs app states and streams.
-func (r *runner) build(modes map[apps.ID]Mode) error {
+// build constructs app states and materializes the scheme's stream topology.
+func (r *runner) build(pols map[apps.ID]scheme.Policy) error {
 	allOffloaded := true
 	minGap := r.window
 
@@ -498,7 +166,7 @@ func (r *runner) build(modes map[apps.ID]Mode) error {
 		st := &appState{
 			app:             a,
 			spec:            sp,
-			mode:            modes[sp.ID],
+			mode:            pols[sp.ID].Mode(),
 			readsDone:       make(map[int]int),
 			delivered:       make(map[int]int),
 			expected:        make(map[int]int),
@@ -521,12 +189,12 @@ func (r *runner) build(modes map[apps.ID]Mode) error {
 			return err
 		}
 		st.samplesPerWindow = n
-		if st.mode != Offloaded {
+		if st.policy().PlaceCompute() != scheme.OnMCU {
 			allOffloaded = false
 		}
 		r.states = append(r.states, st)
 
-		if st.mode == Offloaded {
+		if st.policy().PlaceCompute() == scheme.OnMCU {
 			for _, u := range sp.Sensors {
 				sspec, err := sensor.Lookup(u.Sensor)
 				if err != nil {
@@ -545,7 +213,7 @@ func (r *runner) build(modes map[apps.ID]Mode) error {
 	offloadNeed := 0
 	offloadID := apps.ID("")
 	for _, st := range r.states {
-		if st.mode != Offloaded {
+		if st.policy().PlaceCompute() != scheme.OnMCU {
 			continue
 		}
 		need := st.spec.MemoryBytes()
@@ -571,110 +239,43 @@ func (r *runner) build(modes map[apps.ID]Mode) error {
 	}
 	r.offloadNeed = offloadNeed
 
-	// Build streams. Under BEAM, per-sample streams of the same sensor are
-	// shared across apps (at the fastest consumer's rate, with slower
-	// consumers downsampling); otherwise every (app, sensor) pair gets its
-	// own.
-	if r.cfg.Scheme == BEAM {
-		if err := r.buildSharedStreams(); err != nil {
-			return err
+	// Materialize the scheme's stream topology (dedicated per-(app, sensor)
+	// streams, or BEAM's shared ones) and bind it to the event kernel.
+	def, err := scheme.Lookup(r.cfg.Scheme)
+	if err != nil {
+		return err
+	}
+	plan, err := def.PlanStreams(r.cfg.schemeView())
+	if err != nil {
+		return err
+	}
+	byID := make(map[apps.ID]*appState, len(r.states))
+	for _, st := range r.states {
+		byID[st.spec.ID] = st
+	}
+	for _, ss := range plan {
+		s := &stream{
+			id:        ss.Sensor,
+			spec:      ss.Spec,
+			bytes:     ss.Bytes,
+			perWindow: ss.PerWindow,
+			period:    ss.Period,
+			track:     r.meter.Track(ss.Track),
 		}
-	} else {
-		for _, st := range r.states {
-			for _, u := range st.spec.Sensors {
-				sspec, err := sensor.Lookup(u.Sensor)
-				if err != nil {
-					return err
-				}
-				bytes, err := u.SampleBytes()
-				if err != nil {
-					return err
-				}
-				perWindow, err := st.spec.SamplesPerWindow(u.Sensor)
-				if err != nil {
-					return err
-				}
-				s := &stream{
-					id:        u.Sensor,
-					spec:      sspec,
-					bytes:     bytes,
-					perWindow: perWindow,
-					track:     r.meter.Track(fmt.Sprintf("sensor:%s:%s", u.Sensor, st.spec.ID)),
-					consumers: []consumerLink{{st: st, stride: 1}},
-				}
-				s.period = r.window / time.Duration(s.perWindow)
-				r.streams = append(r.streams, s)
-			}
+		for _, c := range ss.Consumers {
+			s.consumers = append(s.consumers, consumerLink{st: byID[c.App], stride: c.Stride})
 		}
+		r.streams = append(r.streams, s)
 	}
 	for _, s := range r.streams {
 		for _, l := range s.consumers {
-			if l.st.mode == PerSample && s.period*time.Duration(l.stride) < minGap {
+			if l.st.policy().OnSampleReady() == scheme.Interrupt && s.period*time.Duration(l.stride) < minGap {
 				minGap = s.period
 			}
 		}
 	}
 	r.gapHint = minGap
 	r.allowDeep = allOffloaded
-	return nil
-}
-
-// buildSharedStreams groups every sensor's users into one stream running at
-// the fastest requested rate; slower consumers take strided samples. Rates
-// must divide evenly (BEAM downsamples by integer factors).
-func (r *runner) buildSharedStreams() error {
-	type user struct {
-		st        *appState
-		perWindow int
-		bytes     int
-	}
-	order := make([]sensor.ID, 0, 8)
-	bySensor := make(map[sensor.ID][]user)
-	for _, st := range r.states {
-		for _, u := range st.spec.Sensors {
-			perWindow, err := st.spec.SamplesPerWindow(u.Sensor)
-			if err != nil {
-				return err
-			}
-			bytes, err := u.SampleBytes()
-			if err != nil {
-				return err
-			}
-			if _, ok := bySensor[u.Sensor]; !ok {
-				order = append(order, u.Sensor)
-			}
-			bySensor[u.Sensor] = append(bySensor[u.Sensor], user{st: st, perWindow: perWindow, bytes: bytes})
-		}
-	}
-	for _, id := range order {
-		users := bySensor[id]
-		sspec, err := sensor.Lookup(id)
-		if err != nil {
-			return err
-		}
-		s := &stream{
-			id:    id,
-			spec:  sspec,
-			track: r.meter.Track(fmt.Sprintf("sensor:%s", id)),
-		}
-		for _, u := range users {
-			if u.perWindow > s.perWindow {
-				s.perWindow = u.perWindow
-			}
-			if u.bytes > s.bytes {
-				s.bytes = u.bytes
-			}
-		}
-		for _, u := range users {
-			if s.perWindow%u.perWindow != 0 {
-				return fmt.Errorf("%w: BEAM cannot share %s between rates %d and %d per window",
-					ErrConfig, id, s.perWindow, u.perWindow)
-			}
-			s.consumers = append(s.consumers, consumerLink{st: u.st, stride: s.perWindow / u.perWindow})
-		}
-		s.period = r.window / time.Duration(s.perWindow)
-		r.streams = append(r.streams, s)
-	}
 	return nil
 }
 
@@ -779,27 +380,6 @@ func (r *runner) attemptRead(s *stream, k, retriesUsed int) {
 	}
 }
 
-// noteRetry feeds the per-window fault record and the rate-downshift budget.
-func (r *runner) noteRetry(s *stream, k int) {
-	w := k / s.perWindow
-	r.windowFault(w).Retries++
-	if r.pol == nil || r.pol.RetryBudgetPerWindow <= 0 {
-		return
-	}
-	if s.retriesInWindow == nil {
-		s.retriesInWindow = make(map[int]int)
-		s.downshifted = make(map[int]bool)
-	}
-	s.retriesInWindow[w]++
-	if s.retriesInWindow[w] > r.pol.RetryBudgetPerWindow && !s.downshifted[w] {
-		s.downshifted[w] = true
-		r.res.RateDownshifts++
-		if r.obs.Enabled() {
-			r.obs.Note("rate-downshift", fmt.Sprintf("%s window %d over retry budget", s.id, w))
-		}
-	}
-}
-
 // dropSample abandons a sample: every consumer's window expectation shrinks
 // and completion is re-checked (the drop may have been the last straw).
 // Functional note: the apps' Compute inputs are regenerated from their
@@ -822,239 +402,76 @@ func (r *runner) dropSample(s *stream, k int) {
 	}
 }
 
-// maybeComplete fires a window's downstream step once all still-expected
-// samples have progressed far enough for the app's mode in that window.
+// maybeComplete fires a window's downstream step once the progress counter
+// named by the policy's close gate has caught up with every still-expected
+// sample.
 func (r *runner) maybeComplete(st *appState, w int) {
 	if st.fired[w] {
 		return
 	}
-	want := st.expectedFor(w)
-	switch st.modeFor(w) {
-	case PerSample:
-		if st.delivered[w] >= want {
-			st.fired[w] = true
-			r.cpuCompute(st, w)
-		}
-	case Batched:
-		if st.readsDone[w] >= want {
-			st.fired[w] = true
-			r.flushBatch(st, w, true)
-		}
-	case Offloaded:
-		if st.readsDone[w] >= want {
-			st.fired[w] = true
-			r.offloadCompute(st, w)
-		}
+	pol := st.policyFor(w)
+	progress := st.delivered[w]
+	if pol.OnWindowClose() == scheme.AwaitCollection {
+		progress = st.readsDone[w]
 	}
+	if progress < st.expectedFor(w) {
+		return
+	}
+	st.fired[w] = true
+	r.closeWindow(st, w, pol)
+}
+
+// closeWindow executes the policy's transfer plan for a completed window: a
+// coalesced plan still owes its final bulk flush; per-sample and result-only
+// plans go straight to the computation placement.
+func (r *runner) closeWindow(st *appState, w int, pol scheme.Policy) {
+	if pol.PlanTransfer() == scheme.CoalescedTransfer {
+		r.flushBatch(st, w, true)
+		return
+	}
+	r.placeCompute(st, w, pol)
+}
+
+// placeCompute dispatches the window's app-specific computation to the
+// processor the policy chose.
+func (r *runner) placeCompute(st *appState, w int, pol scheme.Policy) {
+	if pol.PlaceCompute() == scheme.OnMCU {
+		r.offloadCompute(st, w)
+		return
+	}
+	r.cpuCompute(st, w)
 }
 
 // sampleReady dispatches a formatted sample according to each consumer's
-// mode for the sample's window. Under BEAM a per-sample stream has multiple
-// consumers but pays for one interrupt and one transfer.
+// policy for the sample's window. Under a shared topology (BEAM) a
+// per-sample stream has multiple consumers but pays for one interrupt and
+// one transfer.
 func (r *runner) sampleReady(s *stream, k int) {
 	w := k / s.perWindow
 	r.res.DeliveredSamples++
-	perSample := 0
+	interrupting := 0
 	for _, l := range s.consumers {
 		if !l.wants(k) {
 			continue
 		}
 		st := l.st
 		st.readsDone[w]++
-		switch st.modeFor(w) {
-		case PerSample:
-			perSample++
-		case Batched:
+		switch st.policyFor(w).OnSampleReady() {
+		case scheme.Interrupt:
+			interrupting++
+		case scheme.Buffer:
 			r.batchSample(st, s, w, k)
 			r.maybeComplete(st, w)
-		case Offloaded:
+		case scheme.Hold:
 			r.maybeComplete(st, w)
 		}
 	}
-	if perSample > 0 {
-		// BEAM's extra sharers ride the single interrupt: coalesced.
-		if perSample > 1 {
-			r.obs.Add(obs.InterruptsCoalesced, uint64(perSample-1))
+	if interrupting > 0 {
+		// The extra sharers ride the single interrupt: coalesced.
+		if interrupting > 1 {
+			r.obs.Add(obs.InterruptsCoalesced, uint64(interrupting-1))
 		}
 		r.interruptAndTransfer(s, k, w)
-	}
-}
-
-// transferToCPU moves n payload bytes over the link and calls done when the
-// transfer finishes, reporting whether the payload was delivered (always
-// true on the fault-free wire; injected corruption/loss may exhaust the
-// retry policy). Without DMA the CPU is busy for the whole transfer — wire
-// time, retransmissions, timeouts, and backoff included — (the baseline
-// hardware of the paper); with DMA (§IV-F ablation) it only programs a
-// descriptor and the wire signals completion.
-func (r *runner) transferToCPU(n int, done func(delivered bool)) {
-	d, delivered, err := r.linkSend(n)
-	if err != nil {
-		r.fail(err)
-		return
-	}
-	r.res.BytesTransferred += n
-	if err := r.mcu.Exec(d, energy.DataTransfer, nil); err != nil {
-		r.fail(err)
-		return
-	}
-	finish := func() {
-		done(delivered)
-		r.governCPU()
-	}
-	if r.params.DMA {
-		if err := r.cpu.Exec(r.params.DMASetup, energy.DataTransfer, nil); err != nil {
-			r.fail(err)
-			return
-		}
-		if _, err := r.sched.After(d, finish); err != nil {
-			r.fail(err)
-		}
-		return
-	}
-	if err := r.cpu.Exec(d, energy.DataTransfer, finish); err != nil {
-		r.fail(err)
-	}
-}
-
-// linkSend puts n bytes on the wire, taking the reliable (CRC + bounded
-// retransmission) path only when link faults are actually injected.
-func (r *runner) linkSend(n int) (time.Duration, bool, error) {
-	if !r.linkFaulty {
-		d, err := r.link.Transmit(n, energy.DataTransfer)
-		return d, true, err
-	}
-	rep, err := r.link.TransmitReliable(n, energy.DataTransfer, r.pol.LinkRetry,
-		func(int) link.Outcome {
-			now := r.sched.Now()
-			_, corrupt := r.engine.Fires(faults.LinkCorrupt, "link", now)
-			_, lost := r.engine.Fires(faults.LinkLoss, "link", now)
-			switch {
-			case lost:
-				return link.TxLost
-			case corrupt:
-				return link.TxCorrupt
-			default:
-				return link.TxOK
-			}
-		})
-	r.res.LinkRetransmits += rep.Attempts - 1
-	r.res.LinkCorruptFrames += rep.Corrupted
-	r.res.LinkLostFrames += rep.Lost
-	if err == nil && !rep.Delivered {
-		r.res.LinkAbortedTransfers++
-		if r.obs.Enabled() {
-			r.obs.Note("link-abort", fmt.Sprintf("%d bytes undelivered after %d attempts", n, rep.Attempts))
-		}
-	}
-	return rep.Duration, rep.Delivered, err
-}
-
-// interruptAndTransfer is the Baseline/BEAM per-sample path: MCU raises the
-// interrupt, the CPU fields it and pulls the sample over the link. An
-// undelivered sample (link faults past the retry budget) shrinks the
-// window's expectation — the window completes with fewer samples, exactly
-// like a collection-stage drop.
-func (r *runner) interruptAndTransfer(s *stream, k, w int) {
-	err := r.mcu.Exec(r.params.MCU.IrqRaise, energy.Interrupt, func() {
-		r.res.Interrupts++
-		r.obs.Inc(obs.InterruptsRaised)
-		err := r.cpu.Exec(r.params.CPUIrqHandle, energy.Interrupt, func() {
-			r.transferToCPU(s.bytes, func(delivered bool) {
-				for _, l := range s.consumers {
-					if l.st.modeFor(w) != PerSample || !l.wants(k) {
-						continue
-					}
-					if delivered {
-						l.st.delivered[w]++
-					} else {
-						l.st.expected[w] = l.st.expectedFor(w) - 1
-					}
-					r.maybeComplete(l.st, w)
-				}
-			})
-		})
-		if err != nil {
-			r.fail(err)
-		}
-	})
-	if err != nil {
-		r.fail(err)
-	}
-}
-
-// batchSample appends a sample to the app's MCU-side batch, flushing early
-// when the MCU RAM cannot hold more — or, under an armed resilience policy,
-// already when RAM pressure crosses the escalation threshold. The final
-// flush of a window is triggered by maybeComplete once all expected samples
-// have been read.
-func (r *runner) batchSample(st *appState, s *stream, w int, k int) {
-	if r.pol != nil && r.pol.FlushAtRAMFrac > 0 && st.batchFill > 0 {
-		if float64(r.mcu.RAMUsed()+s.bytes) > r.pol.FlushAtRAMFrac*float64(r.params.MCU.UsableRAM()) {
-			r.res.EarlyFlushes++
-			r.flushBatch(st, w, false)
-		}
-	}
-	if err := r.mcu.Alloc(s.bytes); err != nil {
-		// RAM pressure: flush what we have, then retry the allocation for
-		// this sample against the freed space.
-		r.flushBatch(st, w, false)
-		if err := r.mcu.Alloc(s.bytes); err != nil {
-			// The sample alone exceeds the free buffer (e.g. a camera frame
-			// next to a large offloaded footprint): it cannot be batched at
-			// all, so stream it through as its own immediate flush.
-			st.batchFill += s.bytes
-			r.flushBatch(st, w, false)
-			return
-		}
-	}
-	st.batchAllocd += s.bytes
-	st.batchFill += s.bytes
-	st.batchRefs = append(st.batchRefs, batchRef{s: s, k: k})
-	// A batched sample crosses in a later bulk transfer, raising no
-	// interrupt of its own.
-	r.obs.Inc(obs.InterruptsCoalesced)
-}
-
-// flushBatch raises one interrupt and bulk-transfers the app's batch. The
-// final flush of a window triggers the CPU-side computation — even when
-// link faults swallowed a bulk frame past the retry budget: the window then
-// computes on what arrived (the loss is visible in LinkAbortedTransfers).
-func (r *runner) flushBatch(st *appState, w int, final bool) {
-	fill := st.batchFill
-	alloc := st.batchAllocd
-	st.batchFill = 0
-	st.batchAllocd = 0
-	st.batchRefs = nil
-	if fill == 0 && !final {
-		return
-	}
-	// The transfer engine drains the buffer as it transmits, so the RAM is
-	// reusable for new samples as soon as the flush is initiated.
-	if err := r.mcu.Free(alloc); err != nil {
-		r.fail(err)
-		return
-	}
-	st.pendingFlushes[w]++
-	err := r.mcu.Exec(r.params.MCU.IrqRaise, energy.Interrupt, func() {
-		r.res.Interrupts++
-		r.res.BatchFlushes++
-		r.obs.Inc(obs.InterruptsRaised)
-		r.obs.Inc(obs.BatchFlushes)
-		err := r.cpu.Exec(r.params.CPUIrqHandle, energy.Interrupt, func() {
-			r.transferToCPU(fill, func(bool) {
-				st.pendingFlushes[w]--
-				if final && st.pendingFlushes[w] == 0 {
-					r.cpuCompute(st, w)
-				}
-			})
-		})
-		if err != nil {
-			r.fail(err)
-		}
-	})
-	if err != nil {
-		r.fail(err)
 	}
 }
 
@@ -1070,33 +487,22 @@ func (r *runner) cpuCompute(st *appState, w int) {
 }
 
 // offloadCompute runs the app-specific computation on the MCU, then sends
-// the small result notification to the CPU. Dispatch enters the MCU
-// time-budget check (the planner's admission test, re-entered after an MCU
-// reboot restarts the computation). A result notification the link swallows
-// past the retry budget leaves the window without an output — the loss is
-// visible in LinkAbortedTransfers and the missing Outputs entry.
+// the small result notification to the CPU (the result-only transfer plan).
+// Dispatch enters the MCU time-budget check (the planner's admission test,
+// re-entered after an MCU reboot restarts the computation). A result
+// notification the link swallows past the retry budget leaves the window
+// without an output — the loss is visible in LinkAbortedTransfers and the
+// missing Outputs entry.
 func (r *runner) offloadCompute(st *appState, w int) {
 	r.checkOffloadBudget(st, w, r.sched.Now())
 	st.offloadInFlight[w] = true
 	err := r.mcu.Exec(st.mcuComputeTime, energy.AppCompute, func() {
 		delete(st.offloadInFlight, w)
-		err := r.mcu.Exec(r.params.MCU.IrqRaise, energy.Interrupt, func() {
-			r.res.Interrupts++
-			r.obs.Inc(obs.InterruptsRaised)
-			err := r.cpu.Exec(r.params.CPUIrqHandle, energy.Interrupt, func() {
-				r.transferToCPU(r.params.ResultBytes, func(delivered bool) {
-					if delivered {
-						r.finishWindow(st, w)
-					}
-				})
-			})
-			if err != nil {
-				r.fail(err)
+		r.raiseAndTransfer(r.mcu, r.cpu, r.params.ResultBytes, nil, func(delivered bool) {
+			if delivered {
+				r.finishWindow(st, w)
 			}
 		})
-		if err != nil {
-			r.fail(err)
-		}
 	})
 	if err != nil {
 		r.fail(err)
@@ -1135,17 +541,17 @@ func (r *runner) finishWindow(st *appState, w int) {
 	r.uplink(st, w, wr.Result.Upstream)
 }
 
-// uplink pushes a window's output to the network: apps that ran the window
-// offloaded transmit through the MCU's own radio, everything else through
-// the main board WiFi. The host pays a small driver cost; the NIC handles
-// the airtime.
+// uplink pushes a window's output to the network: apps whose policy placed
+// the window's computation on the MCU transmit through the MCU's own radio,
+// everything else through the main board WiFi. The host pays a small driver
+// cost; the NIC handles the airtime.
 func (r *runner) uplink(st *appState, w int, payload []byte) {
 	if len(payload) == 0 {
 		return
 	}
 	r.res.UpstreamBytes += len(payload)
 	r.obs.Add(obs.UpstreamBytes, uint64(len(payload)))
-	if st.modeFor(w) == Offloaded {
+	if st.policyFor(w).PlaceCompute() == scheme.OnMCU {
 		if err := r.mcu.Exec(r.params.UplinkDriverCPU, energy.AppCompute, nil); err != nil {
 			r.fail(err)
 			return
@@ -1180,99 +586,4 @@ func (r *runner) governCPU() {
 
 func errorsIsBusy(err error) bool {
 	return err == cpu.ErrBusy || err == mcu.ErrBusy
-}
-
-// collect finalizes the result after the event queue drains.
-func (r *runner) collect() {
-	r.collectObs()
-	r.res.Energy = r.meter.Total()
-	for _, name := range r.meter.Components() {
-		r.res.PerComponent[name] = r.meter.Track(name).Breakdown()
-	}
-	r.res.CPUBusy = r.cpu.BusyByRoutine()
-	r.res.MCUBusy = r.mcu.BusyByRoutine()
-	r.res.CPUWakes = r.cpu.Wakes()
-	r.res.MCUCrashes = r.mcu.Crashes()
-	r.res.RadioDeferred = r.mainRadio.Deferred() + r.mcuRadio.Deferred()
-	r.res.RadioDroppedBursts = r.mainRadio.DroppedBursts() + r.mcuRadio.DroppedBursts()
-	r.res.RadioDroppedBytes = r.mainRadio.DroppedBytes() + r.mcuRadio.DroppedBytes()
-	r.res.Duration = r.sched.Now().Duration()
-	r.res.Window = r.window
-	for _, st := range r.states {
-		r.res.Outputs[st.spec.ID] = st.results
-	}
-	if r.cfg.TracePower {
-		r.res.Traces = map[string][]energy.Sample{
-			"cpu": r.cpu.Track().TraceSamples(),
-			"mcu": r.mcu.Track().TraceSamples(),
-		}
-	}
-}
-
-// collectObs copies component-kept running totals into the recorder — the
-// event kernel's traffic, CPU residency and wakes, MCU high-water and
-// crashes, fault-engine probe hits — and closes the run-level scheme span.
-func (r *runner) collectObs() {
-	if !r.obs.Enabled() {
-		return
-	}
-	scheduled, cancelled := r.sched.Stats()
-	r.obs.Store(obs.SimEventsScheduled, scheduled)
-	r.obs.Store(obs.SimEventsCancelled, cancelled)
-	stateCounter := map[cpu.State]obs.Counter{
-		cpu.Active:    obs.CPUTicksActive,
-		cpu.WFI:       obs.CPUTicksWFI,
-		cpu.Sleep:     obs.CPUTicksSleep,
-		cpu.DeepSleep: obs.CPUTicksDeepSleep,
-		cpu.Waking:    obs.CPUTicksWaking,
-	}
-	for s, d := range r.cpu.Residency() {
-		if c, ok := stateCounter[s]; ok {
-			r.obs.Store(c, uint64(d))
-		}
-	}
-	r.obs.Store(obs.CPUWakes, uint64(r.cpu.Wakes()))
-	r.obs.SetMax(obs.MCUBufferHighWater, uint64(r.mcu.RAMHighWater()))
-	r.obs.Store(obs.MCUCrashes, uint64(r.mcu.Crashes()))
-	r.obs.Add(obs.FaultActivations, r.engine.Activations())
-	r.obs.Span("hub", r.cfg.Scheme.String(), 0, r.sched.Now())
-}
-
-// RunIdle measures the idle hub (Figure 1's reference): CPU suspended, MCU
-// idle, no sensing, for the given duration.
-func RunIdle(d time.Duration, params *Params) (*RunResult, error) {
-	p := DefaultParams()
-	if params != nil {
-		p = *params
-	}
-	if err := p.Validate(); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrConfig, err)
-	}
-	sched := sim.NewScheduler()
-	meter := energy.NewMeter(sched)
-	c, err := cpu.New(sched, meter, "cpu", p.CPU)
-	if err != nil {
-		return nil, err
-	}
-	if _, err := mcu.New(sched, meter, "mcu", p.MCU); err != nil {
-		return nil, err
-	}
-	// An idle hub has nothing pending at all: the CPU power-gates into its
-	// deepest state and the MCU idles (Fig. 1's reference point).
-	if err := c.ForceState(cpu.DeepSleep, energy.Idle); err != nil {
-		return nil, err
-	}
-	if err := sched.RunUntil(sim.Time(d)); err != nil {
-		return nil, err
-	}
-	res := &RunResult{
-		Energy:       meter.Total(),
-		PerComponent: make(map[string]energy.Breakdown),
-		Duration:     d,
-		Outputs:      make(map[apps.ID][]WindowResult),
-	}
-	for _, name := range meter.Components() {
-		res.PerComponent[name] = meter.Track(name).Breakdown()
-	}
-	return res, nil
 }

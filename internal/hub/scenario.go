@@ -8,6 +8,7 @@ import (
 	"iothub/internal/apps"
 	"iothub/internal/apps/catalog"
 	"iothub/internal/faults"
+	"iothub/internal/scheme"
 )
 
 // Scenario is a self-contained, serializable description of one hub run: the
@@ -96,16 +97,21 @@ func (s Scenario) Config() (Config, error) {
 	return cfg, nil
 }
 
-// RunScenario materializes and executes the scenario. BCOM scenarios are
-// rejected here — they need the internal/core planner, which sits above this
-// package; use fleet.RunScenario for those.
+// RunScenario materializes and executes the scenario. Schemes that require
+// an explicit partition (BCOM) are rejected here — they need the
+// internal/core planner, which sits above this package; use
+// fleet.RunScenario for those.
 func RunScenario(s Scenario) (*RunResult, error) {
 	cfg, err := s.Config()
 	if err != nil {
 		return nil, err
 	}
-	if s.Scheme == BCOM {
-		return nil, fmt.Errorf("%w: BCOM scenario %s needs the planner (use fleet.RunScenario)", ErrConfig, s.Label())
+	def, err := scheme.Lookup(s.Scheme)
+	if err != nil {
+		return nil, err
+	}
+	if def.RequiresAssign() {
+		return nil, fmt.Errorf("%w: %v scenario %s needs the planner (use fleet.RunScenario)", ErrConfig, s.Scheme, s.Label())
 	}
 	return Run(cfg)
 }

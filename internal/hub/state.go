@@ -1,0 +1,142 @@
+package hub
+
+// Per-run bookkeeping types: one appState per app, one stream per physical
+// sampling schedule, and the worker seam the conductor drives processor
+// models through. Policy resolution (policy/policyFor) lives here because an
+// app's active policy is a function of its — possibly degraded — mode.
+
+import (
+	"time"
+
+	"iothub/internal/apps"
+	"iothub/internal/cpu"
+	"iothub/internal/energy"
+	"iothub/internal/mcu"
+	"iothub/internal/scheme"
+	"iothub/internal/sensor"
+)
+
+// worker is the narrow slice of a processor model the conductor drives when
+// executing a policy verdict: timed execution of one routine with a
+// completion callback. Both boards satisfy it, so the interrupt/transfer
+// chain below is written once against the seam rather than twice against
+// the concrete types.
+type worker interface {
+	Exec(d time.Duration, routine energy.Routine, done func()) error
+}
+
+var (
+	_ worker = (*cpu.CPU)(nil)
+	_ worker = (*mcu.MCU)(nil)
+)
+
+// modeChange is one degradation step: mode applies from fromWindow on.
+type modeChange struct {
+	fromWindow int
+	mode       Mode
+}
+
+// batchRef identifies one sample resident in the MCU batch buffer, so a
+// crash can re-collect exactly what the RAM held.
+type batchRef struct {
+	s *stream
+	k int
+}
+
+// appState is one app's runtime bookkeeping.
+type appState struct {
+	app  apps.App
+	spec apps.Spec
+	mode Mode
+
+	// modeChanges records degradation steps; in-flight windows keep the
+	// mode they started with (see modeFor).
+	modeChanges []modeChange
+	// batchRefs tracks the samples currently resident in the MCU batch
+	// buffer (cleared on flush, re-collected on crash).
+	batchRefs []batchRef
+	// offloadInFlight marks windows whose MCU computation has been
+	// dispatched but not finished — a crash re-enters their budget check.
+	offloadInFlight map[int]bool
+
+	// cpuComputeTime / mcuComputeTime are the per-window app-specific
+	// computation costs on each processor.
+	cpuComputeTime time.Duration
+	mcuComputeTime time.Duration
+
+	// samplesPerWindow across all of the app's streams.
+	samplesPerWindow int
+	// readsDone / delivered count per-window progress; expected starts at
+	// samplesPerWindow and shrinks when fault injection drops samples.
+	readsDone map[int]int // window -> samples formatted at the MCU
+	delivered map[int]int // window -> samples landed at the CPU
+	expected  map[int]int // window -> samples still anticipated
+	// fired guards against double-triggering a window's computation when
+	// drops rearrange completion order.
+	fired map[int]bool
+
+	// Batched-mode buffer state.
+	batchFill      int
+	batchAllocd    int
+	pendingFlushes map[int]int // window -> in-flight bulk transfers
+
+	results []WindowResult
+}
+
+// consumerLink attaches one app to a stream. Under BEAM a stream runs at
+// the fastest consumer's rate and slower consumers take every stride-th
+// sample (BEAM's downsampling for rate-mismatched sharers).
+type consumerLink struct {
+	st     *appState
+	stride int
+}
+
+// wants reports whether the consumer takes the stream's k-th sample.
+func (l consumerLink) wants(k int) bool { return k%l.stride == 0 }
+
+// stream is one physical sampling schedule: a sensor read sequence feeding
+// one or more apps (more than one only under a shared topology).
+type stream struct {
+	id        sensor.ID
+	spec      sensor.Spec
+	bytes     int
+	perWindow int
+	period    time.Duration
+	track     *energy.Track
+	consumers []consumerLink
+	// attempts counts read attempts for deterministic fault injection.
+	attempts int
+	// retriesInWindow / downshifted drive the resilience layer's
+	// rate-downshift: once a window's retries blow the budget, every other
+	// remaining read of the stream is skipped.
+	retriesInWindow map[int]int
+	downshifted     map[int]bool
+}
+
+// expectedFor reports how many samples window w still anticipates.
+func (st *appState) expectedFor(w int) int {
+	if _, ok := st.expected[w]; !ok {
+		st.expected[w] = st.samplesPerWindow
+	}
+	return st.expected[w]
+}
+
+// modeFor resolves the app's mode for window w: the base mode unless a
+// degradation step took effect at or before w.
+func (st *appState) modeFor(w int) Mode {
+	mode := st.mode
+	for _, ch := range st.modeChanges {
+		if ch.fromWindow <= w {
+			mode = ch.mode
+		}
+	}
+	return mode
+}
+
+// policy is the app's base policy (window 0, before any degradation).
+func (st *appState) policy() scheme.Policy { return scheme.ForMode(st.mode) }
+
+// policyFor resolves the app's active policy for window w, honoring the
+// degradation ladder. ForMode is an array lookup, so this is as cheap as the
+// mode switch it replaced.
+func (st *appState) policyFor(w int) scheme.Policy { return scheme.ForMode(st.modeFor(w)) }

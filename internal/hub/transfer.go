@@ -1,0 +1,160 @@
+package hub
+
+// The Interrupt + Data Transfer chains: every transfer plan a policy can
+// choose — per-sample, coalesced batch flush, result-only notification —
+// reduces to raiseAndTransfer with a different payload size. The wire-level
+// fault handling (linkSend) lives in chaos.go.
+
+import (
+	"iothub/internal/energy"
+	"iothub/internal/obs"
+	"iothub/internal/scheme"
+)
+
+// transferToCPU moves n payload bytes over the link and calls done when the
+// transfer finishes, reporting whether the payload was delivered (always
+// true on the fault-free wire; injected corruption/loss may exhaust the
+// retry policy). Without DMA the CPU is busy for the whole transfer — wire
+// time, retransmissions, timeouts, and backoff included — (the baseline
+// hardware of the paper); with DMA (§IV-F ablation) it only programs a
+// descriptor and the wire signals completion.
+func (r *runner) transferToCPU(n int, done func(delivered bool)) {
+	d, delivered, err := r.linkSend(n)
+	if err != nil {
+		r.fail(err)
+		return
+	}
+	r.res.BytesTransferred += n
+	if err := r.mcu.Exec(d, energy.DataTransfer, nil); err != nil {
+		r.fail(err)
+		return
+	}
+	finish := func() {
+		done(delivered)
+		r.governCPU()
+	}
+	if r.params.DMA {
+		if err := r.cpu.Exec(r.params.DMASetup, energy.DataTransfer, nil); err != nil {
+			r.fail(err)
+			return
+		}
+		if _, err := r.sched.After(d, finish); err != nil {
+			r.fail(err)
+		}
+		return
+	}
+	if err := r.cpu.Exec(d, energy.DataTransfer, finish); err != nil {
+		r.fail(err)
+	}
+}
+
+// raiseAndTransfer is the shared Interrupt + Data Transfer chain: the raiser
+// raises one interrupt, the handler fields it, and n payload bytes cross the
+// link. extra (optional) runs inside the interrupt accounting, before the
+// handler dispatch; done receives delivery status. Every transfer plan —
+// per-sample, coalesced flush, result notification — reduces to this chain
+// with different n.
+func (r *runner) raiseAndTransfer(raiser, handler worker, n int, extra func(), done func(delivered bool)) {
+	err := raiser.Exec(r.params.MCU.IrqRaise, energy.Interrupt, func() {
+		r.res.Interrupts++
+		r.obs.Inc(obs.InterruptsRaised)
+		if extra != nil {
+			extra()
+		}
+		err := handler.Exec(r.params.CPUIrqHandle, energy.Interrupt, func() {
+			r.transferToCPU(n, done)
+		})
+		if err != nil {
+			r.fail(err)
+		}
+	})
+	if err != nil {
+		r.fail(err)
+	}
+}
+
+// interruptAndTransfer is the per-sample path (SampleAction Interrupt): the
+// MCU raises the interrupt, the CPU fields it and pulls the sample over the
+// link. An undelivered sample (link faults past the retry budget) shrinks
+// the window's expectation — the window completes with fewer samples,
+// exactly like a collection-stage drop.
+func (r *runner) interruptAndTransfer(s *stream, k, w int) {
+	r.raiseAndTransfer(r.mcu, r.cpu, s.bytes, nil, func(delivered bool) {
+		for _, l := range s.consumers {
+			if l.st.policyFor(w).OnSampleReady() != scheme.Interrupt || !l.wants(k) {
+				continue
+			}
+			if delivered {
+				l.st.delivered[w]++
+			} else {
+				l.st.expected[w] = l.st.expectedFor(w) - 1
+			}
+			r.maybeComplete(l.st, w)
+		}
+	})
+}
+
+// batchSample appends a sample to the app's MCU-side batch, flushing early
+// when the MCU RAM cannot hold more — or, under an armed resilience policy,
+// already when RAM pressure crosses the escalation threshold. The final
+// flush of a window is triggered by maybeComplete once all expected samples
+// have been read.
+func (r *runner) batchSample(st *appState, s *stream, w int, k int) {
+	if r.pol != nil && r.pol.FlushAtRAMFrac > 0 && st.batchFill > 0 {
+		if float64(r.mcu.RAMUsed()+s.bytes) > r.pol.FlushAtRAMFrac*float64(r.params.MCU.UsableRAM()) {
+			r.res.EarlyFlushes++
+			r.flushBatch(st, w, false)
+		}
+	}
+	if err := r.mcu.Alloc(s.bytes); err != nil {
+		// RAM pressure: flush what we have, then retry the allocation for
+		// this sample against the freed space.
+		r.flushBatch(st, w, false)
+		if err := r.mcu.Alloc(s.bytes); err != nil {
+			// The sample alone exceeds the free buffer (e.g. a camera frame
+			// next to a large offloaded footprint): it cannot be batched at
+			// all, so stream it through as its own immediate flush.
+			st.batchFill += s.bytes
+			r.flushBatch(st, w, false)
+			return
+		}
+	}
+	st.batchAllocd += s.bytes
+	st.batchFill += s.bytes
+	st.batchRefs = append(st.batchRefs, batchRef{s: s, k: k})
+	// A buffered sample crosses in a later bulk transfer, raising no
+	// interrupt of its own.
+	r.obs.Inc(obs.InterruptsCoalesced)
+}
+
+// flushBatch raises one interrupt and bulk-transfers the app's batch — the
+// coalesced transfer plan. The final flush of a window triggers the CPU-side
+// computation — even when link faults swallowed a bulk frame past the retry
+// budget: the window then computes on what arrived (the loss is visible in
+// LinkAbortedTransfers).
+func (r *runner) flushBatch(st *appState, w int, final bool) {
+	fill := st.batchFill
+	alloc := st.batchAllocd
+	st.batchFill = 0
+	st.batchAllocd = 0
+	st.batchRefs = nil
+	if fill == 0 && !final {
+		return
+	}
+	// The transfer engine drains the buffer as it transmits, so the RAM is
+	// reusable for new samples as soon as the flush is initiated.
+	if err := r.mcu.Free(alloc); err != nil {
+		r.fail(err)
+		return
+	}
+	st.pendingFlushes[w]++
+	r.raiseAndTransfer(r.mcu, r.cpu, fill, func() {
+		r.res.BatchFlushes++
+		r.obs.Inc(obs.BatchFlushes)
+	}, func(bool) {
+		st.pendingFlushes[w]--
+		if final && st.pendingFlushes[w] == 0 {
+			r.cpuCompute(st, w)
+		}
+	})
+}

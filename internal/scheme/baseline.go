@@ -1,0 +1,23 @@
+package scheme
+
+import "iothub/internal/apps"
+
+// baselineDef is the paper's Baseline row: every sensor sample raises one
+// MCU→CPU interrupt and one transfer, the app computes on the CPU, and the
+// CPU stalls between samples (gaps sit below the sleep break-even). Each app
+// owns its sensor streams outright.
+type baselineDef struct{}
+
+func init() { Register(baselineDef{}) }
+
+func (baselineDef) Scheme() Scheme              { return Baseline }
+func (baselineDef) RequiresAssign() bool        { return false }
+func (baselineDef) Validate(v ConfigView) error { return rejectAssign(v) }
+
+func (baselineDef) Policies(v ConfigView) (map[apps.ID]Policy, error) {
+	return uniformPolicies(v, ForMode(PerSample)), nil
+}
+
+func (baselineDef) PlanStreams(v ConfigView) ([]StreamSpec, error) {
+	return PlanDedicated(v)
+}

@@ -1,0 +1,24 @@
+package scheme
+
+import "iothub/internal/apps"
+
+// batchingDef is the paper's Batching row: the MCU accumulates each app's
+// whole window in its RAM and raises one interrupt per bulk flush; the CPU
+// suspends while the MCU senses and still computes the app itself. RAM
+// pressure (concurrent batches, resilience escalation) forces early flushes
+// — more interrupts, still far fewer than Baseline.
+type batchingDef struct{}
+
+func init() { Register(batchingDef{}) }
+
+func (batchingDef) Scheme() Scheme              { return Batching }
+func (batchingDef) RequiresAssign() bool        { return false }
+func (batchingDef) Validate(v ConfigView) error { return rejectAssign(v) }
+
+func (batchingDef) Policies(v ConfigView) (map[apps.ID]Policy, error) {
+	return uniformPolicies(v, ForMode(Batched)), nil
+}
+
+func (batchingDef) PlanStreams(v ConfigView) ([]StreamSpec, error) {
+	return PlanDedicated(v)
+}

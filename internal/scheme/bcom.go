@@ -1,0 +1,45 @@
+package scheme
+
+import (
+	"fmt"
+
+	"iothub/internal/apps"
+)
+
+// bcomDef is the paper's BCOM row (§IV-E3): a composition of two policies
+// selected per app by an explicit partition — offloadable apps take the COM
+// policy, heavy ones the Batching policy. The partition comes from outside
+// (the internal/core planner's admission test over MCU time and RAM
+// budgets), which is why this is the one scheme with RequiresAssign.
+type bcomDef struct{}
+
+func init() { Register(bcomDef{}) }
+
+func (bcomDef) Scheme() Scheme       { return BCOM }
+func (bcomDef) RequiresAssign() bool { return true }
+
+func (bcomDef) Validate(v ConfigView) error {
+	if v.Assign == nil {
+		return fmt.Errorf("%w: BCOM requires Assign (see internal/core planner)", ErrConfig)
+	}
+	return nil
+}
+
+func (bcomDef) Policies(v ConfigView) (map[apps.ID]Policy, error) {
+	out := make(map[apps.ID]Policy, len(v.Specs))
+	for _, sp := range v.Specs {
+		m, ok := v.Assign[sp.ID]
+		if !ok {
+			return nil, fmt.Errorf("%w: no assignment for %s", ErrConfig, sp.ID)
+		}
+		if m == Offloaded && sp.Heavy {
+			return nil, fmt.Errorf("%w: %s is heavy-weight", ErrUnoffloadable, sp.ID)
+		}
+		out[sp.ID] = ForMode(m)
+	}
+	return out, nil
+}
+
+func (bcomDef) PlanStreams(v ConfigView) ([]StreamSpec, error) {
+	return PlanDedicated(v)
+}

@@ -1,0 +1,37 @@
+package scheme
+
+import (
+	"fmt"
+
+	"iothub/internal/apps"
+)
+
+// beamDef is the prior work's BEAM row: per-app behavior is exactly
+// Baseline's per-sample policy, but the stream topology is shared —
+// concurrent apps using the same sensor share one read, one interrupt, and
+// one transfer per sample, with slower consumers taking strided samples.
+// Sharing needs at least two apps to mean anything.
+type beamDef struct{}
+
+func init() { Register(beamDef{}) }
+
+func (beamDef) Scheme() Scheme       { return BEAM }
+func (beamDef) RequiresAssign() bool { return false }
+
+func (beamDef) Validate(v ConfigView) error {
+	if err := rejectAssign(v); err != nil {
+		return err
+	}
+	if len(v.Specs) < 2 {
+		return fmt.Errorf("%w: BEAM needs at least two apps", ErrConfig)
+	}
+	return nil
+}
+
+func (beamDef) Policies(v ConfigView) (map[apps.ID]Policy, error) {
+	return uniformPolicies(v, ForMode(PerSample)), nil
+}
+
+func (beamDef) PlanStreams(v ConfigView) ([]StreamSpec, error) {
+	return PlanShared(v)
+}

@@ -1,0 +1,35 @@
+package scheme
+
+import (
+	"fmt"
+
+	"iothub/internal/apps"
+)
+
+// comDef is the paper's COM row (Computation Offloading Mechanism, §III-B):
+// every app runs on the MCU, per-sample interrupts and transfers disappear,
+// and only a small result notification crosses the link; bulk upstream
+// traffic leaves through the MCU's own radio while the CPU power-gates into
+// deep sleep. Heavy-weight apps cannot take this row at all.
+type comDef struct{}
+
+func init() { Register(comDef{}) }
+
+func (comDef) Scheme() Scheme              { return COM }
+func (comDef) RequiresAssign() bool        { return false }
+func (comDef) Validate(v ConfigView) error { return rejectAssign(v) }
+
+func (comDef) Policies(v ConfigView) (map[apps.ID]Policy, error) {
+	out := make(map[apps.ID]Policy, len(v.Specs))
+	for _, sp := range v.Specs {
+		if sp.Heavy {
+			return nil, fmt.Errorf("%w: %s is heavy-weight", ErrUnoffloadable, sp.ID)
+		}
+		out[sp.ID] = ForMode(Offloaded)
+	}
+	return out, nil
+}
+
+func (comDef) PlanStreams(v ConfigView) ([]StreamSpec, error) {
+	return PlanDedicated(v)
+}

@@ -1,0 +1,142 @@
+package scheme
+
+// Policy is one app's execution behavior, expressed as one decision hook per
+// routine of the paper's Table II. Policies are pure decision objects: the
+// hub's event conductor consults them and executes the verdicts against the
+// hardware models, so a policy never touches the scheduler and cannot
+// perturb timing by itself.
+//
+//	Routine                   Hook            decides
+//	------------------------  --------------  ------------------------------
+//	Data Collection/Interrupt OnSampleReady   interrupt now, buffer, or hold
+//	Data Transfer             PlanTransfer    per-sample vs coalesced vs result-only
+//	App-specific Computation  PlaceCompute    CPU vs MCU offload
+//	(window completion)       OnWindowClose   which progress gate closes a window
+type Policy interface {
+	// Mode names the scheme-table row this policy realizes; results and the
+	// degradation ladder are recorded in terms of it.
+	Mode() Mode
+	// OnSampleReady decides what the MCU does with one freshly formatted
+	// sample for this app.
+	OnSampleReady() SampleAction
+	// PlanTransfer decides how the app's window data crosses the link.
+	PlanTransfer() TransferPlan
+	// PlaceCompute decides which processor runs the app-specific computation.
+	PlaceCompute() Placement
+	// OnWindowClose decides which per-window progress counter must fill
+	// before the window's downstream step fires.
+	OnWindowClose() CloseGate
+}
+
+// SampleAction is OnSampleReady's verdict.
+type SampleAction int
+
+const (
+	// Interrupt raises a per-sample MCU→CPU interrupt and transfers the
+	// sample immediately (Baseline/BEAM collection).
+	Interrupt SampleAction = iota + 1
+	// Buffer appends the sample to the app's MCU-side batch; it crosses in a
+	// later bulk transfer and raises no interrupt of its own.
+	Buffer
+	// Hold keeps the sample at the MCU for in-place computation; nothing
+	// crosses the link until the result notification.
+	Hold
+)
+
+// TransferPlan is PlanTransfer's verdict.
+type TransferPlan int
+
+const (
+	// PerSampleTransfer moves every sample individually as it is collected;
+	// by window close the data already sits at the CPU.
+	PerSampleTransfer TransferPlan = iota + 1
+	// CoalescedTransfer bulk-flushes the buffered window in one (or, under
+	// RAM pressure, few) transfers.
+	CoalescedTransfer
+	// ResultOnlyTransfer moves only the small result notification; the raw
+	// samples never leave the MCU.
+	ResultOnlyTransfer
+)
+
+// Placement is PlaceCompute's verdict.
+type Placement int
+
+const (
+	// OnCPU runs the app-specific computation on the hub CPU.
+	OnCPU Placement = iota + 1
+	// OnMCU offloads the app-specific computation to the MCU.
+	OnMCU
+)
+
+// CloseGate is OnWindowClose's verdict: the progress counter whose
+// exhaustion completes a window.
+type CloseGate int
+
+const (
+	// AwaitDelivery closes the window once every still-expected sample has
+	// landed at the CPU (per-sample transfers must finish first).
+	AwaitDelivery CloseGate = iota + 1
+	// AwaitCollection closes the window once every still-expected sample has
+	// been formatted at the MCU (the transfer, if any, follows the close).
+	AwaitCollection
+)
+
+// perSamplePolicy is Baseline/BEAM's row: every sample interrupts the CPU.
+type perSamplePolicy struct{}
+
+func (perSamplePolicy) Mode() Mode                  { return PerSample }
+func (perSamplePolicy) OnSampleReady() SampleAction { return Interrupt }
+func (perSamplePolicy) PlanTransfer() TransferPlan  { return PerSampleTransfer }
+func (perSamplePolicy) PlaceCompute() Placement     { return OnCPU }
+func (perSamplePolicy) OnWindowClose() CloseGate    { return AwaitDelivery }
+
+// batchedPolicy is Batching's row: the MCU buffers a window, one bulk flush.
+type batchedPolicy struct{}
+
+func (batchedPolicy) Mode() Mode                  { return Batched }
+func (batchedPolicy) OnSampleReady() SampleAction { return Buffer }
+func (batchedPolicy) PlanTransfer() TransferPlan  { return CoalescedTransfer }
+func (batchedPolicy) PlaceCompute() Placement     { return OnCPU }
+func (batchedPolicy) OnWindowClose() CloseGate    { return AwaitCollection }
+
+// offloadedPolicy is COM's row: the MCU computes, only the result crosses.
+type offloadedPolicy struct{}
+
+func (offloadedPolicy) Mode() Mode                  { return Offloaded }
+func (offloadedPolicy) OnSampleReady() SampleAction { return Hold }
+func (offloadedPolicy) PlanTransfer() TransferPlan  { return ResultOnlyTransfer }
+func (offloadedPolicy) PlaceCompute() Placement     { return OnMCU }
+func (offloadedPolicy) OnWindowClose() CloseGate    { return AwaitCollection }
+
+// byMode indexes the built-in policy singletons; ForMode is on the
+// conductor's per-sample path and must stay allocation-free.
+var byMode = [...]Policy{
+	PerSample: perSamplePolicy{},
+	Batched:   batchedPolicy{},
+	Offloaded: offloadedPolicy{},
+}
+
+// ForMode returns the built-in policy realizing a mode. It panics on an
+// unknown mode: modes reach the conductor only through validated configs and
+// the ladder, so an out-of-range value is a programming error.
+func ForMode(m Mode) Policy {
+	if m < PerSample || m > Offloaded {
+		panic("scheme: no policy for " + m.String())
+	}
+	return byMode[m]
+}
+
+// Degrade is the resilience ladder (§ fault handling): one step down in
+// MCU-dependence — Offloaded → Batched → PerSample — so a crashing MCU sheds
+// responsibility window by window. The second result is false at the
+// ladder's floor (PerSample has nothing below it).
+func Degrade(from Mode) (Mode, bool) {
+	switch from {
+	case Offloaded:
+		return Batched, true
+	case Batched:
+		return PerSample, true
+	default:
+		return from, false
+	}
+}

@@ -1,0 +1,117 @@
+package scheme
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"iothub/internal/apps"
+)
+
+// ConfigView is the slice of a hub configuration a scheme definition is
+// allowed to see: the app specs, the optional per-app mode partition, and
+// the QoS window. It deliberately excludes live app instances, hardware
+// handles, and the scheduler — scheme logic decides, the conductor executes.
+type ConfigView struct {
+	// Specs lists the concurrent apps' specifications in config order.
+	Specs []apps.Spec
+	// Assign is the explicit per-app mode partition; nil for every scheme
+	// whose Def derives modes itself (only BCOM requires it).
+	Assign map[apps.ID]Mode
+	// Window is the common QoS window.
+	Window time.Duration
+}
+
+// Def is one registered execution scheme: its config rules, its per-app
+// policy assignment, and its stream topology. Together with the three Policy
+// hooks these are the only places scheme semantics live; the hub runner
+// contains no scheme-dependent branches.
+type Def interface {
+	// Scheme is the identity this definition registers under.
+	Scheme() Scheme
+	// RequiresAssign reports whether the scheme needs an explicit per-app
+	// partition (produced by the internal/core planner). Callers above the
+	// hub — fleet workers, CLIs — consult this instead of naming schemes.
+	RequiresAssign() bool
+	// Validate checks the scheme-specific config rules (Assign shape, app
+	// count). General rules (non-empty apps, window agreement) are the hub's.
+	Validate(v ConfigView) error
+	// Policies resolves each app's Policy — the scheme's composition step.
+	Policies(v ConfigView) (map[apps.ID]Policy, error)
+	// PlanStreams lays out the physical sampling schedules: which sensor
+	// streams exist, at what rates, feeding which apps at which strides.
+	PlanStreams(v ConfigView) ([]StreamSpec, error)
+}
+
+var registry = map[Scheme]Def{}
+
+// Register adds a scheme definition; it panics on a duplicate registration
+// (definitions are wired at init time, so a clash is a programming error).
+func Register(d Def) {
+	s := d.Scheme()
+	if _, dup := registry[s]; dup {
+		panic("scheme: duplicate registration for " + s.String())
+	}
+	registry[s] = d
+}
+
+// Lookup resolves a scheme to its registered definition.
+func Lookup(s Scheme) (Def, error) {
+	d, ok := registry[s]
+	if !ok {
+		return nil, fmt.Errorf("%w: unknown scheme %v", ErrConfig, s)
+	}
+	return d, nil
+}
+
+// All returns every registered definition ordered by Scheme value — the
+// paper's table order for the built-ins, registration-independent.
+func All() []Def {
+	out := make([]Def, 0, len(registry))
+	for _, d := range registry {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Scheme() < out[j].Scheme() })
+	return out
+}
+
+// Names returns the registered schemes' lower-case CLI names in table order
+// — the single source for every flag help string and spec format doc.
+func Names() []string {
+	all := All()
+	out := make([]string, len(all))
+	for i, d := range all {
+		out[i] = strings.ToLower(d.Scheme().String())
+	}
+	return out
+}
+
+// ModesOf projects a policy assignment onto the per-app Mode map recorded in
+// run results and consumed by the degradation ladder.
+func ModesOf(pols map[apps.ID]Policy) map[apps.ID]Mode {
+	out := make(map[apps.ID]Mode, len(pols))
+	for id, p := range pols {
+		out[id] = p.Mode()
+	}
+	return out
+}
+
+// uniformPolicies assigns one policy to every app — the composition shape of
+// every non-partitioned scheme.
+func uniformPolicies(v ConfigView, p Policy) map[apps.ID]Policy {
+	out := make(map[apps.ID]Policy, len(v.Specs))
+	for _, sp := range v.Specs {
+		out[sp.ID] = p
+	}
+	return out
+}
+
+// rejectAssign is the shared rule of every scheme that derives its own
+// partition.
+func rejectAssign(v ConfigView) error {
+	if v.Assign != nil {
+		return fmt.Errorf("%w: Assign is only valid with BCOM", ErrConfig)
+	}
+	return nil
+}

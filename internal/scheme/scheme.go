@@ -1,0 +1,136 @@
+// Package scheme makes the paper's execution schemes first-class values: a
+// scheme is a registered composition of per-app policies (which processor
+// computes, how samples cross the link, when the CPU is interrupted) plus a
+// stream topology (whether concurrent apps share physical sensor streams).
+//
+// The paper (Table II, §III–§IV) defines every scheme as a distinct
+// composition of the same four routines — Data Collection, Interrupt, Data
+// Transfer, and App-specific Computation. This package mirrors that shape:
+//
+//   - Policy exposes one hook per routine (OnSampleReady, PlanTransfer,
+//     PlaceCompute, OnWindowClose); the hub runner is a scheme-agnostic event
+//     conductor that executes whatever the active policy decides.
+//   - Def bundles a scheme's config validation, per-app policy assignment,
+//     and stream planning; Register/Lookup make the set open-ended, so a new
+//     hybrid (adaptive batching, alternative partitioners) is a new ~100-line
+//     file here, not surgery on the runner.
+//
+// All Scheme/Mode-dependent control flow lives in this package — enforced by
+// `make lint-scheme`.
+package scheme
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Scheme selects the execution scheme for a run.
+type Scheme int
+
+// Execution schemes (§III, §IV).
+const (
+	Baseline Scheme = iota + 1
+	Batching
+	COM
+	BCOM
+	BEAM
+)
+
+// Errors callers match with errors.Is. The messages keep their historical
+// hub-level text: this package took over config authority from internal/hub,
+// and every CLI message and test built on the old wording must stay stable.
+var (
+	ErrConfig        = errors.New("hub: invalid config")
+	ErrUnoffloadable = errors.New("hub: app cannot be offloaded")
+)
+
+// String names the scheme as the paper's figures do.
+func (s Scheme) String() string {
+	switch s {
+	case Baseline:
+		return "Baseline"
+	case Batching:
+		return "Batching"
+	case COM:
+		return "COM"
+	case BCOM:
+		return "BCOM"
+	case BEAM:
+		return "BEAM"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// Parse resolves a case-insensitive scheme name ("baseline", "batching",
+// "com", "bcom", "beam") against the registry — the CLI-facing inverse of
+// String. Only registered schemes parse, so an unplugged experimental scheme
+// disappears from every CLI at once.
+func Parse(name string) (Scheme, error) {
+	want := strings.TrimSpace(name)
+	for _, d := range All() {
+		if strings.EqualFold(d.Scheme().String(), want) {
+			return d.Scheme(), nil
+		}
+	}
+	return 0, fmt.Errorf("%w: unknown scheme %q", ErrConfig, name)
+}
+
+// MarshalText encodes the scheme by name so configs and results serialize
+// to JSON as "Batching" rather than a bare integer.
+func (s Scheme) MarshalText() ([]byte, error) { return []byte(s.String()), nil }
+
+// UnmarshalText is the inverse of MarshalText (it accepts any case,
+// delegating to Parse).
+func (s *Scheme) UnmarshalText(text []byte) error {
+	parsed, err := Parse(string(text))
+	if err != nil {
+		return err
+	}
+	*s = parsed
+	return nil
+}
+
+// Mode is the per-app execution decision inside a scheme — the row of the
+// scheme table one app actually runs. Every Mode maps to one built-in Policy
+// (ForMode); schemes are compositions of modes across apps.
+type Mode int
+
+// Per-app modes.
+const (
+	// PerSample interrupts the CPU for every sensor sample (Baseline/BEAM).
+	PerSample Mode = iota + 1
+	// Batched buffers a window at the MCU and transfers in bulk.
+	Batched
+	// Offloaded runs the app-specific computation on the MCU.
+	Offloaded
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case PerSample:
+		return "PerSample"
+	case Batched:
+		return "Batched"
+	case Offloaded:
+		return "Offloaded"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// MarshalText encodes the mode by name (see Scheme.MarshalText).
+func (m Mode) MarshalText() ([]byte, error) { return []byte(m.String()), nil }
+
+// UnmarshalText is the inverse of MarshalText.
+func (m *Mode) UnmarshalText(text []byte) error {
+	for _, known := range []Mode{PerSample, Batched, Offloaded} {
+		if known.String() == string(text) {
+			*m = known
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: unknown mode %q", ErrConfig, text)
+}

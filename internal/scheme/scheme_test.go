@@ -1,0 +1,277 @@
+package scheme
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"iothub/internal/apps"
+)
+
+// TestSchemeTextRoundTrip drives every registered scheme through the full
+// text codec: String → Parse (in several casings, since Parse is the
+// CLI-facing entry point) and MarshalText → UnmarshalText.
+func TestSchemeTextRoundTrip(t *testing.T) {
+	defs := All()
+	if len(defs) != 5 {
+		t.Fatalf("registered schemes = %d, want the paper's 5", len(defs))
+	}
+	for _, d := range defs {
+		s := d.Scheme()
+		name := s.String()
+		for _, spelling := range []string{
+			name,
+			strings.ToLower(name),
+			strings.ToUpper(name),
+			"  " + name + " ", // Parse trims surrounding space
+		} {
+			got, err := Parse(spelling)
+			if err != nil {
+				t.Errorf("Parse(%q): %v", spelling, err)
+				continue
+			}
+			if got != s {
+				t.Errorf("Parse(%q) = %v, want %v", spelling, got, s)
+			}
+		}
+
+		blob, err := s.MarshalText()
+		if err != nil {
+			t.Fatalf("%v.MarshalText: %v", s, err)
+		}
+		if string(blob) != name {
+			t.Errorf("%v.MarshalText = %q, want %q", s, blob, name)
+		}
+		var back Scheme
+		if err := back.UnmarshalText(blob); err != nil {
+			t.Fatalf("UnmarshalText(%q): %v", blob, err)
+		}
+		if back != s {
+			t.Errorf("UnmarshalText(%q) = %v, want %v", blob, back, s)
+		}
+	}
+}
+
+// TestSchemeTextInvalid covers the codec's failure paths: unknown names must
+// fail with ErrConfig (so CLIs report them as config errors), and
+// out-of-range values must stringify without panicking.
+func TestSchemeTextInvalid(t *testing.T) {
+	for _, name := range []string{"", "warp", "base line", "Scheme(3)", "baselinex"} {
+		if _, err := Parse(name); !errors.Is(err, ErrConfig) {
+			t.Errorf("Parse(%q) err = %v, want ErrConfig", name, err)
+		}
+		var s Scheme
+		if err := s.UnmarshalText([]byte(name)); !errors.Is(err, ErrConfig) {
+			t.Errorf("UnmarshalText(%q) err = %v, want ErrConfig", name, err)
+		}
+		if s != 0 {
+			t.Errorf("failed UnmarshalText(%q) mutated receiver to %v", name, s)
+		}
+	}
+	if got := Scheme(0).String(); got != "Scheme(0)" {
+		t.Errorf("Scheme(0).String() = %q", got)
+	}
+	if got := Scheme(99).String(); got != "Scheme(99)" {
+		t.Errorf("Scheme(99).String() = %q", got)
+	}
+}
+
+// TestModeTextRoundTrip mirrors the scheme codec test for per-app modes.
+func TestModeTextRoundTrip(t *testing.T) {
+	for _, m := range []Mode{PerSample, Batched, Offloaded} {
+		blob, err := m.MarshalText()
+		if err != nil {
+			t.Fatalf("%v.MarshalText: %v", m, err)
+		}
+		if string(blob) != m.String() {
+			t.Errorf("%v.MarshalText = %q, want %q", m, blob, m.String())
+		}
+		var back Mode
+		if err := back.UnmarshalText(blob); err != nil {
+			t.Fatalf("Mode.UnmarshalText(%q): %v", blob, err)
+		}
+		if back != m {
+			t.Errorf("Mode.UnmarshalText(%q) = %v, want %v", blob, back, m)
+		}
+	}
+}
+
+// TestModeTextInvalid: unknown mode names fail with ErrConfig; modes are
+// result-file identifiers, so (unlike Parse) the codec is case-exact.
+func TestModeTextInvalid(t *testing.T) {
+	for _, name := range []string{"", "bogus", "persample", "BATCHED", "Mode(2)"} {
+		var m Mode
+		if err := m.UnmarshalText([]byte(name)); !errors.Is(err, ErrConfig) {
+			t.Errorf("Mode.UnmarshalText(%q) err = %v, want ErrConfig", name, err)
+		}
+		if m != 0 {
+			t.Errorf("failed Mode.UnmarshalText(%q) mutated receiver to %v", name, m)
+		}
+	}
+	if got := Mode(0).String(); got != "Mode(0)" {
+		t.Errorf("Mode(0).String() = %q", got)
+	}
+}
+
+// FuzzParseScheme asserts the codec's core property over arbitrary input:
+// Parse either rejects with ErrConfig, or returns a registered scheme whose
+// canonical name re-parses to the same value.
+func FuzzParseScheme(f *testing.F) {
+	for _, d := range All() {
+		f.Add(d.Scheme().String())
+		f.Add(strings.ToLower(d.Scheme().String()))
+	}
+	f.Add("")
+	f.Add("warp")
+	f.Add(" BeAm ")
+	f.Fuzz(func(t *testing.T, name string) {
+		s, err := Parse(name)
+		if err != nil {
+			if !errors.Is(err, ErrConfig) {
+				t.Fatalf("Parse(%q) err = %v, want ErrConfig", name, err)
+			}
+			return
+		}
+		if _, err := Lookup(s); err != nil {
+			t.Fatalf("Parse(%q) = %v, which is not registered: %v", name, s, err)
+		}
+		again, err := Parse(s.String())
+		if err != nil || again != s {
+			t.Fatalf("Parse(%q) = %v but Parse(%q) = %v, %v", name, s, s.String(), again, err)
+		}
+	})
+}
+
+// FuzzModeUnmarshalText: any accepted text must be the mode's own canonical
+// marshaling; everything else is ErrConfig.
+func FuzzModeUnmarshalText(f *testing.F) {
+	for _, m := range []Mode{PerSample, Batched, Offloaded} {
+		f.Add(m.String())
+	}
+	f.Add("bogus")
+	f.Fuzz(func(t *testing.T, name string) {
+		var m Mode
+		err := m.UnmarshalText([]byte(name))
+		if err != nil {
+			if !errors.Is(err, ErrConfig) {
+				t.Fatalf("Mode.UnmarshalText(%q) err = %v, want ErrConfig", name, err)
+			}
+			return
+		}
+		blob, err := m.MarshalText()
+		if err != nil || string(blob) != name {
+			t.Fatalf("Mode.UnmarshalText(%q) = %v, but MarshalText = %q, %v", name, m, blob, err)
+		}
+	})
+}
+
+// TestRegistry covers Lookup (known and unknown), the table ordering of
+// All/Names, and the duplicate-registration panic.
+func TestRegistry(t *testing.T) {
+	for _, s := range []Scheme{Baseline, Batching, COM, BCOM, BEAM} {
+		d, err := Lookup(s)
+		if err != nil {
+			t.Fatalf("Lookup(%v): %v", s, err)
+		}
+		if d.Scheme() != s {
+			t.Errorf("Lookup(%v).Scheme() = %v", s, d.Scheme())
+		}
+		if want := s == BCOM; d.RequiresAssign() != want {
+			t.Errorf("%v.RequiresAssign() = %v, want %v", s, d.RequiresAssign(), want)
+		}
+	}
+	if _, err := Lookup(Scheme(42)); !errors.Is(err, ErrConfig) {
+		t.Errorf("Lookup(Scheme(42)) err = %v, want ErrConfig", err)
+	}
+
+	names := Names()
+	want := []string{"baseline", "batching", "com", "bcom", "beam"}
+	if len(names) != len(want) {
+		t.Fatalf("Names() = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("Names() = %v, want %v", names, want)
+		}
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate Register did not panic")
+		}
+	}()
+	Register(baselineDef{})
+}
+
+// TestForModeAndDegrade pins the mode→policy index and the resilience ladder.
+func TestForModeAndDegrade(t *testing.T) {
+	for _, m := range []Mode{PerSample, Batched, Offloaded} {
+		if got := ForMode(m).Mode(); got != m {
+			t.Errorf("ForMode(%v).Mode() = %v", m, got)
+		}
+	}
+	for _, bad := range []Mode{0, 4, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("ForMode(%v) did not panic", bad)
+				}
+			}()
+			ForMode(bad)
+		}()
+	}
+
+	steps := []struct {
+		from, to Mode
+		ok       bool
+	}{
+		{Offloaded, Batched, true},
+		{Batched, PerSample, true},
+		{PerSample, PerSample, false}, // the ladder's floor
+	}
+	for _, s := range steps {
+		to, ok := Degrade(s.from)
+		if to != s.to || ok != s.ok {
+			t.Errorf("Degrade(%v) = %v, %v, want %v, %v", s.from, to, ok, s.to, s.ok)
+		}
+	}
+}
+
+// TestPolicyTable pins each built-in policy's verdict tuple to its Table II
+// row — the semantic contract the golden corpus depends on.
+func TestPolicyTable(t *testing.T) {
+	rows := []struct {
+		mode     Mode
+		sample   SampleAction
+		transfer TransferPlan
+		place    Placement
+		gate     CloseGate
+	}{
+		{PerSample, Interrupt, PerSampleTransfer, OnCPU, AwaitDelivery},
+		{Batched, Buffer, CoalescedTransfer, OnCPU, AwaitCollection},
+		{Offloaded, Hold, ResultOnlyTransfer, OnMCU, AwaitCollection},
+	}
+	for _, r := range rows {
+		p := ForMode(r.mode)
+		if p.OnSampleReady() != r.sample || p.PlanTransfer() != r.transfer ||
+			p.PlaceCompute() != r.place || p.OnWindowClose() != r.gate {
+			t.Errorf("%v policy = (%v %v %v %v), want (%v %v %v %v)", r.mode,
+				p.OnSampleReady(), p.PlanTransfer(), p.PlaceCompute(), p.OnWindowClose(),
+				r.sample, r.transfer, r.place, r.gate)
+		}
+	}
+}
+
+// TestModesOf projects a mixed assignment back to modes.
+func TestModesOf(t *testing.T) {
+	pols := map[apps.ID]Policy{
+		"A1": ForMode(PerSample),
+		"A2": ForMode(Batched),
+		"A3": ForMode(Offloaded),
+	}
+	modes := ModesOf(pols)
+	if len(modes) != 3 ||
+		modes["A1"] != PerSample || modes["A2"] != Batched || modes["A3"] != Offloaded {
+		t.Errorf("ModesOf = %v", modes)
+	}
+}
