@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt check lint-scheme fuzz fleet-smoke obs-smoke bench bench-json bench-diff bench-smoke experiments ablations examples clean
+.PHONY: all build test race vet fmt check lint-scheme fuzz fleet-smoke service-smoke obs-smoke bench bench-json bench-diff bench-smoke experiments ablations examples clean
 
 all: build vet test check
 
@@ -47,6 +47,12 @@ fuzz:
 fleet-smoke:
 	$(GO) run -race ./cmd/iotfleet -spec internal/fleet/testdata/smoke.json \
 		-workers 4 -progress -metrics-addr 127.0.0.1:0
+
+# Service-mode fault-tolerance smoke: coordinator + two worker processes
+# under the race detector, one worker kill -9'd mid-sweep; the merged
+# aggregate JSON must equal the in-process workers=1 run byte for byte.
+service-smoke:
+	sh scripts/service_smoke.sh
 
 # End-to-end observability smoke: one clean and one chaotic instrumented run
 # dumping trace + counters (+ flight ring under chaos), then the exporter

@@ -10,6 +10,11 @@
 //	iotfleet -spec sweep.json -journal run.jsonl            # checkpointed
 //	iotfleet -spec sweep.json -journal run.jsonl -resume    # continue
 //	iotfleet -spec sweep.json -format csv
+//
+// Service mode shards one sweep across worker processes (see DESIGN.md §10):
+//
+//	iotfleet serve -spec sweep.json -addr 127.0.0.1:0 -addr-file addr.txt
+//	iotfleet work -addr-file addr.txt -id w1     # any number of these
 package main
 
 import (
@@ -32,6 +37,14 @@ func main() {
 }
 
 func run(args []string, out io.Writer) (retErr error) {
+	if len(args) > 0 {
+		switch args[0] {
+		case "serve":
+			return runServe(args[1:], out)
+		case "work":
+			return runWork(args[1:], out)
+		}
+	}
 	fs := flag.NewFlagSet("iotfleet", flag.ContinueOnError)
 	specPath := fs.String("spec", "", "sweep spec file (JSON; see internal/fleet/testdata/smoke.json)")
 	workers := fs.Int("workers", 0, "worker pool size (0 = spec's workers, then GOMAXPROCS)")
@@ -40,6 +53,7 @@ func run(args []string, out io.Writer) (retErr error) {
 	progress := fs.Bool("progress", false, "print structured JSON progress lines to stderr while the sweep runs")
 	metricsAddr := fs.String("metrics-addr", "", "serve live sweep gauges in Prometheus text format on this address (e.g. :9090)")
 	format := fs.String("format", "ascii", "output format: ascii, csv, or markdown")
+	aggOut := fs.String("agg-out", "", "also write the merged aggregates as canonical JSON to this file")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 	memProfile := fs.String("memprofile", "", "write an allocation profile of the sweep to this file")
 	if err := fs.Parse(args); err != nil {
@@ -82,6 +96,11 @@ func run(args []string, out io.Writer) (retErr error) {
 	res, err := fleet.Run(spec, opt)
 	if err != nil {
 		return err
+	}
+	if *aggOut != "" {
+		if err := os.WriteFile(*aggOut, res.Agg.JSON(), 0o644); err != nil {
+			return err
+		}
 	}
 	if srv != nil {
 		// Self-scrape once so every instrumented sweep proves its own

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// Service mode end to end through the CLI entrypoints: one serve process,
+// two work processes rendezvousing via -addr-file, and the merged aggregate
+// JSON byte-identical to the one-shot workers=1 run.
+func TestServeAndWorkMatchOneShot(t *testing.T) {
+	spec := writeSpec(t)
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.json")
+	svc := filepath.Join(dir, "svc.json")
+	addrFile := filepath.Join(dir, "addr.txt")
+
+	var oneShot strings.Builder
+	if err := run([]string{"-spec", spec, "-workers", "1", "-agg-out", base}, &oneShot); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	var serveOut strings.Builder
+	var serveErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		serveErr = run([]string{"serve", "-spec", spec, "-addr", "127.0.0.1:0",
+			"-addr-file", addrFile, "-agg-out", svc, "-shard-size", "1"}, &serveOut)
+	}()
+	workErrs := make([]error, 2)
+	for i := range workErrs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var sb strings.Builder
+			workErrs[i] = run([]string{"work", "-addr-file", addrFile,
+				"-id", string(rune('a' + i))}, &sb)
+		}(i)
+	}
+	wg.Wait()
+	if serveErr != nil {
+		t.Fatalf("serve: %v", serveErr)
+	}
+	for i, err := range workErrs {
+		if err != nil {
+			t.Errorf("worker %d: %v", i, err)
+		}
+	}
+	if !strings.Contains(serveOut.String(), "4 scenarios folded") {
+		t.Errorf("serve output:\n%s", serveOut.String())
+	}
+	want, err := os.ReadFile(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("service aggregates diverge from one-shot:\n%s\nvs\n%s", got, want)
+	}
+}
+
+func TestServiceFlagValidation(t *testing.T) {
+	if err := run([]string{"serve"}, os.Stdout); err == nil || !strings.Contains(err.Error(), "-spec") {
+		t.Errorf("serve without -spec: err = %v", err)
+	}
+	if err := run([]string{"work"}, os.Stdout); err == nil || !strings.Contains(err.Error(), "-addr") {
+		t.Errorf("work without an address: err = %v", err)
+	}
+	if err := run([]string{"work", "-addr-file", filepath.Join(t.TempDir(), "never.txt"),
+		"-wait", "100ms"}, os.Stdout); err == nil || !strings.Contains(err.Error(), "no coordinator address") {
+		t.Errorf("work with absent addr-file: err = %v", err)
+	}
+}

@@ -1,9 +1,12 @@
 package fleet
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 	"strings"
 
 	"iothub/internal/energy"
@@ -278,6 +281,29 @@ func (a *Aggregator) Keys() []string {
 
 // Metric returns the aggregate for a key, or nil.
 func (a *Aggregator) Metric(key string) *Metric { return a.metrics[key] }
+
+// JSON renders the aggregates as deterministic JSON: keys sorted, floats in
+// Go's shortest round-trip form, no map iteration anywhere. Two aggregators
+// that saw the same observations in the same order render byte-identical
+// JSON — the artifact the service-smoke and chaos harnesses diff against a
+// single-process run.
+func (a *Aggregator) JSON() []byte {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, `{"runs":%d,"errors":%d,"fingerprint":%q,"metrics":{`, a.Runs, a.Errors, a.Fingerprint())
+	num := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	for i, k := range a.Keys() {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		m := a.metrics[k]
+		key, _ := json.Marshal(k)
+		fmt.Fprintf(&b, `%s:{"n":%d,"mean":%s,"std":%s,"min":%s,"max":%s,"p50":%s,"p95":%s,"p99":%s}`,
+			key, m.Count(), num(m.Mean()), num(m.Std()), num(m.Min()), num(m.Max()),
+			num(m.Quantile(0.50)), num(m.Quantile(0.95)), num(m.Quantile(0.99)))
+	}
+	b.WriteString("}}\n")
+	return b.Bytes()
+}
 
 // Fingerprint hashes the aggregator's complete state (bit-exact float
 // representations included) into a short hex token. Two aggregators that saw

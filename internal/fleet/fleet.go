@@ -57,6 +57,9 @@ type Result struct {
 	// Agg.Errors). Failures seen only in a resumed journal prefix carry the
 	// journal's recorded error text.
 	Failed []ScenarioError
+	// Warnings lists non-fatal conditions tolerated during the run, e.g. a
+	// journal whose final record was truncated by a crash mid-write.
+	Warnings []string
 }
 
 // RunScenario materializes and executes one scenario, planning the partition
@@ -108,7 +111,7 @@ func Run(spec Spec, opt Options) (*Result, error) {
 	}
 	gauges.StartSweep(len(scens), workers)
 
-	header := journalHeader{Seed: spec.Seed, Scenarios: len(scens), Spec: specFingerprint(scens)}
+	header := Header(spec, scens)
 	tags := make([]string, len(scens))
 	for i, s := range scens {
 		tags[i] = Tag(s)
@@ -116,16 +119,23 @@ func Run(spec Spec, opt Options) (*Result, error) {
 
 	res := &Result{Agg: NewAggregator(), Scenarios: len(scens)}
 
-	// Resume: replay the journal prefix into the aggregator.
-	var resumed []journalDone
+	// Resume: replay the journal prefix into the aggregator. A partial final
+	// record (crash mid-write) is dropped from the file so appending stays
+	// line-atomic, and the scenario simply re-runs.
+	var resumed []DoneRecord
 	if opt.Resume {
 		if opt.Journal == "" {
 			return nil, fmt.Errorf("fleet: resume requested without a journal path")
 		}
-		resumed, err = readJournal(opt.Journal, header, tags)
+		replay, err := ReadJournal(opt.Journal, header, tags)
 		if err != nil {
 			return nil, err
 		}
+		if err := replay.DropPartialTail(opt.Journal); err != nil {
+			return nil, err
+		}
+		res.Warnings = append(res.Warnings, replay.Warnings...)
+		resumed = replay.Done
 		for _, d := range resumed {
 			if d.Err != "" {
 				res.Agg.ApplyError()
@@ -140,13 +150,13 @@ func Run(spec Spec, opt Options) (*Result, error) {
 	}
 	next := len(resumed) // first scenario index still to run
 
-	var jw *journalWriter
+	var jw *JournalWriter
 	if opt.Journal != "" {
-		jw, err = newJournalWriter(opt.Journal, header, !opt.Resume)
+		jw, err = NewJournalWriter(opt.Journal, header, !opt.Resume)
 		if err != nil {
 			return nil, err
 		}
-		defer jw.close()
+		defer jw.Close()
 	}
 
 	limit := len(scens)
@@ -207,7 +217,7 @@ func Run(spec Spec, opt Options) (*Result, error) {
 				break
 			}
 			delete(pending, next)
-			d := journalDone{Index: ready.index, Label: scens[ready.index].Label(),
+			d := DoneRecord{Index: ready.index, Label: scens[ready.index].Label(),
 				Metrics: ready.metrics, Err: ready.err}
 			if ready.err != "" {
 				res.Agg.ApplyError()
@@ -219,15 +229,15 @@ func Run(spec Spec, opt Options) (*Result, error) {
 			next++
 			gauges.ScenarioDone(ready.err != "")
 			if jw != nil && firstJournalErr == nil {
-				if err := jw.write(journalLine{Done: &d}); err != nil {
+				if err := jw.WriteDone(d); err != nil {
 					firstJournalErr = err
 				}
 			}
-			if res.Completed%snapEvery == 0 || res.Completed == len(scens) {
+			if res.Completed%SnapEvery == 0 || res.Completed == len(scens) {
 				fp := res.Agg.Fingerprint()
 				gauges.SetFingerprint(fp)
 				if jw != nil && firstJournalErr == nil {
-					if err := jw.write(journalLine{Snap: &journalSnap{Applied: res.Completed, FP: fp}}); err != nil {
+					if err := jw.WriteSnap(res.Completed, fp); err != nil {
 						firstJournalErr = err
 					}
 				}
@@ -242,6 +252,44 @@ func Run(spec Spec, opt Options) (*Result, error) {
 		return nil, firstJournalErr
 	}
 	return res, nil
+}
+
+// RunRange executes scenarios [start, end) of an expanded sequence with up
+// to parallelism scenarios in flight and returns their records in index
+// order — the shard-execution primitive fleetd workers run. Results are
+// independent of parallelism (each scenario is self-seeded and records are
+// assembled positionally).
+func RunRange(scens []hub.Scenario, start, end, parallelism int) ([]DoneRecord, error) {
+	if start < 0 || end > len(scens) || start > end {
+		return nil, fmt.Errorf("fleet: range [%d, %d) outside 0..%d", start, end, len(scens))
+	}
+	if parallelism < 1 {
+		parallelism = 1
+	}
+	records := make([]DoneRecord, end-start)
+	indices := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range indices {
+				d := DoneRecord{Index: i, Label: scens[i].Label()}
+				if r, err := RunScenario(scens[i]); err != nil {
+					d.Err = err.Error()
+				} else {
+					d.Metrics = Metrics(r, scens[i].Windows)
+				}
+				records[i-start] = d
+			}
+		}()
+	}
+	for i := start; i < end; i++ {
+		indices <- i
+	}
+	close(indices)
+	wg.Wait()
+	return records, nil
 }
 
 // progress prints a structured one-line JSON status at ~1/16 completion

@@ -135,17 +135,21 @@ func TestStandaloneReplayMatchesFleet(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	header := journalHeader{Seed: spec.Seed, Scenarios: len(scens), Spec: specFingerprint(scens)}
+	header := Header(spec, scens)
 	tags := make([]string, len(scens))
 	for i, s := range scens {
 		tags[i] = Tag(s)
 	}
-	done, err := readJournal(journal, header, tags)
+	replay, err := ReadJournal(journal, header, tags)
 	if err != nil {
 		t.Fatal(err)
 	}
+	done := replay.Done
 	if len(done) != len(scens) {
 		t.Fatalf("journal holds %d scenarios, want %d", len(done), len(scens))
+	}
+	if len(replay.Warnings) != 0 || replay.Truncated() {
+		t.Fatalf("clean journal read produced warnings %v (truncated %v)", replay.Warnings, replay.Truncated())
 	}
 	for _, i := range []int{0, 3, 7} {
 		res, err := RunScenario(scens[i])

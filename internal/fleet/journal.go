@@ -4,8 +4,10 @@ import (
 	"bufio"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
+	"strings"
 
 	"iothub/internal/hub"
 )
@@ -16,19 +18,34 @@ import (
 // aggregator fingerprint for corruption detection. Because metrics are
 // float64s serialized by encoding/json (shortest round-trip representation),
 // replaying a journal rebuilds bit-identical aggregates.
+//
+// The journal API is exported because two engines write the same format: the
+// in-process fleet.Run collector and the fleetd coordinator (which folds
+// shard submissions instead of worker outcomes, but checkpoints and resumes
+// identically).
 type journalLine struct {
-	Fleet *journalHeader `json:"fleet,omitempty"`
-	Done  *journalDone   `json:"done,omitempty"`
+	Fleet *JournalHeader `json:"fleet,omitempty"`
+	Done  *DoneRecord    `json:"done,omitempty"`
 	Snap  *journalSnap   `json:"snap,omitempty"`
 }
 
-type journalHeader struct {
+// JournalHeader names the sweep a journal belongs to; resume refuses a
+// journal whose header disagrees with the spec being run.
+type JournalHeader struct {
 	Seed      int64  `json:"seed"`
 	Scenarios int    `json:"scenarios"`
 	Spec      string `json:"spec"` // fingerprint of the expanded scenario sequence
 }
 
-type journalDone struct {
+// Header builds the journal identity of a spec's expansion.
+func Header(spec Spec, scens []hub.Scenario) JournalHeader {
+	return JournalHeader{Seed: spec.Seed, Scenarios: len(scens), Spec: SpecFingerprint(scens)}
+}
+
+// DoneRecord is one completed scenario: its index, human label, extracted
+// metrics (nil for a failed run) and error text ("" for a successful one).
+// It is both the journal's "done" line and the payload fleetd workers submit.
+type DoneRecord struct {
 	Index   int                `json:"i"`
 	Label   string             `json:"label"`
 	Metrics map[string]float64 `json:"m,omitempty"`
@@ -40,17 +57,23 @@ type journalSnap struct {
 	FP      string `json:"fp"`
 }
 
-// snapEvery controls how often aggregate-fingerprint snapshots are written.
-const snapEvery = 16
+// SnapEvery is how often (in applied scenarios) aggregate-fingerprint
+// snapshots are written.
+const SnapEvery = 16
 
-// journalWriter appends lines to an open journal, flushing after every line
+// maxJournalLine bounds one record's size when reading.
+const maxJournalLine = 1 << 22
+
+// JournalWriter appends lines to an open journal, flushing after every line
 // so an interrupt loses at most the line being written.
-type journalWriter struct {
+type JournalWriter struct {
 	f *os.File
 	w *bufio.Writer
 }
 
-func newJournalWriter(path string, header journalHeader, fresh bool) (*journalWriter, error) {
+// NewJournalWriter opens (fresh=true: truncates and writes the header;
+// fresh=false: appends to) the journal at path.
+func NewJournalWriter(path string, header JournalHeader, fresh bool) (*JournalWriter, error) {
 	flags := os.O_CREATE | os.O_WRONLY | os.O_APPEND
 	if fresh {
 		flags |= os.O_TRUNC
@@ -59,7 +82,7 @@ func newJournalWriter(path string, header journalHeader, fresh bool) (*journalWr
 	if err != nil {
 		return nil, fmt.Errorf("fleet: journal: %w", err)
 	}
-	jw := &journalWriter{f: f, w: bufio.NewWriter(f)}
+	jw := &JournalWriter{f: f, w: bufio.NewWriter(f)}
 	if fresh {
 		if err := jw.write(journalLine{Fleet: &header}); err != nil {
 			f.Close()
@@ -69,7 +92,17 @@ func newJournalWriter(path string, header journalHeader, fresh bool) (*journalWr
 	return jw, nil
 }
 
-func (jw *journalWriter) write(line journalLine) error {
+// WriteDone appends one completed-scenario record.
+func (jw *JournalWriter) WriteDone(d DoneRecord) error {
+	return jw.write(journalLine{Done: &d})
+}
+
+// WriteSnap appends an aggregate-fingerprint checkpoint.
+func (jw *JournalWriter) WriteSnap(applied int, fp string) error {
+	return jw.write(journalLine{Snap: &journalSnap{Applied: applied, FP: fp}})
+}
+
+func (jw *JournalWriter) write(line journalLine) error {
 	blob, err := json.Marshal(line)
 	if err != nil {
 		return fmt.Errorf("fleet: journal: %w", err)
@@ -83,7 +116,8 @@ func (jw *journalWriter) write(line journalLine) error {
 	return nil
 }
 
-func (jw *journalWriter) close() error {
+// Close flushes and closes the journal file.
+func (jw *JournalWriter) Close() error {
 	if err := jw.w.Flush(); err != nil {
 		jw.f.Close()
 		return err
@@ -91,49 +125,100 @@ func (jw *journalWriter) close() error {
 	return jw.f.Close()
 }
 
-// readJournal parses an existing journal and validates it against the
+// JournalReplay is the validated content of an existing journal.
+type JournalReplay struct {
+	// Done holds the completed records in index order.
+	Done []DoneRecord
+	// Warnings lists non-fatal conditions tolerated during the read — today
+	// only a truncated final record (writer crashed mid-write).
+	Warnings []string
+	// ValidBytes is the offset just past the last complete, newline-terminated
+	// record; TotalBytes is the file size. They differ exactly when a partial
+	// final record was skipped.
+	ValidBytes int64
+	TotalBytes int64
+}
+
+// Truncated reports whether the journal carries a partial final record.
+func (r *JournalReplay) Truncated() bool { return r.ValidBytes < r.TotalBytes }
+
+// DropPartialTail truncates the journal file back to the last complete
+// record, making it safe to append to. A no-op when nothing was truncated.
+func (r *JournalReplay) DropPartialTail(path string) error {
+	if !r.Truncated() {
+		return nil
+	}
+	if err := os.Truncate(path, r.ValidBytes); err != nil {
+		return fmt.Errorf("fleet: journal: drop partial tail: %w", err)
+	}
+	r.TotalBytes = r.ValidBytes
+	return nil
+}
+
+// ReadJournal parses an existing journal and validates it against the
 // current fleet identity: the header must match the expanded spec, done
 // lines must be sequential from zero, and every snapshot fingerprint must
 // agree with replaying the done lines up to it (tags[i] is scenario i's
-// aggregation tag). It returns the completed records in index order.
-func readJournal(path string, want journalHeader, tags []string) ([]journalDone, error) {
+// aggregation tag).
+//
+// A partial final record — the signature of a crash mid-write — is skipped
+// with a warning rather than an error: the journal flushes line-atomically,
+// so an unterminated tail can only be the record that was being written when
+// the process died, and the sweep simply re-runs that scenario. Anything
+// malformed before the final record is real corruption and still fails.
+func ReadJournal(path string, want JournalHeader, tags []string) (*JournalReplay, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("fleet: journal: %w", err)
 	}
 	defer f.Close()
 
+	replay := &JournalReplay{}
 	var (
-		done     []journalDone
 		sawHead  bool
 		replayed = NewAggregator()
 	)
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	r := bufio.NewReaderSize(f, 1<<16)
 	lineNo := 0
-	for sc.Scan() {
+	for {
+		line, err := r.ReadString('\n')
+		if err == io.EOF {
+			replay.TotalBytes = replay.ValidBytes + int64(len(line))
+			if len(line) > 0 {
+				replay.Warnings = append(replay.Warnings,
+					fmt.Sprintf("journal line %d: skipping %d-byte partial record (crash mid-write?); resuming from the last complete record",
+						lineNo+1, len(line)))
+			}
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("fleet: journal: %w", err)
+		}
 		lineNo++
-		var line journalLine
-		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
-			return nil, fmt.Errorf("fleet: journal line %d: %w", lineNo, err)
+		if len(line) > maxJournalLine {
+			return nil, fmt.Errorf("fleet: journal line %d: record of %d bytes", lineNo, len(line))
+		}
+		var rec journalLine
+		if jerr := json.Unmarshal([]byte(strings.TrimSuffix(line, "\n")), &rec); jerr != nil {
+			return nil, fmt.Errorf("fleet: journal line %d: %w", lineNo, jerr)
 		}
 		switch {
-		case line.Fleet != nil:
+		case rec.Fleet != nil:
 			if sawHead {
 				return nil, fmt.Errorf("fleet: journal line %d: duplicate header", lineNo)
 			}
 			sawHead = true
-			if *line.Fleet != want {
-				return nil, fmt.Errorf("fleet: journal is for a different sweep (header %+v, want %+v)", *line.Fleet, want)
+			if *rec.Fleet != want {
+				return nil, fmt.Errorf("fleet: journal is for a different sweep (header %+v, want %+v)", *rec.Fleet, want)
 			}
-		case line.Done != nil:
+		case rec.Done != nil:
 			if !sawHead {
 				return nil, fmt.Errorf("fleet: journal line %d: done before header", lineNo)
 			}
-			d := *line.Done
-			if d.Index != len(done) {
+			d := *rec.Done
+			if d.Index != len(replay.Done) {
 				return nil, fmt.Errorf("fleet: journal line %d: scenario %d out of order (want %d)",
-					lineNo, d.Index, len(done))
+					lineNo, d.Index, len(replay.Done))
 			}
 			if d.Index >= len(tags) {
 				return nil, fmt.Errorf("fleet: journal line %d: scenario %d beyond the spec's %d",
@@ -144,32 +229,31 @@ func readJournal(path string, want journalHeader, tags []string) ([]journalDone,
 			} else {
 				replayed.Apply(tags[d.Index], d.Metrics)
 			}
-			done = append(done, d)
-		case line.Snap != nil:
-			if line.Snap.Applied != len(done) {
+			replay.Done = append(replay.Done, d)
+		case rec.Snap != nil:
+			if rec.Snap.Applied != len(replay.Done) {
 				return nil, fmt.Errorf("fleet: journal line %d: snapshot at %d but %d scenarios done",
-					lineNo, line.Snap.Applied, len(done))
+					lineNo, rec.Snap.Applied, len(replay.Done))
 			}
-			if fp := replayed.Fingerprint(); fp != line.Snap.FP {
+			if fp := replayed.Fingerprint(); fp != rec.Snap.FP {
 				return nil, fmt.Errorf("fleet: journal line %d: snapshot fingerprint %s != replayed %s (journal corrupt?)",
-					lineNo, line.Snap.FP, fp)
+					lineNo, rec.Snap.FP, fp)
 			}
 		default:
 			return nil, fmt.Errorf("fleet: journal line %d: unrecognized record", lineNo)
 		}
-	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("fleet: journal: %w", err)
+		replay.ValidBytes += int64(len(line))
 	}
 	if !sawHead {
 		return nil, fmt.Errorf("fleet: journal has no header")
 	}
-	return done, nil
+	return replay, nil
 }
 
-// specFingerprint hashes the expanded scenario sequence (labels and seeds)
-// so a journal refuses to resume under a different spec.
-func specFingerprint(scens []hub.Scenario) string {
+// SpecFingerprint hashes the expanded scenario sequence (labels, seeds, and
+// tags) so a journal refuses to resume — and a fleetd worker refuses to
+// execute — under a different spec.
+func SpecFingerprint(scens []hub.Scenario) string {
 	h := uint64(1469598103934665603) // FNV-1a 64 offset basis
 	mix := func(s string) {
 		for i := 0; i < len(s); i++ {

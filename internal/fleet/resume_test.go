@@ -1,0 +1,243 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// journalFor runs a partial sweep and returns the journal path plus the
+// spec's header/tags, ready for corruption experiments.
+func journalFor(t *testing.T, maxScenarios int) (string, JournalHeader, []string) {
+	t.Helper()
+	spec := testSpec()
+	journal := filepath.Join(t.TempDir(), "fleet.jsonl")
+	if _, err := Run(spec, Options{Workers: 2, Journal: journal, MaxScenarios: maxScenarios}); err != nil {
+		t.Fatal(err)
+	}
+	scens, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tags := make([]string, len(scens))
+	for i, s := range scens {
+		tags[i] = Tag(s)
+	}
+	return journal, Header(spec, scens), tags
+}
+
+// A crash mid-write leaves a partial final line. Resume skips it with a
+// warning, truncates it out of the file, and still lands on the aggregates
+// of an uninterrupted run.
+func TestResumeToleratesTruncatedFinalLine(t *testing.T) {
+	straight, err := Run(testSpec(), Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	journal, header, tags := journalFor(t, 5)
+	intact, err := os.ReadFile(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the crash: a done record cut off mid-JSON, no newline.
+	partial := []byte(`{"done":{"i":5,"label":"A4/Baseline/w1","m":{"coll`)
+	if err := os.WriteFile(journal, append(intact, partial...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	replay, err := ReadJournal(journal, header, tags)
+	if err != nil {
+		t.Fatalf("truncated final line rejected: %v", err)
+	}
+	if len(replay.Done) != 5 {
+		t.Fatalf("replayed %d records, want the 5 complete ones", len(replay.Done))
+	}
+	if !replay.Truncated() || len(replay.Warnings) != 1 || !strings.Contains(replay.Warnings[0], "partial record") {
+		t.Fatalf("truncation not surfaced: truncated=%v warnings=%v", replay.Truncated(), replay.Warnings)
+	}
+
+	resumed, err := Run(testSpec(), Options{Workers: 2, Journal: journal, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Resumed != 5 || resumed.Completed != 8 {
+		t.Fatalf("resumed %d / completed %d, want 5 / 8", resumed.Resumed, resumed.Completed)
+	}
+	if len(resumed.Warnings) != 1 {
+		t.Errorf("resume warnings = %v, want the partial-record warning", resumed.Warnings)
+	}
+	if resumed.Agg.Fingerprint() != straight.Agg.Fingerprint() {
+		t.Error("aggregates diverge after tolerating a truncated final line")
+	}
+	// The partial tail was dropped before appending, so the healed journal
+	// replays cleanly end to end.
+	again, err := ReadJournal(journal, header, tags)
+	if err != nil {
+		t.Fatalf("healed journal rejected: %v", err)
+	}
+	if len(again.Done) != 8 || again.Truncated() || len(again.Warnings) != 0 {
+		t.Errorf("healed journal: %d records, truncated=%v, warnings=%v",
+			len(again.Done), again.Truncated(), again.Warnings)
+	}
+}
+
+// A garbage line anywhere before the final record is corruption, not a
+// crash signature — it must fail loudly.
+func TestResumeRejectsCorruptMidFileLine(t *testing.T) {
+	journal, header, tags := journalFor(t, 5)
+	blob, err := os.ReadFile(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(bytes.TrimSuffix(blob, []byte("\n")), []byte("\n"))
+	if len(lines) < 4 {
+		t.Fatalf("journal too short to corrupt: %d lines", len(lines))
+	}
+	lines[2] = []byte(`{"done":{"i":1,"label":"A2/Baseline/w1"`) // cut mid-record
+	if err := os.WriteFile(journal, append(bytes.Join(lines, []byte("\n")), '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadJournal(journal, header, tags); err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Errorf("corrupt mid-file line: err = %v, want a line-3 parse failure", err)
+	}
+}
+
+// A journal for a structurally different spec (not just another seed) is
+// refused by the spec fingerprint in the header.
+func TestResumeRejectsDifferentGridShape(t *testing.T) {
+	journal, _, _ := journalFor(t, 5)
+	other := testSpec()
+	other.Grid.Schemes = []string{"baseline", "com"} // same size, different scenarios
+	_, err := Run(other, Options{Workers: 1, Journal: journal, Resume: true})
+	if err == nil || !strings.Contains(err.Error(), "different sweep") {
+		t.Errorf("resume under a different grid: err = %v, want different-sweep rejection", err)
+	}
+}
+
+// A journal claiming more scenarios than the spec expands to is rejected:
+// the done index runs past the tag table.
+func TestResumeRejectsJournalBeyondSpec(t *testing.T) {
+	journal, header, tags := journalFor(t, 8) // complete journal for 8 scenarios
+	extra := `{"done":{"i":8,"label":"phantom","m":{"total":1}}}` + "\n"
+	f, err := os.OpenFile(journal, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(extra); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, err := ReadJournal(journal, header, tags); err == nil || !strings.Contains(err.Error(), "beyond the spec's") {
+		t.Errorf("oversized journal: err = %v, want beyond-the-spec rejection", err)
+	}
+}
+
+// A snapshot whose fingerprint disagrees with the replayed prefix (bit-level
+// corruption of an earlier metric) is rejected even though every line parses.
+func TestResumeRejectsFingerprintMismatch(t *testing.T) {
+	journal, header, tags := journalFor(t, 8)
+	blob, err := os.ReadFile(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt one metric value in the first done record without breaking JSON.
+	lines := bytes.Split(blob, []byte("\n"))
+	var rec journalLine
+	if err := json.Unmarshal(lines[1], &rec); err != nil || rec.Done == nil {
+		t.Fatalf("line 2 is not a done record: %v", err)
+	}
+	rec.Done.Metrics["total"] *= 1.5
+	fixed, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines[1] = fixed
+	if err := os.WriteFile(journal, bytes.Join(lines, []byte("\n")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadJournal(journal, header, tags); err == nil || !strings.Contains(err.Error(), "fingerprint") {
+		t.Errorf("bit-corrupted journal: err = %v, want snapshot fingerprint mismatch", err)
+	}
+}
+
+// RunRange is the worker-side shard primitive: its records must equal the
+// slice an in-process sweep would journal, for any parallelism.
+func TestRunRangeMatchesSweep(t *testing.T) {
+	spec := testSpec()
+	scens, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	journal := filepath.Join(t.TempDir(), "fleet.jsonl")
+	if _, err := Run(spec, Options{Workers: 1, Journal: journal}); err != nil {
+		t.Fatal(err)
+	}
+	tags := make([]string, len(scens))
+	for i, s := range scens {
+		tags[i] = Tag(s)
+	}
+	replay, err := ReadJournal(journal, Header(spec, scens), tags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, par := range []int{1, 3} {
+		records, err := RunRange(scens, 2, 7, par)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(records) != 5 {
+			t.Fatalf("parallelism %d: %d records, want 5", par, len(records))
+		}
+		for k, rec := range records {
+			want := replay.Done[2+k]
+			if rec.Index != want.Index || rec.Label != want.Label || rec.Err != want.Err {
+				t.Errorf("parallelism %d record %d: %+v, want %+v", par, k, rec, want)
+			}
+			for name, v := range want.Metrics {
+				if rec.Metrics[name] != v {
+					t.Errorf("parallelism %d record %d metric %s: %v, want %v", par, k, name, rec.Metrics[name], v)
+				}
+			}
+		}
+	}
+	if _, err := RunRange(scens, 5, 3, 1); err == nil {
+		t.Error("inverted range accepted")
+	}
+	if _, err := RunRange(scens, 0, len(scens)+1, 1); err == nil {
+		t.Error("out-of-bounds range accepted")
+	}
+}
+
+// Aggregator JSON is deterministic across worker counts and is valid JSON.
+func TestAggregatorJSONDeterministic(t *testing.T) {
+	one, err := Run(testSpec(), Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	four, err := Run(testSpec(), Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := one.Agg.JSON(), four.Agg.JSON()
+	if !bytes.Equal(a, b) {
+		t.Errorf("aggregate JSON diverges across worker counts:\n%s\nvs\n%s", a, b)
+	}
+	var doc struct {
+		Runs        int                           `json:"runs"`
+		Errors      int                           `json:"errors"`
+		Fingerprint string                        `json:"fingerprint"`
+		Metrics     map[string]map[string]float64 `json:"metrics"`
+	}
+	if err := json.Unmarshal(a, &doc); err != nil {
+		t.Fatalf("aggregate JSON does not parse: %v\n%s", err, a)
+	}
+	if doc.Runs != 8 || doc.Fingerprint != one.Agg.Fingerprint() {
+		t.Errorf("runs=%d fingerprint=%q, want 8 / %q", doc.Runs, doc.Fingerprint, one.Agg.Fingerprint())
+	}
+	if m := doc.Metrics["Baseline/total"]; m == nil || m["n"] != 4 {
+		t.Errorf("Baseline/total = %v", doc.Metrics["Baseline/total"])
+	}
+}

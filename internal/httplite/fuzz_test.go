@@ -1,6 +1,19 @@
 package httplite
 
-import "testing"
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// lowerHead lowercases the header block of a raw message (stops at the first
+// blank line) so duplicate-header checks don't trip over body bytes.
+func lowerHead(raw []byte) []byte {
+	if idx := bytes.Index(raw, []byte("\r\n\r\n")); idx >= 0 {
+		raw = raw[:idx]
+	}
+	return bytes.ToLower(raw)
+}
 
 // FuzzParseRequest: never panic; accepted requests re-marshal and re-parse.
 func FuzzParseRequest(f *testing.F) {
@@ -11,10 +24,23 @@ func FuzzParseRequest(f *testing.F) {
 	}
 	f.Add(wire)
 	f.Add([]byte("GET / HTTP/1.1\r\nHost: h\r\n\r\n"))
+	// Hardening seeds: smuggled duplicate Content-Length (must reject), an
+	// oversized body declaration, and a header flood — the server-side abuse
+	// shapes the limits exist for.
+	f.Add([]byte("POST / HTTP/1.1\r\nHost: h\r\nContent-Length: 2\r\nContent-Length: 4\r\n\r\nabcd"))
+	f.Add([]byte("POST / HTTP/1.1\r\nHost: h\r\nContent-Length: 99999999\r\n\r\n"))
+	f.Add([]byte("GET / HTTP/1.1\r\nHost: h\r\n" + strings.Repeat("X: y\r\n", 100) + "\r\n"))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		got, err := ParseRequest(data)
 		if err != nil {
 			return
+		}
+		if bytes.Count(lowerHead(data), []byte("content-length")) > 1 {
+			t.Fatalf("accepted a request with duplicate content-length:\n%q", data)
+		}
+		if len(got.Headers) > maxHeaderCount || len(got.Body) > maxBodyBytes {
+			t.Fatalf("accepted a request beyond the parser limits: %d headers, %d body bytes",
+				len(got.Headers), len(got.Body))
 		}
 		re, err := got.Marshal()
 		if err != nil {
@@ -33,7 +59,19 @@ func FuzzParseResponse(f *testing.F) {
 		f.Fatal(err)
 	}
 	f.Add(raw)
+	f.Add([]byte("HTTP/1.1 200 OK\r\nContent-Length: 1\r\nContent-Length: 1\r\n\r\nx"))
+	f.Add([]byte("HTTP/1.1 200 OK\r\nContent-Length: 99999999\r\n\r\n"))
 	f.Fuzz(func(t *testing.T, data []byte) {
-		_, _ = ParseResponse(data) //nolint:errcheck // exercising for panics
+		got, err := ParseResponse(data)
+		if err != nil {
+			return
+		}
+		if bytes.Count(lowerHead(data), []byte("content-length")) > 1 {
+			t.Fatalf("accepted a response with duplicate content-length:\n%q", data)
+		}
+		if len(got.Headers) > maxHeaderCount || len(got.Body) > maxBodyBytes {
+			t.Fatalf("accepted a response beyond the parser limits: %d headers, %d body bytes",
+				len(got.Headers), len(got.Body))
+		}
 	})
 }

@@ -29,8 +29,17 @@ var (
 	ErrTooLarge  = errors.New("httplite: message too large")
 )
 
-// maxHeaderBytes bounds parser memory on hostile input.
-const maxHeaderBytes = 16 * 1024
+// Parser limits. The parsers were originally client-side only; now that
+// httplite also backs server loops (obs metrics, fleetd RPC) they bound every
+// dimension an attacker controls.
+const (
+	// maxHeaderBytes bounds the header block.
+	maxHeaderBytes = 16 * 1024
+	// maxHeaderCount bounds the number of header lines.
+	maxHeaderCount = 64
+	// maxBodyBytes bounds a declared Content-Length.
+	maxBodyBytes = 4 << 20
+)
 
 var validMethods = map[string]bool{
 	"GET": true, "POST": true, "PUT": true, "DELETE": true,
@@ -96,6 +105,9 @@ func ParseRequest(raw []byte) (*Request, error) {
 	if !validMethods[req.Method] {
 		return nil, fmt.Errorf("%w: method %q", ErrMalformed, req.Method)
 	}
+	if len(lines) > maxHeaderCount+1 {
+		return nil, fmt.Errorf("%w: %d header lines", ErrTooLarge, len(lines)-1)
+	}
 	cl := -1
 	for _, line := range lines[1:] {
 		k, v, err := splitHeader(line)
@@ -106,6 +118,12 @@ func ParseRequest(raw []byte) (*Request, error) {
 		case "host":
 			req.Host = v
 		case "content-length":
+			if cl >= 0 {
+				// Duplicate Content-Length is the classic request-smuggling
+				// vector: two parsers picking different values see two
+				// different bodies. Reject instead of picking one.
+				return nil, fmt.Errorf("%w: duplicate content-length", ErrMalformed)
+			}
 			cl, err = strconv.Atoi(v)
 			if err != nil || cl < 0 {
 				return nil, fmt.Errorf("%w: content-length %q", ErrMalformed, v)
@@ -116,6 +134,9 @@ func ParseRequest(raw []byte) (*Request, error) {
 	}
 	if req.Host == "" {
 		return nil, fmt.Errorf("%w: missing host", ErrMalformed)
+	}
+	if cl > maxBodyBytes {
+		return nil, fmt.Errorf("%w: body %d bytes", ErrTooLarge, cl)
 	}
 	if cl >= 0 {
 		if len(body) < cl {
@@ -176,6 +197,9 @@ func ParseResponse(raw []byte) (*Response, error) {
 	if len(parts) == 3 {
 		resp.Reason = parts[2]
 	}
+	if len(lines) > maxHeaderCount+1 {
+		return nil, fmt.Errorf("%w: %d header lines", ErrTooLarge, len(lines)-1)
+	}
 	cl := -1
 	for _, line := range lines[1:] {
 		k, v, err := splitHeader(line)
@@ -183,6 +207,9 @@ func ParseResponse(raw []byte) (*Response, error) {
 			return nil, err
 		}
 		if strings.EqualFold(k, "content-length") {
+			if cl >= 0 {
+				return nil, fmt.Errorf("%w: duplicate content-length", ErrMalformed)
+			}
 			cl, err = strconv.Atoi(v)
 			if err != nil || cl < 0 {
 				return nil, fmt.Errorf("%w: content-length %q", ErrMalformed, v)
@@ -190,6 +217,9 @@ func ParseResponse(raw []byte) (*Response, error) {
 			continue
 		}
 		resp.Headers[k] = v
+	}
+	if cl > maxBodyBytes {
+		return nil, fmt.Errorf("%w: body %d bytes", ErrTooLarge, cl)
 	}
 	if cl >= 0 {
 		if len(body) < cl {

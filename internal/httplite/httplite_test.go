@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"bytes"
 	"errors"
+	"fmt"
 	"io"
 	"net/http"
 	"testing"
@@ -150,6 +151,54 @@ func TestParseErrors(t *testing.T) {
 		if _, err := ParseResponse(raw); err == nil {
 			t.Errorf("response case %d accepted", i)
 		}
+	}
+}
+
+// Server-hardening limits: header count, body size, and smuggling-shaped
+// duplicate Content-Length are all rejected, on both message kinds.
+func TestParseLimits(t *testing.T) {
+	var manyHeaders bytes.Buffer
+	manyHeaders.WriteString("GET / HTTP/1.1\r\nHost: h\r\n")
+	for i := 0; i < maxHeaderCount+1; i++ {
+		fmt.Fprintf(&manyHeaders, "X-H%d: v\r\n", i)
+	}
+	manyHeaders.WriteString("\r\n")
+	if _, err := ParseRequest(manyHeaders.Bytes()); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("header flood: %v, want ErrTooLarge", err)
+	}
+
+	huge := fmt.Sprintf("POST / HTTP/1.1\r\nHost: h\r\nContent-Length: %d\r\n\r\n", maxBodyBytes+1)
+	if _, err := ParseRequest([]byte(huge)); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("oversized body declaration: %v, want ErrTooLarge", err)
+	}
+
+	smuggled := []byte("POST / HTTP/1.1\r\nHost: h\r\nContent-Length: 2\r\nContent-Length: 4\r\n\r\nabcd")
+	if _, err := ParseRequest(smuggled); !errors.Is(err, ErrMalformed) {
+		t.Errorf("duplicate content-length: %v, want ErrMalformed", err)
+	}
+	// Even two agreeing values are rejected: the point is one parser, one rule.
+	agreeing := []byte("POST / HTTP/1.1\r\nHost: h\r\nContent-Length: 2\r\nContent-Length: 2\r\n\r\nab")
+	if _, err := ParseRequest(agreeing); !errors.Is(err, ErrMalformed) {
+		t.Errorf("agreeing duplicate content-length: %v, want ErrMalformed", err)
+	}
+
+	respDup := []byte("HTTP/1.1 200 OK\r\nContent-Length: 1\r\nContent-Length: 1\r\n\r\nx")
+	if _, err := ParseResponse(respDup); !errors.Is(err, ErrMalformed) {
+		t.Errorf("response duplicate content-length: %v, want ErrMalformed", err)
+	}
+	respHuge := fmt.Sprintf("HTTP/1.1 200 OK\r\nContent-Length: %d\r\n\r\n", maxBodyBytes+1)
+	if _, err := ParseResponse([]byte(respHuge)); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("response oversized body: %v, want ErrTooLarge", err)
+	}
+
+	var respFlood bytes.Buffer
+	respFlood.WriteString("HTTP/1.1 200 OK\r\n")
+	for i := 0; i < maxHeaderCount+1; i++ {
+		fmt.Fprintf(&respFlood, "X-H%d: v\r\n", i)
+	}
+	respFlood.WriteString("\r\n")
+	if _, err := ParseResponse(respFlood.Bytes()); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("response header flood: %v, want ErrTooLarge", err)
 	}
 }
 

@@ -1,0 +1,227 @@
+// A minimal HTTP/1.1 server loop and client call on top of the package's
+// wire codecs: one request per connection, explicit Content-Length bodies,
+// hard deadlines and size limits on everything read from the peer. This is
+// the transport under the obs metrics endpoint and the fleetd
+// coordinator/worker RPC — small enough to chaos-test exhaustively, with no
+// keep-alive or chunked-encoding state to get wrong.
+
+package httplite
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Reply is what a Handler returns for one request. Content-Length and
+// Connection are derived; Headers may add e.g. Content-Type.
+type Reply struct {
+	Status  int
+	Reason  string
+	Headers map[string]string
+	Body    []byte
+}
+
+// Handler produces the reply for one parsed request. It runs on the
+// connection's goroutine; panics are not recovered (a handler bug should
+// fail loudly, not serve 500s forever).
+type Handler func(*Request) Reply
+
+// DefaultIOTimeout bounds how long one exchange may hold a connection.
+const DefaultIOTimeout = 5 * time.Second
+
+// Server accepts connections and serves one request/response exchange per
+// connection.
+type Server struct {
+	ln      net.Listener
+	handler Handler
+	timeout time.Duration
+	wg      sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// Serve binds addr (e.g. ":8080" or "127.0.0.1:0") and serves h until Close.
+func Serve(addr string, h Handler) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("httplite: listen %s: %w", addr, err)
+	}
+	s := &Server{ln: ln, handler: h, timeout: DefaultIOTimeout}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr is the bound address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener and waits for in-flight exchanges.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+// serveConn handles one exchange. Errors are answered when possible and
+// otherwise dropped: a broken client must not affect the server's owner.
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(s.timeout))
+	raw, err := readRequestBytes(conn)
+	if err != nil {
+		writeReply(conn, Reply{Status: 400, Reason: "Bad Request", Body: []byte("bad request\n")})
+		return
+	}
+	req, err := ParseRequest(raw)
+	if err != nil {
+		writeReply(conn, Reply{Status: 400, Reason: "Bad Request", Body: []byte("bad request\n")})
+		return
+	}
+	rep := s.handler(req)
+	if rep.Status == 0 {
+		rep = Reply{Status: 500, Reason: "Internal Server Error"}
+	}
+	writeReply(conn, rep)
+}
+
+func writeReply(conn net.Conn, rep Reply) {
+	headers := map[string]string{"Connection": "close"}
+	for k, v := range rep.Headers {
+		headers[k] = v
+	}
+	raw, err := MarshalResponse(rep.Status, rep.Reason, headers, rep.Body)
+	if err != nil {
+		return
+	}
+	_, _ = conn.Write(raw)
+}
+
+// readRequestBytes reads one full request — head to the \r\n\r\n terminator,
+// then exactly the declared Content-Length of body — bounded by the parser
+// limits so a hostile peer cannot balloon memory.
+func readRequestBytes(conn net.Conn) ([]byte, error) {
+	buf := make([]byte, 0, 1024)
+	chunk := make([]byte, 2048)
+	headEnd := -1
+	for headEnd < 0 {
+		if len(buf) > maxHeaderBytes+4096 {
+			return nil, fmt.Errorf("%w: request head", ErrTooLarge)
+		}
+		n, err := conn.Read(chunk)
+		buf = append(buf, chunk[:n]...)
+		headEnd = bytes.Index(buf, []byte("\r\n\r\n"))
+		if headEnd >= 0 {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("%w: truncated head", ErrMalformed)
+		}
+	}
+	cl, err := declaredLength(string(buf[:headEnd]))
+	if err != nil {
+		return nil, err
+	}
+	want := headEnd + 4 + cl
+	for len(buf) < want {
+		n, err := conn.Read(chunk)
+		buf = append(buf, chunk[:n]...)
+		if len(buf) >= want {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("%w: truncated body", ErrMalformed)
+		}
+	}
+	return buf[:want], nil
+}
+
+// declaredLength extracts the Content-Length a request head declares (0 when
+// absent), enforcing the same duplicate and size rules as the parser so the
+// read loop and ParseRequest can never disagree about where the body ends.
+func declaredLength(head string) (int, error) {
+	cl := -1
+	for _, line := range strings.Split(head, "\r\n")[1:] {
+		idx := strings.Index(line, ":")
+		if idx <= 0 {
+			continue // ParseRequest reports malformed headers
+		}
+		if !strings.EqualFold(strings.TrimSpace(line[:idx]), "content-length") {
+			continue
+		}
+		if cl >= 0 {
+			return 0, fmt.Errorf("%w: duplicate content-length", ErrMalformed)
+		}
+		v, err := strconv.Atoi(strings.TrimSpace(line[idx+1:]))
+		if err != nil || v < 0 {
+			return 0, fmt.Errorf("%w: content-length %q", ErrMalformed, line[idx+1:])
+		}
+		cl = v
+	}
+	if cl < 0 {
+		return 0, nil
+	}
+	if cl > maxBodyBytes {
+		return 0, fmt.Errorf("%w: body %d bytes", ErrTooLarge, cl)
+	}
+	return cl, nil
+}
+
+// Do performs one request/response exchange against addr: dial, write, read
+// to EOF (the server closes after one response), parse. Host defaults to
+// addr when the request leaves it empty.
+func Do(addr string, req *Request, timeout time.Duration) (*Response, error) {
+	if timeout <= 0 {
+		timeout = DefaultIOTimeout
+	}
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("httplite: dial %s: %w", addr, err)
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(timeout))
+	r := *req
+	if r.Host == "" {
+		r.Host = addr
+	}
+	raw, err := r.Marshal()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := conn.Write(raw); err != nil {
+		return nil, fmt.Errorf("httplite: write %s: %w", addr, err)
+	}
+	respBytes, err := io.ReadAll(io.LimitReader(conn, int64(maxHeaderBytes+maxBodyBytes+4096)))
+	if err != nil {
+		return nil, fmt.Errorf("httplite: read %s: %w", addr, err)
+	}
+	return ParseResponse(respBytes)
+}

@@ -1,0 +1,163 @@
+package httplite
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func startEcho(t *testing.T) *Server {
+	t.Helper()
+	srv, err := Serve("127.0.0.1:0", func(req *Request) Reply {
+		if req.Path == "/missing" {
+			return Reply{Status: 404, Reason: "Not Found", Body: []byte("nope\n")}
+		}
+		return Reply{
+			Status:  200,
+			Reason:  "OK",
+			Headers: map[string]string{"Content-Type": "text/plain"},
+			Body:    []byte(fmt.Sprintf("%s %s %d", req.Method, req.Path, len(req.Body))),
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+func TestServerRoundTrip(t *testing.T) {
+	srv := startEcho(t)
+	resp, err := Do(srv.Addr(), &Request{Method: "POST", Path: "/submit", Body: []byte("abcde")}, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != 200 || string(resp.Body) != "POST /submit 5" {
+		t.Errorf("status %d body %q", resp.Status, resp.Body)
+	}
+	if resp.Headers["Content-Type"] != "text/plain" {
+		t.Errorf("headers = %v", resp.Headers)
+	}
+	resp, err = Do(srv.Addr(), &Request{Method: "GET", Path: "/missing"}, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != 404 {
+		t.Errorf("status = %d, want 404", resp.Status)
+	}
+}
+
+// Raw garbage gets a 400, not a hang or a dropped connection.
+func TestServerRejectsGarbage(t *testing.T) {
+	srv := startEcho(t)
+	for _, raw := range []string{
+		"BREW / HTTP/1.1\r\nHost: h\r\n\r\n",
+		"POST / HTTP/1.1\r\nHost: h\r\nContent-Length: 2\r\nContent-Length: 4\r\n\r\nabcd",
+		"total garbage\r\n\r\n",
+	} {
+		conn, err := net.Dial("tcp", srv.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := conn.Write([]byte(raw)); err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, 256)
+		n, _ := conn.Read(buf)
+		conn.Close()
+		if !strings.Contains(string(buf[:n]), "400") {
+			t.Errorf("input %q: reply %q, want a 400", raw, buf[:n])
+		}
+	}
+}
+
+// A peer that floods the head past the parser limit is cut off with 400
+// rather than buffered without bound.
+func TestServerBoundsHeadRead(t *testing.T) {
+	srv := startEcho(t)
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	junk := strings.Repeat("A", maxHeaderBytes+8192) // no terminator in sight
+	if _, err := conn.Write([]byte(junk)); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 256)
+	_ = conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	n, _ := conn.Read(buf)
+	if !strings.Contains(string(buf[:n]), "400") {
+		t.Errorf("head flood reply %q, want a 400", buf[:n])
+	}
+}
+
+func TestServerConcurrentExchanges(t *testing.T) {
+	srv := startEcho(t)
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := Do(srv.Addr(), &Request{Method: "POST", Path: "/p", Body: []byte(strings.Repeat("x", i))}, 2*time.Second)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if want := fmt.Sprintf("POST /p %d", i); string(resp.Body) != want {
+				errs <- fmt.Errorf("body %q, want %q", resp.Body, want)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestServerCloseIsIdempotentAndStopsServing(t *testing.T) {
+	srv := startEcho(t)
+	addr := srv.Addr()
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Do(addr, &Request{Method: "GET", Path: "/"}, 300*time.Millisecond); err == nil {
+		t.Error("closed server still answered")
+	}
+}
+
+func TestDeclaredLength(t *testing.T) {
+	cases := []struct {
+		head    string
+		want    int
+		wantErr error
+	}{
+		{"GET / HTTP/1.1\r\nHost: h", 0, nil},
+		{"POST / HTTP/1.1\r\nContent-Length: 12", 12, nil},
+		{"POST / HTTP/1.1\r\ncontent-length: 3", 3, nil},
+		{"POST / HTTP/1.1\r\nContent-Length: 1\r\nContent-Length: 1", 0, ErrMalformed},
+		{"POST / HTTP/1.1\r\nContent-Length: -4", 0, ErrMalformed},
+		{fmt.Sprintf("POST / HTTP/1.1\r\nContent-Length: %d", maxBodyBytes+1), 0, ErrTooLarge},
+	}
+	for _, c := range cases {
+		got, err := declaredLength(c.head)
+		if c.wantErr != nil {
+			if !errors.Is(err, c.wantErr) {
+				t.Errorf("%q: err %v, want %v", c.head, err, c.wantErr)
+			}
+			continue
+		}
+		if err != nil || got != c.want {
+			t.Errorf("%q: (%d, %v), want %d", c.head, got, err, c.want)
+		}
+	}
+}

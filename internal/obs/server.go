@@ -1,25 +1,19 @@
-// MetricsServer: a Prometheus scrape endpoint built on net.Listen and
-// internal/httplite. The fleet CLI is the only intended client surface —
+// MetricsServer: a Prometheus scrape endpoint on httplite's server loop.
+// The fleet CLI and fleetd coordinator are the intended client surfaces —
 // one GET /metrics per connection, text exposition format out — so the
 // embedded wire layer is a better fit than net/http: no mux, no keep-alive
-// state, and the same parser the simulated REST workloads already exercise.
+// state, and the same hardened parser the simulated REST workloads and the
+// fleetd RPC already exercise.
 
 package obs
 
 import (
-	"bytes"
 	"fmt"
-	"io"
-	"net"
 	"strings"
-	"sync"
 	"time"
 
 	"iothub/internal/httplite"
 )
-
-// serverReadLimit bounds request memory per connection.
-const serverReadLimit = 16 * 1024
 
 // serverIOTimeout bounds how long one scrape may hold a connection.
 const serverIOTimeout = 5 * time.Second
@@ -27,112 +21,40 @@ const serverIOTimeout = 5 * time.Second
 // MetricsServer serves a Gauges set at GET /metrics, one request per
 // connection.
 type MetricsServer struct {
-	gauges *Gauges
-	ln     net.Listener
-	wg     sync.WaitGroup
-
-	mu     sync.Mutex
-	closed bool
+	srv *httplite.Server
 }
 
 // StartMetricsServer binds addr (e.g. ":9090" or "127.0.0.1:0") and serves
 // g until Close.
 func StartMetricsServer(addr string, g *Gauges) (*MetricsServer, error) {
-	ln, err := net.Listen("tcp", addr)
+	srv, err := httplite.Serve(addr, MetricsHandler(g))
 	if err != nil {
 		return nil, fmt.Errorf("obs: metrics listen %s: %w", addr, err)
 	}
-	s := &MetricsServer{gauges: g, ln: ln}
-	s.wg.Add(1)
-	go s.acceptLoop()
-	return s, nil
+	return &MetricsServer{srv: srv}, nil
+}
+
+// MetricsHandler is the GET /metrics endpoint as a composable httplite
+// handler, so servers with richer routing (the fleetd coordinator) can mount
+// the same scrape surface the standalone MetricsServer exposes.
+func MetricsHandler(g *Gauges) httplite.Handler {
+	return func(req *httplite.Request) httplite.Reply {
+		if req.Method != "GET" || strings.SplitN(req.Path, "?", 2)[0] != "/metrics" {
+			return httplite.Reply{Status: 404, Reason: "Not Found",
+				Headers: map[string]string{"Content-Type": "text/plain; charset=utf-8"},
+				Body:    []byte("not found\n")}
+		}
+		return httplite.Reply{Status: 200, Reason: "OK",
+			Headers: map[string]string{"Content-Type": "text/plain; version=0.0.4; charset=utf-8"},
+			Body:    []byte(g.PrometheusText())}
+	}
 }
 
 // Addr is the bound address (useful with ":0").
-func (s *MetricsServer) Addr() string { return s.ln.Addr().String() }
+func (s *MetricsServer) Addr() string { return s.srv.Addr() }
 
 // Close stops the listener and waits for in-flight scrapes.
-func (s *MetricsServer) Close() error {
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		return nil
-	}
-	s.closed = true
-	s.mu.Unlock()
-	err := s.ln.Close()
-	s.wg.Wait()
-	return err
-}
-
-func (s *MetricsServer) acceptLoop() {
-	defer s.wg.Done()
-	for {
-		conn, err := s.ln.Accept()
-		if err != nil {
-			return // listener closed
-		}
-		s.wg.Add(1)
-		go func() {
-			defer s.wg.Done()
-			s.serveConn(conn)
-		}()
-	}
-}
-
-// serveConn handles one request/response exchange. Errors are answered when
-// possible and otherwise dropped: a broken scraper must not affect the sweep.
-func (s *MetricsServer) serveConn(conn net.Conn) {
-	defer conn.Close()
-	_ = conn.SetDeadline(time.Now().Add(serverIOTimeout))
-	raw, err := readRequestBytes(conn)
-	if err != nil {
-		respond(conn, 400, "Bad Request", "text/plain; charset=utf-8", []byte("bad request\n"))
-		return
-	}
-	req, err := httplite.ParseRequest(raw)
-	if err != nil {
-		respond(conn, 400, "Bad Request", "text/plain; charset=utf-8", []byte("bad request\n"))
-		return
-	}
-	if req.Method != "GET" || strings.SplitN(req.Path, "?", 2)[0] != "/metrics" {
-		respond(conn, 404, "Not Found", "text/plain; charset=utf-8", []byte("not found\n"))
-		return
-	}
-	respond(conn, 200, "OK", "text/plain; version=0.0.4; charset=utf-8",
-		[]byte(s.gauges.PrometheusText()))
-}
-
-// readRequestBytes reads one request head (terminated by \r\n\r\n), bounded
-// by serverReadLimit. Scrape requests carry no body.
-func readRequestBytes(conn net.Conn) ([]byte, error) {
-	buf := make([]byte, 0, 1024)
-	chunk := make([]byte, 512)
-	for {
-		n, err := conn.Read(chunk)
-		buf = append(buf, chunk[:n]...)
-		if bytes.Contains(buf, []byte("\r\n\r\n")) {
-			return buf, nil
-		}
-		if len(buf) > serverReadLimit {
-			return nil, fmt.Errorf("obs: request too large")
-		}
-		if err != nil {
-			return nil, err
-		}
-	}
-}
-
-func respond(conn net.Conn, status int, reason, contentType string, body []byte) {
-	raw, err := httplite.MarshalResponse(status, reason, map[string]string{
-		"Content-Type": contentType,
-		"Connection":   "close",
-	}, body)
-	if err != nil {
-		return
-	}
-	_, _ = conn.Write(raw)
-}
+func (s *MetricsServer) Close() error { return s.srv.Close() }
 
 // Scrape fetches the metrics endpoint at addr once and returns the
 // exposition body — the self-check iotfleet runs after a sweep, and what CI
@@ -142,27 +64,9 @@ func Scrape(addr string) (string, error) {
 }
 
 func scrapeRaw(addr, path string) (string, error) {
-	conn, err := net.DialTimeout("tcp", addr, serverIOTimeout)
+	resp, err := httplite.Do(addr, &httplite.Request{Method: "GET", Path: path}, serverIOTimeout)
 	if err != nil {
-		return "", fmt.Errorf("obs: scrape dial %s: %w", addr, err)
-	}
-	defer conn.Close()
-	_ = conn.SetDeadline(time.Now().Add(serverIOTimeout))
-	req := &httplite.Request{Method: "GET", Path: path, Host: addr}
-	raw, err := req.Marshal()
-	if err != nil {
-		return "", err
-	}
-	if _, err := conn.Write(raw); err != nil {
-		return "", fmt.Errorf("obs: scrape write: %w", err)
-	}
-	respBytes, err := io.ReadAll(io.LimitReader(conn, 1<<20))
-	if err != nil {
-		return "", fmt.Errorf("obs: scrape read: %w", err)
-	}
-	resp, err := httplite.ParseResponse(respBytes)
-	if err != nil {
-		return "", fmt.Errorf("obs: scrape parse: %w", err)
+		return "", fmt.Errorf("obs: scrape %s: %w", addr, err)
 	}
 	if resp.Status != 200 {
 		return "", fmt.Errorf("obs: scrape status %d", resp.Status)

@@ -1,0 +1,60 @@
+#!/bin/sh
+# service-smoke: the fault-tolerance acceptance check for service mode.
+#
+# Builds iotfleet with the race detector, runs the 500-scenario smoke spec
+# once in-process (workers=1) as the oracle, then again as a coordinator
+# plus two worker processes — and kill -9's one worker mid-sweep. The
+# coordinator must reassign the dead worker's shard and the final merged
+# aggregate JSON must equal the oracle byte for byte.
+set -eu
+
+SPEC=internal/fleet/testdata/service_smoke.json
+TMP=$(mktemp -d "${TMPDIR:-/tmp}/service-smoke.XXXXXX")
+SERVE_PID=""
+DOOMED_PID=""
+SURVIVOR_PID=""
+cleanup() {
+	for pid in $SERVE_PID $DOOMED_PID $SURVIVOR_PID; do
+		kill "$pid" 2>/dev/null || true
+	done
+	rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+echo "service-smoke: building iotfleet -race"
+go build -race -o "$TMP/iotfleet" ./cmd/iotfleet
+
+echo "service-smoke: oracle run (workers=1)"
+"$TMP/iotfleet" -spec "$SPEC" -workers 1 -agg-out "$TMP/oracle.json" >/dev/null
+
+echo "service-smoke: starting coordinator + 2 workers"
+"$TMP/iotfleet" serve -spec "$SPEC" -addr 127.0.0.1:0 -addr-file "$TMP/addr.txt" \
+	-journal "$TMP/journal.jsonl" -agg-out "$TMP/service.json" \
+	-shard-size 8 -lease-ttl 1s >"$TMP/serve.out" 2>"$TMP/serve.err" &
+SERVE_PID=$!
+"$TMP/iotfleet" work -addr-file "$TMP/addr.txt" -id doomed >/dev/null 2>&1 &
+DOOMED_PID=$!
+"$TMP/iotfleet" work -addr-file "$TMP/addr.txt" -id survivor >/dev/null 2>&1 &
+SURVIVOR_PID=$!
+
+sleep 2
+kill -9 "$DOOMED_PID" 2>/dev/null || true
+DOOMED_PID=""
+echo "service-smoke: killed worker 'doomed' mid-sweep"
+
+if ! wait "$SERVE_PID"; then
+	echo "service-smoke: FAIL — coordinator exited nonzero" >&2
+	cat "$TMP/serve.err" >&2
+	exit 1
+fi
+SERVE_PID=""
+wait "$SURVIVOR_PID" 2>/dev/null || true
+SURVIVOR_PID=""
+
+grep -E 'expired|reassigning' "$TMP/serve.err" | head -3 || true
+if ! cmp "$TMP/oracle.json" "$TMP/service.json"; then
+	echo "service-smoke: FAIL — merged aggregates diverge from the workers=1 oracle" >&2
+	exit 1
+fi
+cat "$TMP/serve.out"
+echo "service-smoke: merged aggregates byte-identical after losing a worker"
