@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt check lint-scheme fuzz fleet-smoke service-smoke obs-smoke bench bench-json bench-diff bench-smoke experiments ablations examples clean
+.PHONY: all build test race vet fmt check lint-scheme fuzz fleet-smoke service-smoke obs-smoke opt-smoke bench bench-json bench-diff bench-smoke experiments ablations examples clean
 
 all: build vet test check
 
@@ -19,24 +19,26 @@ vet:
 	$(GO) vet ./...
 
 # lint-scheme guards the policy-engine architecture: every Scheme/Mode switch
-# (and every case arm over the scheme/mode constants) must live in
-# internal/scheme — the hub runner is a scheme-agnostic conductor. Production
-# code only; tests may enumerate modes to assert planner output.
+# (and every case arm over the scheme/mode/placement constants) must live in
+# internal/scheme — or internal/edge for the edge tier's own machinery — the
+# hub runner is a scheme-agnostic conductor. Production code only; tests may
+# enumerate modes to assert planner output.
 lint-scheme:
 	@out=$$( \
 	  { grep -rnE 'switch[ (][^{]*([Ss]cheme|[Mm]ode)' --include='*.go' --exclude='*_test.go' cmd internal examples; \
-	    grep -rnE '^[[:space:]]*case[[:space:]][^:]*(\bBaseline\b|\bBatching\b|\bBCOM\b|\bBEAM\b|\bPerSample\b|\bBatched\b|\bOffloaded\b|[^a-zA-Z.]COM\b)' \
+	    grep -rnE '^[[:space:]]*case[[:space:]][^:]*(\bBaseline\b|\bBatching\b|\bBCOM\b|\bBEAM\b|\bHybrid\b|\bECOM\b|\bPerSample\b|\bBatched\b|\bOffloaded\b|\bUploaded\b|\bOnCPU\b|\bOnMCU\b|\bOnEdge\b|[^a-zA-Z.]COM\b)' \
 	      --include='*.go' --exclude='*_test.go' cmd internal examples; } \
-	  | grep -v '^internal/scheme/' || true); \
+	  | grep -v '^internal/scheme/' | grep -v '^internal/edge/' || true); \
 	if [ -n "$$out" ]; then \
 	  echo "lint-scheme: Scheme/Mode control flow outside internal/scheme:"; \
 	  echo "$$out"; exit 1; \
 	fi; echo "lint-scheme: ok"
 
 # check is the pre-merge gate: static analysis, the scheme-placement lint,
-# the race detector, and a short fuzz pass over the CoAP wire parser (the one
-# decoder that consumes attacker-shaped bytes).
-check: vet lint-scheme race fuzz
+# the race detector, the optimizer determinism smoke, and a short fuzz pass
+# over the CoAP wire parser (the one decoder that consumes attacker-shaped
+# bytes).
+check: vet lint-scheme race opt-smoke fuzz
 
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzUnmarshal -fuzztime 10s ./internal/coapmsg
@@ -66,6 +68,22 @@ obs-smoke:
 		-chaos "seed=7; link-corrupt:prob=0.05; mcu-crash:at=700ms,for=80ms" \
 		-trace $(OBS_TMP)/obs-chaos-trace.json -counters -flight
 	$(GO) test -run 'TestObs|TestChromeTrace' ./internal/hub ./internal/obs
+
+# Optimizer determinism smoke: run the committed example search twice, demand
+# the two emitted plans are byte-identical AND equal to the committed plan,
+# then verify the plan's embedded replay spec reproduces its aggregates byte
+# for byte (and still beats every paper scheme) through `optimize
+# -check-replay`.
+OPT_TMP ?= /tmp
+opt-smoke:
+	$(GO) run ./cmd/iotfleet optimize -spec internal/optimizer/testdata/example.json \
+		-out $(OPT_TMP)/opt-smoke-1.json > /dev/null
+	$(GO) run ./cmd/iotfleet optimize -spec internal/optimizer/testdata/example.json \
+		-out $(OPT_TMP)/opt-smoke-2.json > /dev/null
+	cmp $(OPT_TMP)/opt-smoke-1.json $(OPT_TMP)/opt-smoke-2.json
+	cmp $(OPT_TMP)/opt-smoke-1.json internal/optimizer/testdata/example.plan.json
+	$(GO) run ./cmd/iotfleet optimize -check-replay internal/optimizer/testdata/example.plan.json
+	@echo "opt-smoke: ok"
 
 fmt:
 	gofmt -l -w .

@@ -15,6 +15,12 @@
 //
 //	iotfleet serve -spec sweep.json -addr 127.0.0.1:0 -addr-file addr.txt
 //	iotfleet work -addr-file addr.txt -id w1     # any number of these
+//
+// Optimize mode searches the scheme-composition space for an app mix and
+// emits the minimum-energy plan with its Pareto front (see DESIGN.md §11):
+//
+//	iotfleet optimize -spec search.json -out plan.json
+//	iotfleet optimize -check-replay plan.json    # verify byte-identical replay
 package main
 
 import (
@@ -43,6 +49,8 @@ func run(args []string, out io.Writer) (retErr error) {
 			return runServe(args[1:], out)
 		case "work":
 			return runWork(args[1:], out)
+		case "optimize":
+			return runOptimize(args[1:], out)
 		}
 	}
 	fs := flag.NewFlagSet("iotfleet", flag.ContinueOnError)

@@ -1,0 +1,108 @@
+package main
+
+// The optimize subcommand: run a scheme-space search and emit its plan, or
+// verify a previously emitted plan still replays byte-identically.
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"iothub/internal/optimizer"
+)
+
+func runOptimize(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("iotfleet optimize", flag.ContinueOnError)
+	specPath := fs.String("spec", "", "search spec file (JSON; see internal/optimizer/testdata/example.json)")
+	outPath := fs.String("out", "", "write the emitted plan JSON here (default: stdout only)")
+	workers := fs.Int("workers", 0, "evaluation pool size (0 = spec's workers, then GOMAXPROCS)")
+	checkReplay := fs.String("check-replay", "", "verify an emitted plan file: re-run its replay spec and compare aggregates byte-for-byte")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *checkReplay != "" {
+		return runCheckReplay(*checkReplay, *workers, out)
+	}
+	if *specPath == "" {
+		return fmt.Errorf("optimize: -spec is required (or -check-replay)")
+	}
+	spec, err := loadSearchSpec(*specPath)
+	if err != nil {
+		return err
+	}
+	if *workers != 0 {
+		spec.Workers = *workers
+	}
+	plan, err := optimizer.Run(spec)
+	if err != nil {
+		return err
+	}
+	blob, err := json.MarshalIndent(plan, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if *outPath != "" {
+		if err := os.WriteFile(*outPath, blob, 0o644); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(out, "winner: %s  %.6g J/window  latency %.4gs  (objective %.4g)\n",
+		plan.Winner.Tag, plan.Winner.EnergyPerWindow, plan.Winner.MeanLatencySec, plan.Winner.Objective)
+	for _, b := range plan.Builtins {
+		status := "infeasible"
+		if b.Feasible {
+			status = fmt.Sprintf("%.6g J/window", b.EnergyPerWindow)
+		}
+		if b.Error != "" {
+			status = "error: " + b.Error
+		}
+		fmt.Fprintf(out, "builtin %-16s %s\n", b.Tag, status)
+	}
+	fmt.Fprintf(out, "pareto front: %d points over %d candidates (%d sampled out)\n",
+		len(plan.Pareto), plan.Candidates, plan.Skipped)
+	if !plan.BeatsBuiltins {
+		fmt.Fprintln(out, "note: the winner does not beat every paper scheme on energy")
+	}
+	if *outPath != "" {
+		fmt.Fprintf(out, "plan written to %s\n", *outPath)
+	}
+	return nil
+}
+
+func loadSearchSpec(path string) (optimizer.Spec, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return optimizer.Spec{}, err
+	}
+	defer f.Close()
+	var spec optimizer.Spec
+	dec := json.NewDecoder(f)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		return optimizer.Spec{}, fmt.Errorf("optimize: parse spec %s: %w", path, err)
+	}
+	return spec, nil
+}
+
+func runCheckReplay(path string, workers int, out io.Writer) error {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var plan optimizer.Plan
+	if err := json.Unmarshal(blob, &plan); err != nil {
+		return fmt.Errorf("optimize: parse plan %s: %w", path, err)
+	}
+	if _, err := optimizer.CheckReplay(&plan, workers); err != nil {
+		return err
+	}
+	if !plan.BeatsBuiltins {
+		return fmt.Errorf("optimize: plan %s does not beat the paper schemes", path)
+	}
+	fmt.Fprintf(out, "replay ok: %d scenarios reproduce the plan aggregates byte-for-byte (winner %s)\n",
+		len(plan.Replay.Scenarios), plan.Winner.Tag)
+	return nil
+}

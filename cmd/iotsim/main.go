@@ -75,7 +75,7 @@ func run(args []string, out io.Writer) (retErr error) {
 
 	sch, err := hub.ParseScheme(*schemeFlag)
 	if err != nil {
-		return err
+		return fmt.Errorf("%w (valid schemes: %s)", err, strings.Join(scheme.Names(), ", "))
 	}
 	def, err := scheme.Lookup(sch)
 	if err != nil {

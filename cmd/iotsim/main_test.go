@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"strings"
 	"testing"
+
+	"iothub/internal/scheme"
 )
 
 func TestRunBaseline(t *testing.T) {
@@ -54,6 +56,15 @@ func TestRunErrors(t *testing.T) {
 	var out bytes.Buffer
 	if err := run([]string{"-scheme", "warp"}, &out); err == nil {
 		t.Error("unknown scheme accepted")
+	}
+	// The rejection must list every registered scheme so the user can
+	// correct the flag without consulting the source.
+	if err := run([]string{"-scheme", "warp"}, &out); err != nil {
+		for _, name := range scheme.Names() {
+			if !strings.Contains(err.Error(), name) {
+				t.Errorf("unknown-scheme error %q does not list %q", err, name)
+			}
+		}
 	}
 	if err := run([]string{"-apps", "A99"}, &out); err == nil {
 		t.Error("unknown app accepted")

@@ -1,0 +1,142 @@
+package edge
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"iothub/internal/energy"
+	"iothub/internal/sim"
+)
+
+func testParams() Params {
+	return Params{
+		CapacityMIPS: 1000,
+		ActiveW:      2,
+		InitPerMB:    1 * time.Millisecond,
+		RTT:          10 * time.Millisecond,
+		ResultCPU:    100 * time.Microsecond,
+		Omega:        0.5,
+		TRefSec:      5,
+		ERefJoules:   5,
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatalf("DefaultParams invalid: %v", err)
+	}
+	bad := []func(*Params){
+		func(p *Params) { p.CapacityMIPS = 0 },
+		func(p *Params) { p.ActiveW = -1 },
+		func(p *Params) { p.IdleW = -1 },
+		func(p *Params) { p.InitPerMB = -time.Second },
+		func(p *Params) { p.RTT = -time.Second },
+		func(p *Params) { p.ResultCPU = -time.Second },
+		func(p *Params) { p.Omega = 1.5 },
+		func(p *Params) { p.TRefSec = 0 },
+		func(p *Params) { p.ERefJoules = 0 },
+	}
+	for i, mut := range bad {
+		p := DefaultParams()
+		mut(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("mutation %d passed validation", i)
+		}
+	}
+}
+
+func TestDerivedTimes(t *testing.T) {
+	p := testParams()
+	if got := p.InitTime(2 << 20); got != 2*time.Millisecond {
+		t.Errorf("InitTime(2MB) = %v, want 2ms", got)
+	}
+	if got := p.ComputeTime(500); got != 500*time.Millisecond {
+		t.Errorf("ComputeTime(500 MI) = %v, want 500ms", got)
+	}
+	// omega=0.5: objective is the mean of the normalized terms.
+	if got := p.Objective(5*time.Second, 5); math.Abs(got-1) > 1e-12 {
+		t.Errorf("Objective(TRef, ERef) = %v, want 1", got)
+	}
+}
+
+// TestSubmitTiming pins the full trip: RTT/2 up, cold init + compute, RTT/2
+// down, and the warm second submission skipping the init.
+func TestSubmitTiming(t *testing.T) {
+	sched := sim.NewScheduler()
+	meter := energy.NewMeter(sched)
+	e, err := New(sched, meter, "edge", testParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first, second sim.Time
+	// 1 MB footprint -> 1ms init; 100 MI -> 100ms compute; RTT 10ms.
+	if err := e.Submit("A", 1<<20, 100, func() { first = sched.Now() }); err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if want := sim.Time(111 * time.Millisecond); first != want {
+		t.Errorf("cold trip returned at %v, want %v", first, want)
+	}
+	if !e.Warm("A") || e.Warm("B") {
+		t.Errorf("warm state: A=%v B=%v", e.Warm("A"), e.Warm("B"))
+	}
+	if err := e.Submit("A", 1<<20, 100, func() { second = sched.Now() }); err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if want := first.Add(110 * time.Millisecond); second != want {
+		t.Errorf("warm trip returned at %v, want %v", second, want)
+	}
+	if e.Jobs() != 2 || e.ColdStarts() != 1 {
+		t.Errorf("jobs=%d coldStarts=%d, want 2 and 1", e.Jobs(), e.ColdStarts())
+	}
+}
+
+// TestEnergyAttribution: the busy interval (init + compute) integrates
+// ActiveW into AppCompute on the edge track; concurrent jobs stack.
+func TestEnergyAttribution(t *testing.T) {
+	sched := sim.NewScheduler()
+	meter := energy.NewMeter(sched)
+	e, err := New(sched, meter, "edge", testParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two zero-footprint jobs, 100 MI each, submitted together: they overlap
+	// exactly, so the track draws 2 jobs x 2 W for 100ms = 0.4 J.
+	if err := e.Submit("A", 0, 100, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Submit("B", 0, 100, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.Run(); err != nil {
+		t.Fatal(err)
+	}
+	bd := meter.Track("edge").Breakdown()
+	if got, want := bd[energy.AppCompute], 0.4; math.Abs(got-want) > 1e-9 {
+		t.Errorf("edge AppCompute = %v J, want %v", got, want)
+	}
+	if bd[energy.Idle] != 0 {
+		t.Errorf("edge Idle = %v J, want 0 (IdleW=0)", bd[energy.Idle])
+	}
+}
+
+func TestSubmitRejectsNegative(t *testing.T) {
+	sched := sim.NewScheduler()
+	meter := energy.NewMeter(sched)
+	e, err := New(sched, meter, "edge", testParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Submit("A", -1, 1, nil); err == nil {
+		t.Error("negative footprint accepted")
+	}
+	if err := e.Submit("A", 1, -1, nil); err == nil {
+		t.Error("negative MI accepted")
+	}
+}

@@ -13,12 +13,16 @@ import (
 	"iothub/internal/hub"
 )
 
-// MetricNames are the per-window energy metrics extracted from every run, in
-// report order. Each aggregate key is "<tag>/<metric>" where tag is the
-// scenario's Tag (or its scheme name when untagged).
-var MetricNames = []string{"collection", "interrupt", "transfer", "compute", "total"}
+// MetricNames are the per-run metrics extracted from every scenario, in
+// report order: the four per-window energy stages and their total (joules per
+// window), plus the QoS-facing pair the optimizer constrains on — mean output
+// latency (seconds past window close) and the run's QoS violation count. Each
+// aggregate key is "<tag>/<metric>" where tag is the scenario's Tag (or its
+// scheme name when untagged).
+var MetricNames = []string{"collection", "interrupt", "transfer", "compute", "total", "latency", "qos"}
 
-// Metrics extracts a run's per-window energy numbers (joules per window).
+// Metrics extracts a run's per-window energy numbers (joules per window) and
+// its latency/QoS observations.
 func Metrics(res *hub.RunResult, windows int) map[string]float64 {
 	w := float64(windows)
 	if w <= 0 {
@@ -30,6 +34,8 @@ func Metrics(res *hub.RunResult, windows int) map[string]float64 {
 		"transfer":   res.Energy[energy.DataTransfer] / w,
 		"compute":    res.Energy[energy.AppCompute] / w,
 		"total":      res.Energy.Attributed() / w,
+		"latency":    res.OutputLatency().Mean.Seconds(),
+		"qos":        float64(res.QoSViolations),
 	}
 }
 

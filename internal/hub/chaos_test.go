@@ -188,6 +188,38 @@ func TestChaosWatchdogDegradesScheme(t *testing.T) {
 	}
 }
 
+// TestChaosEdgeDegradesToLocal: the ladder's Uploaded rung falls back to
+// local batching — after the watchdog observes a crash, later windows
+// compute on the hub CPU, not on a tier the run just abandoned, and every
+// window still produces an output.
+func TestChaosEdgeDegradesToLocal(t *testing.T) {
+	res := mustRun(t, Config{
+		Apps: newApps(t, apps.SpeechToTxt), Scheme: ECOM, Windows: 4, SkipAppCompute: true,
+		FaultSchedule: &faults.Schedule{Seed: 1, Rules: []faults.Rule{
+			{Kind: faults.MCUCrash, Target: "mcu",
+				Trigger:  faults.Trigger{At: []time.Duration{1100 * time.Millisecond}},
+				Duration: 150 * time.Millisecond},
+		}},
+	})
+	if len(res.Degradations) != 1 {
+		t.Fatalf("degradations = %+v, want exactly one", res.Degradations)
+	}
+	d := res.Degradations[0]
+	if d.App != apps.SpeechToTxt || d.From != Uploaded || d.To != Batched {
+		t.Errorf("degradation = %+v, want Uploaded -> Batched", d)
+	}
+	if got := len(res.Outputs[apps.SpeechToTxt]); got != 4 {
+		t.Errorf("outputs = %d, want 4 (degraded windows compute locally)", got)
+	}
+	// Only the pre-degradation windows reached the edge.
+	if res.EdgeUploads >= 4 || res.EdgeUploads < 1 {
+		t.Errorf("edge uploads = %d, want some but not all 4 windows", res.EdgeUploads)
+	}
+	if res.EdgeColdStarts != 1 {
+		t.Errorf("cold starts = %d, want 1", res.EdgeColdStarts)
+	}
+}
+
 // TestChaosOffloadRebootReentersBudgetCheck: an offloaded window whose
 // computation an MCU reboot restarts must pass the planner's time-budget
 // check again — and a long enough outage turns the re-check into a miss and

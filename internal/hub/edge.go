@@ -1,0 +1,57 @@
+package hub
+
+// edgeCompute dispatches a window's app-specific computation to the upload
+// tier: the batched window payload (already landed at the CPU) goes up the
+// main radio as one burst, the edge container runs the computation, and the
+// small completion callback re-enters finishWindow after the downlink leg.
+// The hub's costs are the driver handoff and the airtime; the dominant
+// compute energy moves to the edge's own meter track ("edge").
+
+import (
+	"iothub/internal/energy"
+	"iothub/internal/obs"
+)
+
+func (r *runner) edgeCompute(st *appState, w int) {
+	payload := st.uploadBytes[w]
+	delete(st.uploadBytes, w)
+	r.res.EdgeUploads++
+	r.res.EdgeUploadBytes += payload
+	r.obs.Inc(obs.EdgeUploads)
+	r.obs.Add(obs.EdgeUploadBytes, uint64(payload))
+
+	submit := func() {
+		if !r.edge.Warm(string(st.spec.ID)) {
+			r.res.EdgeColdStarts++
+		}
+		err := r.edge.Submit(string(st.spec.ID), st.spec.MemoryBytes(), st.edgeMI, func() {
+			// Result notification: a small host-side driver slice to field
+			// the edge's completion message, then the window closes.
+			err := r.cpu.Exec(r.params.Edge.ResultCPU, energy.DataTransfer, func() {
+				r.finishWindow(st, w)
+				r.governCPU()
+			})
+			if err != nil {
+				r.fail(err)
+			}
+		})
+		if err != nil {
+			r.fail(err)
+		}
+	}
+
+	// The host hands the burst to its radio for the driver cost; zero-byte
+	// windows (every sample dropped) skip the airtime but still compute.
+	err := r.cpu.Exec(r.params.UplinkDriverCPU, energy.DataTransfer, func() { r.governCPU() })
+	if err != nil {
+		r.fail(err)
+		return
+	}
+	if payload == 0 {
+		submit()
+		return
+	}
+	if err := r.mainRadio.Transmit(payload, energy.DataTransfer, func() { submit() }); err != nil {
+		r.fail(err)
+	}
+}

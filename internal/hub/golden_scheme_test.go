@@ -35,9 +35,11 @@ var update = flag.Bool("update", false, "rewrite the golden scheme corpus")
 // batch re-collection, and the degradation ladder deterministically.
 const goldenChaos = "seed=7; link-corrupt:prob=0.05; mcu-crash:at=700ms,for=80ms"
 
-// goldenCases enumerates the corpus: all five schemes x clean/chaos. App
-// mixes match the obs perturbation tests (BCOM gets one offloadable and one
-// heavy app so the planner splits them; BEAM shares the accelerometer).
+// goldenCases enumerates the corpus: all schemes x clean/chaos. App mixes
+// match the obs perturbation tests (BCOM gets one offloadable and one heavy
+// app so the planner splits them; BEAM shares the accelerometer; ECOM pairs
+// the heavy app with an offloadable one so the edge tier and the MCU are both
+// exercised, and its chaos run drives the Uploaded→Batched degradation).
 func goldenCases() []struct {
 	name   string
 	ids    []apps.ID
@@ -57,6 +59,7 @@ func goldenCases() []struct {
 		{"com", []apps.ID{apps.CoAPServer}, hub.COM, ""},
 		{"bcom", []apps.ID{apps.SpeechToTxt, apps.DropboxMgr}, hub.BCOM, ""},
 		{"beam", []apps.ID{apps.StepCounter, apps.Earthquake}, hub.BEAM, ""},
+		{"ecom", []apps.ID{apps.SpeechToTxt, apps.CoAPServer}, hub.ECOM, ""},
 	} {
 		cases = append(cases, base)
 		chaotic := base

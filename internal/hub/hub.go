@@ -47,6 +47,8 @@ const (
 	COM      = scheme.COM
 	BCOM     = scheme.BCOM
 	BEAM     = scheme.BEAM
+	Hybrid   = scheme.Hybrid
+	ECOM     = scheme.ECOM
 )
 
 // ParseScheme resolves a case-insensitive scheme name against the registry
@@ -66,6 +68,9 @@ const (
 	Batched = scheme.Batched
 	// Offloaded runs the app-specific computation on the MCU.
 	Offloaded = scheme.Offloaded
+	// Uploaded buffers a window at the MCU, then uploads it through the
+	// main radio and computes in the app's edge container.
+	Uploaded = scheme.Uploaded
 )
 
 // Config describes one simulation run.
@@ -76,7 +81,7 @@ type Config struct {
 	// in internal/core produces it); for the other schemes Assign is
 	// derived automatically and must be nil.
 	Scheme Scheme
-	// Assign overrides the per-app mode (required for BCOM only).
+	// Assign overrides the per-app mode (BCOM and Hybrid require it).
 	Assign map[apps.ID]Mode
 	// Windows is how many QoS windows to simulate (>= 1).
 	Windows int
@@ -183,8 +188,23 @@ type RunResult struct {
 	// affected windows complete with fewer samples.
 	DroppedSamples int
 	// UpstreamBytes counts window outputs pushed to the network (main-board
-	// WiFi for on-CPU apps, the MCU's radio for offloaded ones).
+	// WiFi for on-CPU apps, the MCU's radio for offloaded ones, the edge's
+	// own egress for uploaded ones).
 	UpstreamBytes int
+
+	// Edge-tier accounting; all zero (and absent from JSON) for runs with
+	// no OnEdge placement, which keeps the pre-edge golden corpus
+	// byte-identical.
+	// EdgeUploads / EdgeUploadBytes count window uploads shipped to the
+	// edge and the payload bytes the main radio carried up.
+	EdgeUploads     int `json:",omitempty"`
+	EdgeUploadBytes int `json:",omitempty"`
+	// EdgeColdStarts counts container init warmups (first window of each
+	// uploaded app).
+	EdgeColdStarts int `json:",omitempty"`
+	// EdgeUpstreamBytes counts window outputs that egressed directly from
+	// the edge (a subset of UpstreamBytes).
+	EdgeUpstreamBytes int `json:",omitempty"`
 
 	// Sample ledger (run invariant: ScheduledSamples + RecollectedSamples ==
 	// DeliveredSamples + DroppedSamples + DownshiftSkipped).

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"iothub/internal/cpu"
+	"iothub/internal/edge"
 	"iothub/internal/link"
 	"iothub/internal/mcu"
 	"iothub/internal/obs"
@@ -39,6 +40,10 @@ type Params struct {
 	// UplinkDriverCPU is the host-side driver cost to hand one burst to its
 	// radio (the NIC DMAs the frames).
 	UplinkDriverCPU time.Duration
+	// Edge calibrates the upload-compute tier (container capacity, init
+	// warmup, RTT, objective weights); only consulted when a policy places
+	// a computation OnEdge.
+	Edge edge.Params
 	// Obs is the run's observability recorder (counters, spans, flight ring).
 	// Nil — the default — disables the layer at the cost of one branch per
 	// instrumentation point; the recorder only observes, never schedules, so
@@ -58,6 +63,7 @@ func DefaultParams() Params {
 		MainRadio:       radio.DefaultMainParams(),
 		MCURadio:        radio.DefaultMCUParams(),
 		UplinkDriverCPU: 50 * time.Microsecond,
+		Edge:            edge.DefaultParams(),
 	}
 }
 
@@ -80,6 +86,9 @@ func (p Params) Validate() error {
 	}
 	if p.UplinkDriverCPU < 0 {
 		return fmt.Errorf("hub: negative UplinkDriverCPU")
+	}
+	if err := p.Edge.Validate(); err != nil {
+		return fmt.Errorf("hub: edge: %w", err)
 	}
 	return nil
 }

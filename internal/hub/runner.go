@@ -15,6 +15,7 @@ import (
 
 	"iothub/internal/apps"
 	"iothub/internal/cpu"
+	"iothub/internal/edge"
 	"iothub/internal/energy"
 	"iothub/internal/faults"
 	"iothub/internal/link"
@@ -38,6 +39,10 @@ type runner struct {
 	link      *link.Link
 	mainRadio *radio.Radio
 	mcuRadio  *radio.Radio
+	// edge is the upload-compute tier; nil unless some app's base policy
+	// places its computation OnEdge, so local-only runs never pay for (or
+	// meter) the third tier.
+	edge *edge.Edge
 	// obs is the run's observability recorder; nil (the default) makes every
 	// instrumentation point a single-branch no-op.
 	obs *obs.Recorder
@@ -192,6 +197,12 @@ func (r *runner) build(pols map[apps.ID]scheme.Policy) error {
 		if st.policy().PlaceCompute() != scheme.OnMCU {
 			allOffloaded = false
 		}
+		if st.policy().PlaceCompute() == scheme.OnEdge {
+			st.uploadBytes = make(map[int]int)
+			// The edge container is server-class: no EffectiveMIPS cap, the
+			// app's full per-window instruction demand is the workload.
+			st.edgeMI = sp.MIPS * sp.Window.Seconds()
+		}
 		r.states = append(r.states, st)
 
 		if st.policy().PlaceCompute() == scheme.OnMCU {
@@ -238,6 +249,21 @@ func (r *runner) build(pols map[apps.ID]scheme.Policy) error {
 		}
 	}
 	r.offloadNeed = offloadNeed
+
+	// Bring up the edge tier only when some placement needs it, so runs with
+	// purely local schemes stay byte-identical to the pre-edge engine.
+	for _, st := range r.states {
+		if st.policy().PlaceCompute() != scheme.OnEdge {
+			continue
+		}
+		e, err := edge.New(r.sched, r.meter, "edge", r.params.Edge)
+		if err != nil {
+			return err
+		}
+		e.Observe(r.obs)
+		r.edge = e
+		break
+	}
 
 	// Materialize the scheme's stream topology (dedicated per-(app, sensor)
 	// streams, or BEAM's shared ones) and bind it to the event kernel.
@@ -439,6 +465,10 @@ func (r *runner) placeCompute(st *appState, w int, pol scheme.Policy) {
 		r.offloadCompute(st, w)
 		return
 	}
+	if pol.PlaceCompute() == scheme.OnEdge {
+		r.edgeCompute(st, w)
+		return
+	}
 	r.cpuCompute(st, w)
 }
 
@@ -551,6 +581,13 @@ func (r *runner) uplink(st *appState, w int, payload []byte) {
 	}
 	r.res.UpstreamBytes += len(payload)
 	r.obs.Add(obs.UpstreamBytes, uint64(len(payload)))
+	if st.policyFor(w).PlaceCompute() == scheme.OnEdge {
+		// The result already lives in the edge container; it egresses from
+		// the edge's own network, costing the hub nothing.
+		r.res.EdgeUpstreamBytes += len(payload)
+		r.obs.Add(obs.EdgeUpstreamBytes, uint64(len(payload)))
+		return
+	}
 	if st.policyFor(w).PlaceCompute() == scheme.OnMCU {
 		if err := r.mcu.Exec(r.params.UplinkDriverCPU, energy.AppCompute, nil); err != nil {
 			r.fail(err)

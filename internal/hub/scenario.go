@@ -33,6 +33,12 @@ type Scenario struct {
 	// Faults is a fault schedule in faults.ParseSchedule's compact text form
 	// ("" = fault-free run).
 	Faults string `json:"faults,omitempty"`
+	// Assign is an explicit per-app mode partition for schemes that require
+	// one. A Hybrid scenario carries the optimizer-searched composition here;
+	// a BCOM scenario usually leaves it nil and lets fleet.RunScenario supply
+	// the planner's partition. Serialized by mode name, keys sorted, so
+	// scenario JSON stays canonical.
+	Assign map[apps.ID]Mode `json:"assign,omitempty"`
 	// SkipAppCompute skips the real user-level computations (energy/timing
 	// are still modeled) — the usual setting for pure-energy sweeps.
 	SkipAppCompute bool `json:"skipCompute,omitempty"`
@@ -73,6 +79,7 @@ func (s Scenario) Config() (Config, error) {
 	cfg := Config{
 		Scheme:         s.Scheme,
 		Windows:        s.Windows,
+		Assign:         s.Assign,
 		SkipAppCompute: s.SkipAppCompute,
 	}
 	for _, id := range s.Apps {
@@ -98,9 +105,9 @@ func (s Scenario) Config() (Config, error) {
 }
 
 // RunScenario materializes and executes the scenario. Schemes that require
-// an explicit partition (BCOM) are rejected here — they need the
-// internal/core planner, which sits above this package; use
-// fleet.RunScenario for those.
+// an explicit partition (BCOM, Hybrid) must carry one in Assign to run here;
+// without it they need the internal/core planner, which sits above this
+// package — use fleet.RunScenario for those.
 func RunScenario(s Scenario) (*RunResult, error) {
 	cfg, err := s.Config()
 	if err != nil {
@@ -110,8 +117,8 @@ func RunScenario(s Scenario) (*RunResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	if def.RequiresAssign() {
-		return nil, fmt.Errorf("%w: %v scenario %s needs the planner (use fleet.RunScenario)", ErrConfig, s.Scheme, s.Label())
+	if def.RequiresAssign() && s.Assign == nil {
+		return nil, fmt.Errorf("%w: %v scenario %s needs an assignment (use fleet.RunScenario, or set Assign)", ErrConfig, s.Scheme, s.Label())
 	}
 	return Run(cfg)
 }

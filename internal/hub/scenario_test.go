@@ -1,6 +1,7 @@
 package hub
 
 import (
+	"encoding/json"
 	"errors"
 	"strings"
 	"testing"
@@ -41,8 +42,41 @@ func TestScenarioConfigErrors(t *testing.T) {
 func TestRunScenarioRejectsBCOM(t *testing.T) {
 	s := Scenario{Apps: []apps.ID{apps.SpeechToTxt, apps.DropboxMgr}, Scheme: BCOM, Windows: 1, Seed: 1}
 	_, err := RunScenario(s)
-	if !errors.Is(err, ErrConfig) || !strings.Contains(err.Error(), "planner") {
-		t.Errorf("RunScenario(BCOM) err = %v, want ErrConfig mentioning the planner", err)
+	if !errors.Is(err, ErrConfig) || !strings.Contains(err.Error(), "assignment") {
+		t.Errorf("RunScenario(BCOM) err = %v, want ErrConfig asking for an assignment", err)
+	}
+}
+
+// A partitioned scenario carrying its own explicit Assign runs standalone —
+// the property optimizer plan replay rests on — and the partition survives a
+// JSON round trip with mode-name encoding.
+func TestScenarioAssignRoundTrip(t *testing.T) {
+	s := Scenario{
+		Apps: []apps.ID{apps.SpeechToTxt, apps.StepCounter}, Scheme: Hybrid,
+		Windows: 1, Seed: 1, SkipAppCompute: true,
+		Assign: map[apps.ID]Mode{apps.SpeechToTxt: Uploaded, apps.StepCounter: Offloaded},
+	}
+	blob, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(blob), `"A11":"Uploaded"`) {
+		t.Errorf("assign not serialized by mode name: %s", blob)
+	}
+	var back Scenario
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Assign[apps.SpeechToTxt] != Uploaded || back.Assign[apps.StepCounter] != Offloaded {
+		t.Fatalf("assign did not round-trip: %v", back.Assign)
+	}
+	got, err := RunScenario(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.EdgeUploads == 0 || got.Modes[apps.SpeechToTxt] != Uploaded {
+		t.Errorf("replayed hybrid scenario did not reach the edge: uploads=%d modes=%v",
+			got.EdgeUploads, got.Modes)
 	}
 }
 

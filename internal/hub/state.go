@@ -80,6 +80,12 @@ type appState struct {
 	batchAllocd    int
 	pendingFlushes map[int]int // window -> in-flight bulk transfers
 
+	// Uploaded-mode state: bytes landed at the CPU awaiting upload, and the
+	// app's per-window instruction demand for the edge container. Both are
+	// only populated for apps whose base policy places compute OnEdge.
+	uploadBytes map[int]int // window -> bytes staged for edge upload
+	edgeMI      float64
+
 	results []WindowResult
 }
 

@@ -151,10 +151,18 @@ func (r *runner) flushBatch(st *appState, w int, final bool) {
 	r.raiseAndTransfer(r.mcu, r.cpu, fill, func() {
 		r.res.BatchFlushes++
 		r.obs.Inc(obs.BatchFlushes)
-	}, func(bool) {
+	}, func(delivered bool) {
+		// Uploaded-mode windows stage their delivered bytes for the edge
+		// upload; a frame the link swallowed never reaches the batch the
+		// radio will carry up.
+		if delivered && st.uploadBytes != nil {
+			st.uploadBytes[w] += fill
+		}
 		st.pendingFlushes[w]--
 		if final && st.pendingFlushes[w] == 0 {
-			r.cpuCompute(st, w)
+			// Re-resolve the placement: a window degraded Uploaded→Batched
+			// computes locally, not on a tier the ladder just abandoned.
+			r.placeCompute(st, w, st.policyFor(w))
 		}
 	})
 }

@@ -83,6 +83,14 @@ const (
 	// FaultActivations counts fault-engine rule firings (probe hits plus
 	// self-firing events that actually ran).
 	FaultActivations
+	// EdgeUploads / EdgeUploadBytes count window uploads shipped to the
+	// edge tier and their payload bytes; EdgeColdStarts counts container
+	// init warmups; EdgeUpstreamBytes counts window outputs that egressed
+	// directly from the edge instead of a hub radio.
+	EdgeUploads
+	EdgeUploadBytes
+	EdgeColdStarts
+	EdgeUpstreamBytes
 
 	numCounters
 )
@@ -113,6 +121,10 @@ var counterNames = [numCounters]string{
 	RadioBytes:          "radio_bytes",
 	UpstreamBytes:       "upstream_bytes",
 	FaultActivations:    "fault_activations",
+	EdgeUploads:         "edge_uploads",
+	EdgeUploadBytes:     "edge_upload_bytes",
+	EdgeColdStarts:      "edge_cold_starts",
+	EdgeUpstreamBytes:   "edge_upstream_bytes",
 }
 
 // String returns the counter's oprofile-style name.

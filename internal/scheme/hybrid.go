@@ -1,0 +1,49 @@
+package scheme
+
+import (
+	"fmt"
+
+	"iothub/internal/apps"
+)
+
+// hybridDef executes an arbitrary explicit per-app mode partition — any
+// composition of the four policy rows, including the edge tier's Uploaded.
+// Where BCOM's partition comes from the internal/core planner's fixed
+// admission test, Hybrid's comes from whoever searched the composition
+// space (the internal/optimizer plan emitter): this is the execution
+// vehicle that lets new schemes fall out of search rather than hand-coding.
+type hybridDef struct{}
+
+func init() { Register(hybridDef{}) }
+
+func (hybridDef) Scheme() Scheme       { return Hybrid }
+func (hybridDef) RequiresAssign() bool { return true }
+
+func (hybridDef) Validate(v ConfigView) error {
+	if v.Assign == nil {
+		return fmt.Errorf("%w: Hybrid requires Assign (the internal/optimizer plan emitter produces it)", ErrConfig)
+	}
+	return nil
+}
+
+func (hybridDef) Policies(v ConfigView) (map[apps.ID]Policy, error) {
+	out := make(map[apps.ID]Policy, len(v.Specs))
+	for _, sp := range v.Specs {
+		m, ok := v.Assign[sp.ID]
+		if !ok {
+			return nil, fmt.Errorf("%w: no assignment for %s", ErrConfig, sp.ID)
+		}
+		if m < PerSample || m > Uploaded {
+			return nil, fmt.Errorf("%w: %s assigned unknown mode %v", ErrConfig, sp.ID, m)
+		}
+		if m == Offloaded && sp.Heavy {
+			return nil, fmt.Errorf("%w: %s is heavy-weight", ErrUnoffloadable, sp.ID)
+		}
+		out[sp.ID] = ForMode(m)
+	}
+	return out, nil
+}
+
+func (hybridDef) PlanStreams(v ConfigView) ([]StreamSpec, error) {
+	return PlanDedicated(v)
+}

@@ -66,6 +66,9 @@ const (
 	OnCPU Placement = iota + 1
 	// OnMCU offloads the app-specific computation to the MCU.
 	OnMCU
+	// OnEdge uploads the window's data and runs the computation on the
+	// edge tier's container executor (internal/edge).
+	OnEdge
 )
 
 // CloseGate is OnWindowClose's verdict: the progress counter whose
@@ -108,30 +111,45 @@ func (offloadedPolicy) PlanTransfer() TransferPlan  { return ResultOnlyTransfer 
 func (offloadedPolicy) PlaceCompute() Placement     { return OnMCU }
 func (offloadedPolicy) OnWindowClose() CloseGate    { return AwaitCollection }
 
+// uploadedPolicy is the edge tier's row: the MCU buffers a window exactly
+// like Batching, but the bulk flush continues past the CPU onto the uplink
+// radio, and the computation runs in the app's edge container.
+type uploadedPolicy struct{}
+
+func (uploadedPolicy) Mode() Mode                  { return Uploaded }
+func (uploadedPolicy) OnSampleReady() SampleAction { return Buffer }
+func (uploadedPolicy) PlanTransfer() TransferPlan  { return CoalescedTransfer }
+func (uploadedPolicy) PlaceCompute() Placement     { return OnEdge }
+func (uploadedPolicy) OnWindowClose() CloseGate    { return AwaitCollection }
+
 // byMode indexes the built-in policy singletons; ForMode is on the
 // conductor's per-sample path and must stay allocation-free.
 var byMode = [...]Policy{
 	PerSample: perSamplePolicy{},
 	Batched:   batchedPolicy{},
 	Offloaded: offloadedPolicy{},
+	Uploaded:  uploadedPolicy{},
 }
 
 // ForMode returns the built-in policy realizing a mode. It panics on an
 // unknown mode: modes reach the conductor only through validated configs and
 // the ladder, so an out-of-range value is a programming error.
 func ForMode(m Mode) Policy {
-	if m < PerSample || m > Offloaded {
+	if m < PerSample || m > Uploaded {
 		panic("scheme: no policy for " + m.String())
 	}
 	return byMode[m]
 }
 
 // Degrade is the resilience ladder (§ fault handling): one step down in
-// MCU-dependence — Offloaded → Batched → PerSample — so a crashing MCU sheds
-// responsibility window by window. The second result is false at the
-// ladder's floor (PerSample has nothing below it).
+// remote-dependence — Uploaded and Offloaded both fall back to Batched (a
+// local placement: a degraded app must not depend on a dead edge link or a
+// crashing MCU's compute), and Batched to PerSample. The second result is
+// false at the ladder's floor (PerSample has nothing below it).
 func Degrade(from Mode) (Mode, bool) {
 	switch from {
+	case Uploaded:
+		return Batched, true
 	case Offloaded:
 		return Batched, true
 	case Batched:

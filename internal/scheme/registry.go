@@ -17,7 +17,7 @@ type ConfigView struct {
 	// Specs lists the concurrent apps' specifications in config order.
 	Specs []apps.Spec
 	// Assign is the explicit per-app mode partition; nil for every scheme
-	// whose Def derives modes itself (only BCOM requires it).
+	// whose Def derives modes itself (BCOM and Hybrid require it).
 	Assign map[apps.ID]Mode
 	// Window is the common QoS window.
 	Window time.Duration
@@ -111,7 +111,7 @@ func uniformPolicies(v ConfigView, p Policy) map[apps.ID]Policy {
 // partition.
 func rejectAssign(v ConfigView) error {
 	if v.Assign != nil {
-		return fmt.Errorf("%w: Assign is only valid with BCOM", ErrConfig)
+		return fmt.Errorf("%w: Assign is only valid with a partitioned scheme (BCOM, Hybrid)", ErrConfig)
 	}
 	return nil
 }

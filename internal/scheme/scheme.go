@@ -28,13 +28,19 @@ import (
 // Scheme selects the execution scheme for a run.
 type Scheme int
 
-// Execution schemes (§III, §IV).
+// Execution schemes. Baseline..BEAM are the paper's five (§III, §IV);
+// Hybrid and ECOM extend the table with the edge tier: Hybrid executes an
+// arbitrary per-app mode partition (the optimizer's emission vehicle), ECOM
+// is the registered composition the scheme-space search converges on —
+// heavy apps upload to the edge, everything else offloads to the MCU.
 const (
 	Baseline Scheme = iota + 1
 	Batching
 	COM
 	BCOM
 	BEAM
+	Hybrid
+	ECOM
 )
 
 // Errors callers match with errors.Is. The messages keep their historical
@@ -58,15 +64,19 @@ func (s Scheme) String() string {
 		return "BCOM"
 	case BEAM:
 		return "BEAM"
+	case Hybrid:
+		return "Hybrid"
+	case ECOM:
+		return "ECOM"
 	default:
 		return fmt.Sprintf("Scheme(%d)", int(s))
 	}
 }
 
 // Parse resolves a case-insensitive scheme name ("baseline", "batching",
-// "com", "bcom", "beam") against the registry — the CLI-facing inverse of
-// String. Only registered schemes parse, so an unplugged experimental scheme
-// disappears from every CLI at once.
+// "com", "bcom", "beam", "hybrid", "ecom") against the registry — the
+// CLI-facing inverse of String. Only registered schemes parse, so an
+// unplugged experimental scheme disappears from every CLI at once.
 func Parse(name string) (Scheme, error) {
 	want := strings.TrimSpace(name)
 	for _, d := range All() {
@@ -105,6 +115,9 @@ const (
 	Batched
 	// Offloaded runs the app-specific computation on the MCU.
 	Offloaded
+	// Uploaded buffers a window at the MCU like Batched, then uploads it
+	// through the main radio and computes in the app's edge container.
+	Uploaded
 )
 
 // String names the mode.
@@ -116,6 +129,8 @@ func (m Mode) String() string {
 		return "Batched"
 	case Offloaded:
 		return "Offloaded"
+	case Uploaded:
+		return "Uploaded"
 	default:
 		return fmt.Sprintf("Mode(%d)", int(m))
 	}
@@ -126,7 +141,7 @@ func (m Mode) MarshalText() ([]byte, error) { return []byte(m.String()), nil }
 
 // UnmarshalText is the inverse of MarshalText.
 func (m *Mode) UnmarshalText(text []byte) error {
-	for _, known := range []Mode{PerSample, Batched, Offloaded} {
+	for _, known := range []Mode{PerSample, Batched, Offloaded, Uploaded} {
 		if known.String() == string(text) {
 			*m = known
 			return nil

@@ -13,8 +13,8 @@ import (
 // CLI-facing entry point) and MarshalText → UnmarshalText.
 func TestSchemeTextRoundTrip(t *testing.T) {
 	defs := All()
-	if len(defs) != 5 {
-		t.Fatalf("registered schemes = %d, want the paper's 5", len(defs))
+	if len(defs) != 7 {
+		t.Fatalf("registered schemes = %d, want the paper's 5 plus Hybrid and ECOM", len(defs))
 	}
 	for _, d := range defs {
 		s := d.Scheme()
@@ -78,7 +78,7 @@ func TestSchemeTextInvalid(t *testing.T) {
 
 // TestModeTextRoundTrip mirrors the scheme codec test for per-app modes.
 func TestModeTextRoundTrip(t *testing.T) {
-	for _, m := range []Mode{PerSample, Batched, Offloaded} {
+	for _, m := range []Mode{PerSample, Batched, Offloaded, Uploaded} {
 		blob, err := m.MarshalText()
 		if err != nil {
 			t.Fatalf("%v.MarshalText: %v", m, err)
@@ -145,7 +145,7 @@ func FuzzParseScheme(f *testing.F) {
 // FuzzModeUnmarshalText: any accepted text must be the mode's own canonical
 // marshaling; everything else is ErrConfig.
 func FuzzModeUnmarshalText(f *testing.F) {
-	for _, m := range []Mode{PerSample, Batched, Offloaded} {
+	for _, m := range []Mode{PerSample, Batched, Offloaded, Uploaded} {
 		f.Add(m.String())
 	}
 	f.Add("bogus")
@@ -168,7 +168,7 @@ func FuzzModeUnmarshalText(f *testing.F) {
 // TestRegistry covers Lookup (known and unknown), the table ordering of
 // All/Names, and the duplicate-registration panic.
 func TestRegistry(t *testing.T) {
-	for _, s := range []Scheme{Baseline, Batching, COM, BCOM, BEAM} {
+	for _, s := range []Scheme{Baseline, Batching, COM, BCOM, BEAM, Hybrid, ECOM} {
 		d, err := Lookup(s)
 		if err != nil {
 			t.Fatalf("Lookup(%v): %v", s, err)
@@ -176,7 +176,7 @@ func TestRegistry(t *testing.T) {
 		if d.Scheme() != s {
 			t.Errorf("Lookup(%v).Scheme() = %v", s, d.Scheme())
 		}
-		if want := s == BCOM; d.RequiresAssign() != want {
+		if want := s == BCOM || s == Hybrid; d.RequiresAssign() != want {
 			t.Errorf("%v.RequiresAssign() = %v, want %v", s, d.RequiresAssign(), want)
 		}
 	}
@@ -185,7 +185,7 @@ func TestRegistry(t *testing.T) {
 	}
 
 	names := Names()
-	want := []string{"baseline", "batching", "com", "bcom", "beam"}
+	want := []string{"baseline", "batching", "com", "bcom", "beam", "hybrid", "ecom"}
 	if len(names) != len(want) {
 		t.Fatalf("Names() = %v, want %v", names, want)
 	}
@@ -205,12 +205,12 @@ func TestRegistry(t *testing.T) {
 
 // TestForModeAndDegrade pins the mode→policy index and the resilience ladder.
 func TestForModeAndDegrade(t *testing.T) {
-	for _, m := range []Mode{PerSample, Batched, Offloaded} {
+	for _, m := range []Mode{PerSample, Batched, Offloaded, Uploaded} {
 		if got := ForMode(m).Mode(); got != m {
 			t.Errorf("ForMode(%v).Mode() = %v", m, got)
 		}
 	}
-	for _, bad := range []Mode{0, 4, -1} {
+	for _, bad := range []Mode{0, 5, -1} {
 		func() {
 			defer func() {
 				if recover() == nil {
@@ -225,6 +225,7 @@ func TestForModeAndDegrade(t *testing.T) {
 		from, to Mode
 		ok       bool
 	}{
+		{Uploaded, Batched, true}, // a dead edge falls back to local batching
 		{Offloaded, Batched, true},
 		{Batched, PerSample, true},
 		{PerSample, PerSample, false}, // the ladder's floor
@@ -250,6 +251,7 @@ func TestPolicyTable(t *testing.T) {
 		{PerSample, Interrupt, PerSampleTransfer, OnCPU, AwaitDelivery},
 		{Batched, Buffer, CoalescedTransfer, OnCPU, AwaitCollection},
 		{Offloaded, Hold, ResultOnlyTransfer, OnMCU, AwaitCollection},
+		{Uploaded, Buffer, CoalescedTransfer, OnEdge, AwaitCollection},
 	}
 	for _, r := range rows {
 		p := ForMode(r.mode)
