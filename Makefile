@@ -113,9 +113,15 @@ bench-diff:
 	$(GO) run ./cmd/benchjson -diff $$1 $$2
 
 # One iteration of every benchmark: catches bit-rotted benchmark code in CI
-# without paying for real measurement.
+# without paying for real measurement. The second step is the allocation
+# regression gate: the arena keeps a steady-state fleet scenario at ~118
+# allocs; ALLOC_BUDGET pins the ceiling with headroom, and benchjson -gate
+# fails the build when a hot path regresses past it.
+ALLOC_BUDGET ?= 500
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+	$(GO) test -run '^$$' -bench 'FleetSweep/workers=1$$' -benchmem -benchtime 1x . \
+		| $(GO) run ./cmd/benchjson -gate FleetSweep/workers=1 -max-allocs-per-scenario $(ALLOC_BUDGET)
 
 # Regenerate every paper artifact (tables + figures) as ASCII.
 experiments:

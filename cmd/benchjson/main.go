@@ -7,7 +7,15 @@
 //
 //	go test -run '^$' -bench . -benchmem ./... | benchjson -o BENCH_20260805T120000Z.json
 //	go test -bench SchedulerThroughput ./internal/sim | benchjson
-//	benchjson -diff BENCH_old.json BENCH_new.json   # % delta table
+//	benchjson -diff BENCH_old.json BENCH_new.json   # % delta table + worker scaling
+//	go test -run '^$' -bench 'FleetSweep/workers=1$' -benchmem -benchtime 1x . \
+//	    | benchjson -gate FleetSweep/workers=1 -max-allocs-per-scenario 500
+//
+// -diff appends a worker-scaling table (speedup and parallel efficiency per
+// <base>/workers=N family) for the newer record. -gate turns the tool into a
+// CI regression gate: it normalizes each matching benchmark's allocs/op by
+// its "scenarios" metric and exits nonzero when the pinned per-scenario
+// allocation budget is exceeded.
 package main
 
 import (
@@ -18,6 +26,7 @@ import (
 	"os"
 	"os/exec"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -50,6 +59,8 @@ type Benchmark struct {
 
 func main() {
 	out := ""
+	gate := ""
+	budget := 0.0
 	args := os.Args[1:]
 	for len(args) > 0 {
 		switch args[0] {
@@ -65,6 +76,23 @@ func main() {
 				os.Exit(1)
 			}
 			return
+		case "-gate":
+			if len(args) < 2 {
+				fmt.Fprintln(os.Stderr, "benchjson: -gate needs a benchmark name pattern")
+				os.Exit(2)
+			}
+			gate, args = args[1], args[2:]
+		case "-max-allocs-per-scenario":
+			if len(args) < 2 {
+				fmt.Fprintln(os.Stderr, "benchjson: -max-allocs-per-scenario needs a number")
+				os.Exit(2)
+			}
+			v, err := strconv.ParseFloat(args[1], 64)
+			if err != nil || v <= 0 {
+				fmt.Fprintf(os.Stderr, "benchjson: bad allocation budget %q\n", args[1])
+				os.Exit(2)
+			}
+			budget, args = v, args[2:]
 		default:
 			fmt.Fprintf(os.Stderr, "benchjson: unknown argument %q\n", args[0])
 			os.Exit(2)
@@ -74,6 +102,17 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
+	}
+	if gate != "" {
+		if budget <= 0 {
+			fmt.Fprintln(os.Stderr, "benchjson: -gate needs -max-allocs-per-scenario")
+			os.Exit(2)
+		}
+		if err := Gate(os.Stdout, rec, gate, budget); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
 	}
 	rec.Stamp = time.Now().UTC().Format(time.RFC3339)
 	rec.Commit = gitCommit()
@@ -139,7 +178,107 @@ func diffFiles(w io.Writer, oldPath, newPath string) error {
 	}
 	fmt.Fprintf(w, "old: %s (%s %s)\nnew: %s (%s %s)\n\n",
 		oldPath, oldRec.Stamp, oldRec.Commit, newPath, newRec.Stamp, newRec.Commit)
-	return WriteDiff(w, oldRec, newRec)
+	if err := WriteDiff(w, oldRec, newRec); err != nil {
+		return err
+	}
+	WriteScaling(w, newRec)
+	return nil
+}
+
+// Gate enforces the CI allocation budget: every benchmark whose name
+// contains pattern must keep allocs/op divided by its "scenarios" metric at
+// or under budget. Matching benchmarks without the metric (or without
+// -benchmem data) are an error — a gate that silently checks nothing is
+// worse than no gate.
+func Gate(w io.Writer, rec *Record, pattern string, budget float64) error {
+	matched := 0
+	for _, b := range rec.Benchmarks {
+		if !strings.Contains(b.Name, pattern) {
+			continue
+		}
+		matched++
+		scenarios := b.Metrics["scenarios"]
+		if scenarios <= 0 {
+			return fmt.Errorf("%s: no scenarios metric to normalize by (ReportMetric missing?)", b.Name)
+		}
+		if b.AllocsPerOp == 0 {
+			return fmt.Errorf("%s: no allocs/op (run the benchmark with -benchmem)", b.Name)
+		}
+		per := b.AllocsPerOp / scenarios
+		if per > budget {
+			return fmt.Errorf("%s: %.0f allocs/scenario exceeds the pinned budget of %.0f", b.Name, per, budget)
+		}
+		fmt.Fprintf(w, "benchjson: gate ok: %s at %.0f allocs/scenario (budget %.0f)\n", b.Name, per, budget)
+	}
+	if matched == 0 {
+		return fmt.Errorf("gate pattern %q matched no benchmarks", pattern)
+	}
+	return nil
+}
+
+// workerCount extracts N from a benchmark name of the form
+// <base>/workers=N[-procs], returning base, N, and whether it matched.
+func workerCount(name string) (string, int, bool) {
+	i := strings.LastIndex(name, "/workers=")
+	if i < 0 {
+		return "", 0, false
+	}
+	rest := name[i+len("/workers="):]
+	if j := strings.IndexByte(rest, '-'); j >= 0 {
+		rest = rest[:j] // strip the -GOMAXPROCS suffix
+	}
+	n, err := strconv.Atoi(rest)
+	if err != nil || n < 1 {
+		return "", 0, false
+	}
+	return name[:i], n, true
+}
+
+// WriteScaling renders the worker-scaling table of a record: benchmarks
+// named <base>/workers=N are grouped by base, the workers=1 run is the
+// reference, and the speedup and parallel-efficiency columns show what the
+// extra workers actually bought (efficiency = speedup / workers; 1.0 is
+// perfect linear scaling, and a single-core host pins it near 1/workers).
+func WriteScaling(w io.Writer, rec *Record) {
+	type point struct {
+		n  int
+		ns float64
+	}
+	groups := map[string][]point{}
+	var order []string
+	for _, b := range rec.Benchmarks {
+		base, n, ok := workerCount(b.Name)
+		if !ok || b.NsPerOp <= 0 {
+			continue
+		}
+		key := b.Pkg + " " + base
+		if _, seen := groups[key]; !seen {
+			order = append(order, key)
+		}
+		groups[key] = append(groups[key], point{n, b.NsPerOp})
+	}
+	for _, key := range order {
+		pts := groups[key]
+		sort.Slice(pts, func(i, j int) bool { return pts[i].n < pts[j].n })
+		var ref float64
+		for _, p := range pts {
+			if p.n == 1 {
+				ref = p.ns
+				break
+			}
+		}
+		_, base, _ := strings.Cut(key, " ")
+		fmt.Fprintf(w, "\nworker scaling: %s\n", base)
+		fmt.Fprintf(w, "%8s %14s %9s %11s\n", "workers", "ns/op", "speedup", "efficiency")
+		for _, p := range pts {
+			if ref == 0 {
+				fmt.Fprintf(w, "%8d %14.0f %9s %11s\n", p.n, p.ns, "n/a", "n/a")
+				continue
+			}
+			speedup := ref / p.ns
+			fmt.Fprintf(w, "%8d %14.0f %8.2fx %11.2f\n", p.n, p.ns, speedup, speedup/float64(p.n))
+		}
+	}
 }
 
 // delta formats a percentage change; a zero or missing old value has no

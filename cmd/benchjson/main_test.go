@@ -125,6 +125,96 @@ func TestDeltaGuardsZero(t *testing.T) {
 	}
 }
 
+func TestGate(t *testing.T) {
+	rec := &Record{Benchmarks: []Benchmark{
+		{Pkg: "iothub", Name: "BenchmarkFleetSweep/workers=1", AllocsPerOp: 7552,
+			Metrics: map[string]float64{"scenarios": 64}},
+		{Pkg: "iothub", Name: "BenchmarkOther", AllocsPerOp: 10},
+	}}
+	var b strings.Builder
+	if err := Gate(&b, rec, "FleetSweep/workers=1", 500); err != nil {
+		t.Fatalf("within-budget gate failed: %v", err)
+	}
+	if !strings.Contains(b.String(), "gate ok") || !strings.Contains(b.String(), "118 allocs/scenario") {
+		t.Errorf("gate output = %q", b.String())
+	}
+	if err := Gate(io.Discard, rec, "FleetSweep/workers=1", 100); err == nil {
+		t.Fatal("over-budget gate passed")
+	} else if !strings.Contains(err.Error(), "exceeds the pinned budget") {
+		t.Errorf("over-budget error = %v", err)
+	}
+	if err := Gate(io.Discard, rec, "NoSuchBenchmark", 500); err == nil {
+		t.Fatal("gate with no matching benchmark passed")
+	}
+	// A matching benchmark without the scenarios metric must fail loudly, not
+	// silently check nothing.
+	if err := Gate(io.Discard, rec, "BenchmarkOther", 500); err == nil {
+		t.Fatal("gate without a scenarios metric passed")
+	}
+	bare := &Record{Benchmarks: []Benchmark{
+		{Name: "BenchmarkFleetSweep/workers=1", Metrics: map[string]float64{"scenarios": 64}},
+	}}
+	if err := Gate(io.Discard, bare, "FleetSweep", 500); err == nil {
+		t.Fatal("gate without -benchmem allocation data passed")
+	}
+}
+
+func TestWorkerCount(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		base string
+		n    int
+		ok   bool
+	}{
+		{"BenchmarkFleetSweep/workers=1", "BenchmarkFleetSweep", 1, true},
+		{"BenchmarkFleetSweep/workers=4-8", "BenchmarkFleetSweep", 4, true},
+		{"BenchmarkServiceSweep/workers=16-2", "BenchmarkServiceSweep", 16, true},
+		{"BenchmarkFleetSweep", "", 0, false},
+		{"BenchmarkX/workers=zero", "", 0, false},
+	} {
+		base, n, ok := workerCount(tc.name)
+		if base != tc.base || n != tc.n || ok != tc.ok {
+			t.Errorf("workerCount(%q) = (%q, %d, %v), want (%q, %d, %v)",
+				tc.name, base, n, ok, tc.base, tc.n, tc.ok)
+		}
+	}
+}
+
+func TestWriteScaling(t *testing.T) {
+	rec := &Record{Benchmarks: []Benchmark{
+		{Pkg: "iothub", Name: "BenchmarkFleetSweep/workers=4-8", NsPerOp: 50},
+		{Pkg: "iothub", Name: "BenchmarkFleetSweep/workers=1-8", NsPerOp: 100},
+		{Pkg: "iothub", Name: "BenchmarkFleetSweep/workers=2-8", NsPerOp: 60},
+		{Pkg: "iothub", Name: "BenchmarkUnrelated", NsPerOp: 5},
+	}}
+	var b strings.Builder
+	WriteScaling(&b, rec)
+	out := b.String()
+	for _, want := range []string{
+		"worker scaling: BenchmarkFleetSweep",
+		"1.00x", // workers=1 reference
+		"1.67x", // 100/60
+		"2.00x", // 100/50
+		"0.50",  // efficiency at 4 workers: 2.00/4
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("scaling table missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "BenchmarkUnrelated") {
+		t.Errorf("scaling table includes a non-worker benchmark:\n%s", out)
+	}
+	// Without a workers=1 reference the table degrades to n/a, not garbage.
+	noRef := &Record{Benchmarks: []Benchmark{
+		{Name: "BenchmarkX/workers=2", NsPerOp: 10},
+	}}
+	b.Reset()
+	WriteScaling(&b, noRef)
+	if !strings.Contains(b.String(), "n/a") {
+		t.Errorf("reference-free scaling table = %q", b.String())
+	}
+}
+
 func TestParseRejectsFailure(t *testing.T) {
 	in := "BenchmarkX 1 5 ns/op\n--- FAIL: TestY (0.00s)\nFAIL\nFAIL\tiothub\t0.1s\n"
 	if _, err := Parse(strings.NewReader(in)); err == nil {

@@ -102,9 +102,15 @@ func (p Params) SleepBreakEven() time.Duration {
 type workItem struct {
 	d       time.Duration
 	r       energy.Routine
-	done    func()
+	done    sim.Done
 	startAt sim.Time // execution start, for routine spans
 }
+
+// Ops for the CPU's own scheduled events (see OnEvent).
+const (
+	opWake = iota + 1 // wake transition completed
+	opEnd             // work item finished; I0 is the in-flight slot
+)
 
 // CPU is one main-board processor instance with two execution lanes that
 // mirror how a Linux hub actually schedules this work:
@@ -120,15 +126,27 @@ type workItem struct {
 // the long-running occupant; IO slices are interleaved noise within it.
 type CPU struct {
 	sched  *sim.Scheduler
+	meter  *energy.Meter
+	name   string
 	track  *energy.Track
 	params Params
 	state  State
 
+	// Work queues are ring buffers: the head index advances on pop instead
+	// of reslicing, so a drained queue's backing array is reused forever.
 	queueIO      []workItem
+	ioHead       int
 	queueCompute []workItem
+	computeHead  int
 	ioBusy       bool
 	ioRoutine    energy.Routine
 	computeBusy  int
+
+	// In-flight items live in a slot pool so the completion event carries
+	// only a slot index (no per-event closure); the compute lane runs items
+	// concurrently, so more than one slot can be occupied.
+	inflight     []workItem
+	inflightFree []int32
 
 	busy  map[energy.Routine]time.Duration
 	wakes int
@@ -145,16 +163,25 @@ func isIO(r energy.Routine) bool {
 	return r == energy.Interrupt || r == energy.DataTransfer
 }
 
-// New returns an idle (WFI) processor metered on the named track.
-func New(sched *sim.Scheduler, meter *energy.Meter, name string, params Params) (*CPU, error) {
+func validateParams(params Params) error {
 	if params.MIPS <= 0 {
-		return nil, fmt.Errorf("cpu: MIPS = %v, want > 0", params.MIPS)
+		return fmt.Errorf("cpu: MIPS = %v, want > 0", params.MIPS)
 	}
 	if params.Cores < 1 {
-		return nil, fmt.Errorf("cpu: Cores = %d, want >= 1", params.Cores)
+		return fmt.Errorf("cpu: Cores = %d, want >= 1", params.Cores)
+	}
+	return nil
+}
+
+// New returns an idle (WFI) processor metered on the named track.
+func New(sched *sim.Scheduler, meter *energy.Meter, name string, params Params) (*CPU, error) {
+	if err := validateParams(params); err != nil {
+		return nil, err
 	}
 	c := &CPU{
 		sched:  sched,
+		meter:  meter,
+		name:   name,
 		track:  meter.Track(name),
 		params: params,
 		state:  WFI,
@@ -162,6 +189,38 @@ func New(sched *sim.Scheduler, meter *energy.Meter, name string, params Params) 
 	}
 	c.track.Set(params.WFIW, energy.Idle)
 	return c, nil
+}
+
+// Reset reinitializes the processor in place for a new run, exactly as New
+// would construct it: the scheduler and meter must have been reset first,
+// and the track is re-requested so it registers at this call's position in
+// the meter's component order. Queue, slot, and busy-map capacity is kept.
+func (c *CPU) Reset(params Params) error {
+	if err := validateParams(params); err != nil {
+		return err
+	}
+	c.track = c.meter.Track(c.name)
+	c.params = params
+	c.state = WFI
+	c.queueIO = c.queueIO[:0]
+	c.ioHead = 0
+	c.queueCompute = c.queueCompute[:0]
+	c.computeHead = 0
+	c.ioBusy = false
+	c.ioRoutine = 0
+	c.computeBusy = 0
+	for i := range c.inflight {
+		c.inflight[i] = workItem{}
+	}
+	c.inflight = c.inflight[:0]
+	c.inflightFree = c.inflightFree[:0]
+	clear(c.busy)
+	c.wakes = 0
+	c.obs = nil
+	c.resid = [Waking + 1]time.Duration{}
+	c.lastTrans = 0
+	c.track.Set(params.WFIW, energy.Idle)
+	return nil
 }
 
 // Observe attaches an observability recorder: routine spans are emitted at
@@ -201,8 +260,11 @@ func (c *CPU) State() State { return c.state }
 
 // Busy reports whether work is executing or queued.
 func (c *CPU) Busy() bool {
-	return c.ioBusy || c.computeBusy > 0 || len(c.queueIO) > 0 || len(c.queueCompute) > 0
+	return c.ioBusy || c.computeBusy > 0 || c.ioQueued() > 0 || c.computeQueued() > 0
 }
+
+func (c *CPU) ioQueued() int      { return len(c.queueIO) - c.ioHead }
+func (c *CPU) computeQueued() int { return len(c.queueCompute) - c.computeHead }
 
 // computeCapacity is the number of concurrent compute-lane items.
 func (c *CPU) computeCapacity() int {
@@ -235,6 +297,12 @@ func (c *CPU) BusyByRoutine() map[energy.Routine]time.Duration {
 // lane; everything else parallelizes on the compute lane. If the processor
 // is sleeping, the wake transition is charged to r and delays the work.
 func (c *CPU) Exec(d time.Duration, r energy.Routine, done func()) error {
+	return c.ExecCall(d, r, sim.Call(done))
+}
+
+// ExecCall is Exec taking the completion as a pre-bound sim.Done — the
+// allocation-free form for hot paths that would otherwise close over state.
+func (c *CPU) ExecCall(d time.Duration, r energy.Routine, done sim.Done) error {
 	if d < 0 {
 		return fmt.Errorf("cpu: negative work duration %v", d)
 	}
@@ -248,7 +316,7 @@ func (c *CPU) Exec(d time.Duration, r energy.Routine, done func()) error {
 }
 
 func (c *CPU) maybeStart() error {
-	if len(c.queueIO) == 0 && len(c.queueCompute) == 0 {
+	if c.ioQueued() == 0 && c.computeQueued() == 0 {
 		return nil
 	}
 	switch c.state {
@@ -261,36 +329,27 @@ func (c *CPU) maybeStart() error {
 			wake = c.params.WakeFromDeep
 		}
 		wakeFor := energy.AppCompute
-		if len(c.queueIO) > 0 {
-			wakeFor = c.queueIO[0].r
+		if c.ioQueued() > 0 {
+			wakeFor = c.queueIO[c.ioHead].r
 		}
 		c.setState(Waking)
 		c.wakes++
 		c.track.Set(c.params.TransitionW, wakeFor)
-		if _, err := c.sched.After(wake, func() {
-			c.setState(WFI)
-			if err := c.maybeStart(); err != nil {
-				// Scheduling in a DES only fails on programming errors;
-				// surface it by stopping the run.
-				c.sched.Stop()
-			}
-		}); err != nil {
+		if _, err := c.sched.AfterCall(wake, c, sim.Arg{Op: opWake}); err != nil {
 			return fmt.Errorf("cpu: schedule wake: %w", err)
 		}
 		return nil
 	default:
-		if !c.ioBusy && len(c.queueIO) > 0 {
-			item := c.queueIO[0]
-			c.queueIO = c.queueIO[1:]
+		if !c.ioBusy && c.ioQueued() > 0 {
+			item := c.popIO()
 			c.ioBusy = true
 			c.ioRoutine = item.r
 			if err := c.beginWork(item); err != nil {
 				return err
 			}
 		}
-		for c.computeBusy < c.computeCapacity() && len(c.queueCompute) > 0 {
-			item := c.queueCompute[0]
-			c.queueCompute = c.queueCompute[1:]
+		for c.computeBusy < c.computeCapacity() && c.computeQueued() > 0 {
+			item := c.popCompute()
 			c.computeBusy++
 			if err := c.beginWork(item); err != nil {
 				return err
@@ -300,11 +359,61 @@ func (c *CPU) maybeStart() error {
 	}
 }
 
+func (c *CPU) popIO() workItem {
+	item := c.queueIO[c.ioHead]
+	c.queueIO[c.ioHead] = workItem{}
+	c.ioHead++
+	if c.ioHead == len(c.queueIO) {
+		c.queueIO = c.queueIO[:0]
+		c.ioHead = 0
+	}
+	return item
+}
+
+func (c *CPU) popCompute() workItem {
+	item := c.queueCompute[c.computeHead]
+	c.queueCompute[c.computeHead] = workItem{}
+	c.computeHead++
+	if c.computeHead == len(c.queueCompute) {
+		c.queueCompute = c.queueCompute[:0]
+		c.computeHead = 0
+	}
+	return item
+}
+
+// OnEvent dispatches the processor's own scheduled events — wake completion
+// and work completion — without a per-event closure. Scheduling in a DES
+// only fails on programming errors; failures stop the run.
+func (c *CPU) OnEvent(a sim.Arg) {
+	switch a.Op {
+	case opWake:
+		c.setState(WFI)
+		if err := c.maybeStart(); err != nil {
+			c.sched.Stop()
+		}
+	case opEnd:
+		slot := int(a.I0)
+		item := c.inflight[slot]
+		c.inflight[slot] = workItem{}
+		c.inflightFree = append(c.inflightFree, int32(slot))
+		c.endWork(item)
+	}
+}
+
 func (c *CPU) beginWork(item workItem) error {
 	c.setState(Active)
 	c.setActivePower()
 	item.startAt = c.sched.Now()
-	_, err := c.sched.After(item.d, func() { c.endWork(item) })
+	var slot int
+	if n := len(c.inflightFree); n > 0 {
+		slot = int(c.inflightFree[n-1])
+		c.inflightFree = c.inflightFree[:n-1]
+		c.inflight[slot] = item
+	} else {
+		slot = len(c.inflight)
+		c.inflight = append(c.inflight, item)
+	}
+	_, err := c.sched.AfterCall(item.d, c, sim.Arg{Op: opEnd, I0: int64(slot)})
 	if err != nil {
 		return fmt.Errorf("cpu: schedule work end: %w", err)
 	}
@@ -332,15 +441,13 @@ func (c *CPU) endWork(item workItem) {
 	}
 	if c.ioBusy || c.computeBusy > 0 {
 		c.setActivePower()
-	} else if len(c.queueIO) == 0 && len(c.queueCompute) == 0 {
+	} else if c.ioQueued() == 0 && c.computeQueued() == 0 {
 		// Default to stalling; the scheme's done callback typically refines
 		// this with an Idle call carrying the expected gap.
 		c.setState(WFI)
 		c.track.Set(c.params.WFIW, energy.Idle)
 	}
-	if item.done != nil {
-		item.done()
-	}
+	item.done.Invoke()
 	if err := c.maybeStart(); err != nil {
 		c.sched.Stop()
 	}

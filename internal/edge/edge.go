@@ -122,6 +122,8 @@ func (p Params) Objective(latency time.Duration, joules float64) float64 {
 type Edge struct {
 	params Params
 	sched  *sim.Scheduler
+	meter  *energy.Meter
+	name   string
 	track  *energy.Track
 	rec    *obs.Recorder
 	warm   map[string]bool
@@ -140,11 +142,32 @@ func New(sched *sim.Scheduler, meter *energy.Meter, name string, params Params) 
 	e := &Edge{
 		params: params,
 		sched:  sched,
+		meter:  meter,
+		name:   name,
 		track:  meter.Track(name),
 		warm:   make(map[string]bool),
 	}
 	e.track.Set(params.IdleW, energy.Idle)
 	return e, nil
+}
+
+// Reset reinitializes the executor in place for a new run, exactly as New
+// would construct it: the scheduler and meter must have been reset first,
+// and the track is re-requested so it registers at this call's position in
+// the meter's component order. Warm-container map capacity is kept.
+func (e *Edge) Reset(params Params) error {
+	if err := params.Validate(); err != nil {
+		return err
+	}
+	e.params = params
+	e.track = e.meter.Track(e.name)
+	e.rec = nil
+	clear(e.warm)
+	e.active = 0
+	e.jobs = 0
+	e.coldStarts = 0
+	e.track.Set(params.IdleW, energy.Idle)
+	return nil
 }
 
 // Observe attaches an observability recorder (nil disables the layer).

@@ -104,14 +104,23 @@ type Track struct {
 	touched uint8 // bit r set once routine r has accrued an interval
 	trace   []Sample
 	tracing bool
+	gen     uint32 // meter generation this track is live in
 }
 
 // Meter owns the tracks of all components on one virtual timeline.
+//
+// A meter can be reset and reused across simulation runs: Reset bumps a
+// generation counter and empties the live views, while the tracks map keeps
+// every Track ever created as a pool. The next Track(name) call for a pooled
+// name reinitializes that Track in place (retaining its trace capacity) and
+// re-registers it, so a reused meter behaves — and serializes — exactly like
+// a fresh one as long as tracks are re-registered in the same order.
 type Meter struct {
 	clock  *sim.Scheduler
-	tracks map[string]*Track
-	order  []string // creation order, for Components
-	sorted []*Track // name-sorted, maintained at insertion; Total's summation order
+	tracks map[string]*Track // pool: every track ever created, live or stale
+	order  []string          // creation order of live tracks, for Components
+	sorted []*Track          // name-sorted live tracks; Total's summation order
+	gen    uint32            // bumped by Reset; tracks with gen != this are stale
 }
 
 // NewMeter returns a meter bound to the given virtual clock.
@@ -120,9 +129,14 @@ func NewMeter(clock *sim.Scheduler) *Meter {
 }
 
 // Track returns the named component track, creating it (at zero watts,
-// routine Idle) on first use.
+// routine Idle) on first use. After a Reset, the first call for a previously
+// seen name revives the pooled Track in place instead of allocating.
 func (m *Meter) Track(name string) *Track {
 	if tr, ok := m.tracks[name]; ok {
+		if tr.gen != m.gen {
+			tr.revive(m.gen, m.clock.Now())
+			m.register(tr)
+		}
 		return tr
 	}
 	tr := &Track{
@@ -130,17 +144,51 @@ func (m *Meter) Track(name string) *Track {
 		clock:   m.clock,
 		lastAt:  m.clock.Now(),
 		routine: Idle,
+		gen:     m.gen,
 	}
 	m.tracks[name] = tr
-	m.order = append(m.order, name)
+	m.register(tr)
+	return tr
+}
+
+// register adds tr to the live views: creation order and the sorted slice.
+func (m *Meter) register(tr *Track) {
+	m.order = append(m.order, tr.name)
 	// Keep the sorted view incrementally so Total never re-sorts: insert at
 	// the track's rank among existing names. Sorted summation order keeps
 	// Meter.Total's float accumulation bit-identical run to run.
-	i := sort.Search(len(m.sorted), func(i int) bool { return m.sorted[i].name >= name })
+	i := sort.Search(len(m.sorted), func(i int) bool { return m.sorted[i].name >= tr.name })
 	m.sorted = append(m.sorted, nil)
 	copy(m.sorted[i+1:], m.sorted[i:])
 	m.sorted[i] = tr
-	return tr
+}
+
+// revive reinitializes a pooled track to the fresh-construction state,
+// retaining only the trace buffer's capacity.
+func (tr *Track) revive(gen uint32, now sim.Time) {
+	tr.gen = gen
+	tr.lastAt = now
+	tr.watts = 0
+	tr.routine = Idle
+	tr.joules = [routineSlots]float64{}
+	tr.touched = 0
+	if tr.trace != nil {
+		tr.trace = tr.trace[:0]
+	}
+	tr.tracing = false
+}
+
+// Reset prepares the meter for a new run on the (also reset) clock: the live
+// track views are emptied and the generation counter bumps, invalidating
+// every outstanding *Track. Tracks stay pooled — re-requesting the same
+// names in the same order reproduces a fresh meter without allocating.
+func (m *Meter) Reset() {
+	m.gen++
+	m.order = m.order[:0]
+	for i := range m.sorted {
+		m.sorted[i] = nil
+	}
+	m.sorted = m.sorted[:0]
 }
 
 // Components lists track names in creation order.
@@ -394,11 +442,12 @@ func (m *Meter) Total() Breakdown {
 }
 
 // ByComponent integrates up to now and returns per-component totals (all
-// routines summed), keyed by track name.
+// routines summed), keyed by track name. Only live tracks are reported —
+// after a Reset, pooled tracks that have not been re-requested are invisible.
 func (m *Meter) ByComponent() map[string]float64 {
-	out := make(map[string]float64, len(m.tracks))
-	for name, tr := range m.tracks {
-		out[name] = tr.Breakdown().Total()
+	out := make(map[string]float64, len(m.order))
+	for _, name := range m.order {
+		out[name] = m.tracks[name].Breakdown().Total()
 	}
 	return out
 }

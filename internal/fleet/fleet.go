@@ -65,8 +65,18 @@ type Result struct {
 // RunScenario materializes and executes one scenario, planning the partition
 // when the scheme's registry entry calls for one — BCOM today, any future
 // partitioned scheme without changes here (this is the planner-aware sibling
-// of hub.RunScenario, and what fleet workers execute).
+// of hub.RunScenario). It runs in a throwaway arena, so the result owns its
+// storage outright.
 func RunScenario(s hub.Scenario) (*hub.RunResult, error) {
+	return RunScenarioIn(hub.NewArena(), s)
+}
+
+// RunScenarioIn is RunScenario executing in a caller-owned arena — what the
+// fleet workers run, one arena per worker, so back-to-back scenarios reuse
+// the scheduler, meter, and device stack instead of reconstructing them. The
+// returned result is only valid until the arena's next run (see the
+// retention contract in hub's arena); callers that keep it must Clone it.
+func RunScenarioIn(a *hub.Arena, s hub.Scenario) (*hub.RunResult, error) {
 	cfg, err := s.Config()
 	if err != nil {
 		return nil, err
@@ -85,7 +95,26 @@ func RunScenario(s hub.Scenario) (*hub.RunResult, error) {
 		}
 		cfg.Assign = plan.Assign
 	}
-	return hub.Run(cfg)
+	return a.Run(cfg)
+}
+
+// execScenario is the worker pool's execution function, a seam the panic
+// recovery tests swap to inject failures.
+var execScenario = RunScenarioIn
+
+// safeRun executes one scenario in *ap and converts a panic into a scenario
+// error carrying the label and seed, so one pathological scenario fails
+// alone instead of killing the whole sweep. A panic leaves the arena in an
+// unknowable mid-run state, so it is replaced with a fresh one.
+func safeRun(ap **hub.Arena, s hub.Scenario) (r *hub.RunResult, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			*ap = hub.NewArena()
+			r = nil
+			err = fmt.Errorf("fleet: scenario %s (seed %d) panicked: %v", s.Label(), s.Seed, p)
+		}
+	}()
+	return execScenario(*ap, s)
 }
 
 // Run executes the sweep: Expand the spec, run every not-yet-journaled
@@ -185,10 +214,14 @@ func Run(spec Spec, opt Options) (*Result, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// One arena per worker: scenarios on this goroutine reuse the
+			// same scheduler/meter/device stack run after run. Metrics is
+			// extracted before the next run recycles the result's storage.
+			arena := hub.NewArena()
 			for i := range indices {
 				s := scens[i]
 				gauges.WorkerBusy(+1)
-				r, err := RunScenario(s)
+				r, err := safeRun(&arena, s)
 				gauges.WorkerBusy(-1)
 				if err != nil {
 					outcomes <- outcome{index: i, err: err.Error()}
@@ -276,9 +309,10 @@ func RunRange(scens []hub.Scenario, start, end, parallelism int) ([]DoneRecord, 
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			arena := hub.NewArena()
 			for i := range indices {
 				d := DoneRecord{Index: i, Label: scens[i].Label()}
-				if r, err := RunScenario(scens[i]); err != nil {
+				if r, err := safeRun(&arena, scens[i]); err != nil {
 					d.Err = err.Error()
 				} else {
 					d.Metrics = Metrics(r, scens[i].Windows)

@@ -75,79 +75,27 @@ type runner struct {
 	// crash, however many probes see the same dead MCU.
 	lastDegradedCrash int
 
+	// xfers is the slot pool of in-flight Interrupt + Data Transfer chains
+	// (events.go); events carry slot indices instead of closures.
+	xfers    []xfer
+	xferFree []int32
+
+	// Arena pools (arena.go): scrubbed per-run objects recycled across runs.
+	// All empty on a fresh runner, so first use constructs exactly what the
+	// pre-arena Run constructed.
+	statePool  []*appState
+	streamPool []*stream
+	uploadPool []map[int]int
+	edgePool   *edge.Edge
+
 	res    *RunResult
 	runErr error
 }
 
 // Run executes the configured scenario and returns its aggregated result.
+// It is a single-shot arena run: the result owns its storage outright.
 func Run(cfg Config) (*RunResult, error) {
-	params, err := cfg.validate()
-	if err != nil {
-		return nil, err
-	}
-	pols, err := cfg.policies()
-	if err != nil {
-		return nil, err
-	}
-	r := &runner{cfg: cfg, params: params, window: cfg.Apps[0].Spec().Window}
-	r.sched = sim.NewScheduler()
-	r.meter = energy.NewMeter(r.sched)
-	if r.cpu, err = cpu.New(r.sched, r.meter, "cpu", params.CPU); err != nil {
-		return nil, err
-	}
-	if r.mcu, err = mcu.New(r.sched, r.meter, "mcu", params.MCU); err != nil {
-		return nil, err
-	}
-	if r.link, err = link.New(r.sched, r.meter, "link", params.Link); err != nil {
-		return nil, err
-	}
-	if r.mainRadio, err = radio.New(r.sched, r.meter, "radio:main", params.MainRadio); err != nil {
-		return nil, err
-	}
-	if r.mcuRadio, err = radio.New(r.sched, r.meter, "radio:mcu", params.MCURadio); err != nil {
-		return nil, err
-	}
-	r.obs = params.Obs
-	r.obs.Bind(r.sched)
-	r.cpu.Observe(r.obs)
-	r.mcu.Observe(r.obs)
-	r.link.Observe(r.obs)
-	r.mainRadio.Observe(r.obs)
-	r.mcuRadio.Observe(r.obs)
-	if cfg.TracePower {
-		r.cpu.Track().EnableTrace()
-		r.mcu.Track().EnableTrace()
-	}
-	r.res = &RunResult{
-		Scheme:       cfg.Scheme,
-		Modes:        scheme.ModesOf(pols),
-		Outputs:      make(map[apps.ID][]WindowResult, len(cfg.Apps)),
-		PerComponent: make(map[string]energy.Breakdown),
-	}
-	if err := r.build(pols); err != nil {
-		return nil, err
-	}
-	if err := r.armFaults(); err != nil {
-		return nil, err
-	}
-	r.prime()
-	if err := r.scheduleAll(); err != nil {
-		return nil, err
-	}
-	if err := r.sched.Run(); err != nil {
-		if r.runErr != nil {
-			return nil, r.runErr
-		}
-		return nil, err
-	}
-	if r.runErr != nil {
-		return nil, r.runErr
-	}
-	r.collect()
-	if err := r.res.CheckInvariants(); err != nil {
-		return nil, fmt.Errorf("hub: run invariant violated: %w", err)
-	}
-	return r.res, nil
+	return NewArena().Run(cfg)
 }
 
 // fail aborts the simulation with an error (used from event callbacks).
@@ -168,17 +116,10 @@ func (r *runner) build(pols map[apps.ID]scheme.Policy) error {
 
 	for _, a := range r.cfg.Apps {
 		sp := a.Spec()
-		st := &appState{
-			app:             a,
-			spec:            sp,
-			mode:            pols[sp.ID].Mode(),
-			readsDone:       make(map[int]int),
-			delivered:       make(map[int]int),
-			expected:        make(map[int]int),
-			fired:           make(map[int]bool),
-			pendingFlushes:  make(map[int]int),
-			offloadInFlight: make(map[int]bool),
-		}
+		st := r.getState()
+		st.app = a
+		st.spec = sp
+		st.mode = pols[sp.ID].Mode()
 		ct, err := sp.CPUComputeTime(r.params.CPU.MIPS)
 		if err != nil {
 			return err
@@ -198,7 +139,7 @@ func (r *runner) build(pols map[apps.ID]scheme.Policy) error {
 			allOffloaded = false
 		}
 		if st.policy().PlaceCompute() == scheme.OnEdge {
-			st.uploadBytes = make(map[int]int)
+			st.uploadBytes = r.getUploadMap()
 			// The edge container is server-class: no EffectiveMIPS cap, the
 			// app's full per-window instruction demand is the workload.
 			st.edgeMI = sp.MIPS * sp.Window.Seconds()
@@ -251,17 +192,26 @@ func (r *runner) build(pols map[apps.ID]scheme.Policy) error {
 	r.offloadNeed = offloadNeed
 
 	// Bring up the edge tier only when some placement needs it, so runs with
-	// purely local schemes stay byte-identical to the pre-edge engine.
+	// purely local schemes stay byte-identical to the pre-edge engine. A
+	// reused arena revives its pooled executor at the same point, keeping the
+	// "edge" track's position in the meter's component order.
 	for _, st := range r.states {
 		if st.policy().PlaceCompute() != scheme.OnEdge {
 			continue
 		}
-		e, err := edge.New(r.sched, r.meter, "edge", r.params.Edge)
-		if err != nil {
-			return err
+		if r.edgePool != nil {
+			if err := r.edgePool.Reset(r.params.Edge); err != nil {
+				return err
+			}
+		} else {
+			e, err := edge.New(r.sched, r.meter, "edge", r.params.Edge)
+			if err != nil {
+				return err
+			}
+			r.edgePool = e
 		}
-		e.Observe(r.obs)
-		r.edge = e
+		r.edgePool.Observe(r.obs)
+		r.edge = r.edgePool
 		break
 	}
 
@@ -280,14 +230,13 @@ func (r *runner) build(pols map[apps.ID]scheme.Policy) error {
 		byID[st.spec.ID] = st
 	}
 	for _, ss := range plan {
-		s := &stream{
-			id:        ss.Sensor,
-			spec:      ss.Spec,
-			bytes:     ss.Bytes,
-			perWindow: ss.PerWindow,
-			period:    ss.Period,
-			track:     r.meter.Track(ss.Track),
-		}
+		s := r.getStream()
+		s.id = ss.Sensor
+		s.spec = ss.Spec
+		s.bytes = ss.Bytes
+		s.perWindow = ss.PerWindow
+		s.period = ss.Period
+		s.track = r.meter.Track(ss.Track)
 		for _, c := range ss.Consumers {
 			s.consumers = append(s.consumers, consumerLink{st: byID[c.App], stride: c.Stride})
 		}
@@ -324,10 +273,8 @@ func (r *runner) scheduleAll() error {
 		total := s.perWindow * r.cfg.Windows
 		r.res.ScheduledSamples += total
 		for k := 0; k < total; k++ {
-			s := s
-			k := k
 			at := sim.Time(int64(k) * int64(s.period))
-			if _, err := r.sched.At(at, func() { r.startRead(s, k) }); err != nil {
+			if _, err := r.sched.AtCall(at, r, sim.Arg{Op: opStartRead, P0: s, I0: int64(k)}); err != nil {
 				return err
 			}
 		}
@@ -383,24 +330,14 @@ func (r *runner) attemptRead(s *stream, k, retriesUsed int) {
 		}
 	}
 	s.track.Set(s.spec.PowerTyp, energy.DataCollection)
-	_, err := r.sched.After(readTime, func() {
-		s.track.Set(0, energy.Idle)
-		err := r.mcu.Exec(r.params.MCU.PerReadCPU, energy.DataCollection, func() {
-			switch {
-			case !failed:
-				r.sampleReady(s, k)
-			case retriesUsed < r.cfg.Faults.maxRetries():
-				r.res.ReadRetries++
-				r.noteRetry(s, k)
-				r.attemptRead(s, k, retriesUsed+1)
-			default:
-				r.dropSample(s, k)
-			}
-		})
-		if err != nil {
-			r.fail(err)
-		}
-	})
+	// The bus-done and formatted steps are typed events (events.go): the
+	// stream rides in P0, the sample index in I0, and retries/failed packed
+	// into I1, so the per-sample chain allocates nothing.
+	ctx := int64(retriesUsed) << 1
+	if failed {
+		ctx |= 1
+	}
+	_, err := r.sched.AfterCall(readTime, r, sim.Arg{Op: opReadBusDone, P0: s, I0: int64(k), I1: ctx})
 	if err != nil {
 		r.fail(err)
 	}
@@ -507,10 +444,8 @@ func (r *runner) sampleReady(s *stream, k int) {
 
 // cpuCompute runs the app-specific computation on the CPU.
 func (r *runner) cpuCompute(st *appState, w int) {
-	err := r.cpu.Exec(st.cpuComputeTime, energy.AppCompute, func() {
-		r.finishWindow(st, w)
-		r.governCPU()
-	})
+	err := r.cpu.ExecCall(st.cpuComputeTime, energy.AppCompute,
+		sim.Done{CB: r, Arg: sim.Arg{Op: opComputeDone, P0: st, I0: int64(w)}})
 	if err != nil {
 		r.fail(err)
 	}
@@ -526,14 +461,8 @@ func (r *runner) cpuCompute(st *appState, w int) {
 func (r *runner) offloadCompute(st *appState, w int) {
 	r.checkOffloadBudget(st, w, r.sched.Now())
 	st.offloadInFlight[w] = true
-	err := r.mcu.Exec(st.mcuComputeTime, energy.AppCompute, func() {
-		delete(st.offloadInFlight, w)
-		r.raiseAndTransfer(r.mcu, r.cpu, r.params.ResultBytes, nil, func(delivered bool) {
-			if delivered {
-				r.finishWindow(st, w)
-			}
-		})
-	})
+	err := r.mcu.ExecCall(st.mcuComputeTime, energy.AppCompute,
+		sim.Done{CB: r, Arg: sim.Arg{Op: opOffloadDone, P0: st, I0: int64(w)}})
 	if err != nil {
 		r.fail(err)
 	}
@@ -598,7 +527,8 @@ func (r *runner) uplink(st *appState, w int, payload []byte) {
 		}
 		return
 	}
-	err := r.cpu.Exec(r.params.UplinkDriverCPU, energy.AppCompute, func() { r.governCPU() })
+	err := r.cpu.ExecCall(r.params.UplinkDriverCPU, energy.AppCompute,
+		sim.Done{CB: r, Arg: sim.Arg{Op: opGovern}})
 	if err != nil {
 		r.fail(err)
 		return

@@ -1,33 +1,17 @@
 package hub
 
-// Per-run bookkeeping types: one appState per app, one stream per physical
-// sampling schedule, and the worker seam the conductor drives processor
-// models through. Policy resolution (policy/policyFor) lives here because an
-// app's active policy is a function of its — possibly degraded — mode.
+// Per-run bookkeeping types: one appState per app and one stream per
+// physical sampling schedule. Policy resolution (policy/policyFor) lives
+// here because an app's active policy is a function of its — possibly
+// degraded — mode.
 
 import (
 	"time"
 
 	"iothub/internal/apps"
-	"iothub/internal/cpu"
 	"iothub/internal/energy"
-	"iothub/internal/mcu"
 	"iothub/internal/scheme"
 	"iothub/internal/sensor"
-)
-
-// worker is the narrow slice of a processor model the conductor drives when
-// executing a policy verdict: timed execution of one routine with a
-// completion callback. Both boards satisfy it, so the interrupt/transfer
-// chain below is written once against the seam rather than twice against
-// the concrete types.
-type worker interface {
-	Exec(d time.Duration, routine energy.Routine, done func()) error
-}
-
-var (
-	_ worker = (*cpu.CPU)(nil)
-	_ worker = (*mcu.MCU)(nil)
 )
 
 // modeChange is one degradation step: mode applies from fromWindow on.

@@ -1,97 +1,19 @@
 package hub
 
-// The Interrupt + Data Transfer chains: every transfer plan a policy can
-// choose — per-sample, coalesced batch flush, result-only notification —
-// reduces to raiseAndTransfer with a different payload size. The wire-level
-// fault handling (linkSend) lives in chaos.go.
+// The Interrupt + Data Transfer entry points: every transfer plan a policy
+// can choose — per-sample, coalesced batch flush, result-only notification —
+// allocates an xfer pool slot and enters the shared chain in events.go. The
+// wire-level fault handling (linkSend) lives in chaos.go.
 
 import (
-	"iothub/internal/energy"
 	"iothub/internal/obs"
-	"iothub/internal/scheme"
 )
-
-// transferToCPU moves n payload bytes over the link and calls done when the
-// transfer finishes, reporting whether the payload was delivered (always
-// true on the fault-free wire; injected corruption/loss may exhaust the
-// retry policy). Without DMA the CPU is busy for the whole transfer — wire
-// time, retransmissions, timeouts, and backoff included — (the baseline
-// hardware of the paper); with DMA (§IV-F ablation) it only programs a
-// descriptor and the wire signals completion.
-func (r *runner) transferToCPU(n int, done func(delivered bool)) {
-	d, delivered, err := r.linkSend(n)
-	if err != nil {
-		r.fail(err)
-		return
-	}
-	r.res.BytesTransferred += n
-	if err := r.mcu.Exec(d, energy.DataTransfer, nil); err != nil {
-		r.fail(err)
-		return
-	}
-	finish := func() {
-		done(delivered)
-		r.governCPU()
-	}
-	if r.params.DMA {
-		if err := r.cpu.Exec(r.params.DMASetup, energy.DataTransfer, nil); err != nil {
-			r.fail(err)
-			return
-		}
-		if _, err := r.sched.After(d, finish); err != nil {
-			r.fail(err)
-		}
-		return
-	}
-	if err := r.cpu.Exec(d, energy.DataTransfer, finish); err != nil {
-		r.fail(err)
-	}
-}
-
-// raiseAndTransfer is the shared Interrupt + Data Transfer chain: the raiser
-// raises one interrupt, the handler fields it, and n payload bytes cross the
-// link. extra (optional) runs inside the interrupt accounting, before the
-// handler dispatch; done receives delivery status. Every transfer plan —
-// per-sample, coalesced flush, result notification — reduces to this chain
-// with different n.
-func (r *runner) raiseAndTransfer(raiser, handler worker, n int, extra func(), done func(delivered bool)) {
-	err := raiser.Exec(r.params.MCU.IrqRaise, energy.Interrupt, func() {
-		r.res.Interrupts++
-		r.obs.Inc(obs.InterruptsRaised)
-		if extra != nil {
-			extra()
-		}
-		err := handler.Exec(r.params.CPUIrqHandle, energy.Interrupt, func() {
-			r.transferToCPU(n, done)
-		})
-		if err != nil {
-			r.fail(err)
-		}
-	})
-	if err != nil {
-		r.fail(err)
-	}
-}
 
 // interruptAndTransfer is the per-sample path (SampleAction Interrupt): the
 // MCU raises the interrupt, the CPU fields it and pulls the sample over the
-// link. An undelivered sample (link faults past the retry budget) shrinks
-// the window's expectation — the window completes with fewer samples,
-// exactly like a collection-stage drop.
+// link. Delivery bookkeeping happens in the chain's continuation (xfSample).
 func (r *runner) interruptAndTransfer(s *stream, k, w int) {
-	r.raiseAndTransfer(r.mcu, r.cpu, s.bytes, nil, func(delivered bool) {
-		for _, l := range s.consumers {
-			if l.st.policyFor(w).OnSampleReady() != scheme.Interrupt || !l.wants(k) {
-				continue
-			}
-			if delivered {
-				l.st.delivered[w]++
-			} else {
-				l.st.expected[w] = l.st.expectedFor(w) - 1
-			}
-			r.maybeComplete(l.st, w)
-		}
-	})
+	r.startXfer(r.allocXfer(xfer{kind: xfSample, n: s.bytes, s: s, k: k, w: w}))
 }
 
 // batchSample appends a sample to the app's MCU-side batch, flushing early
@@ -131,13 +53,14 @@ func (r *runner) batchSample(st *appState, s *stream, w int, k int) {
 // coalesced transfer plan. The final flush of a window triggers the CPU-side
 // computation — even when link faults swallowed a bulk frame past the retry
 // budget: the window then computes on what arrived (the loss is visible in
-// LinkAbortedTransfers).
+// LinkAbortedTransfers). Completion bookkeeping lives in the chain's
+// continuation (xfBatch).
 func (r *runner) flushBatch(st *appState, w int, final bool) {
 	fill := st.batchFill
 	alloc := st.batchAllocd
 	st.batchFill = 0
 	st.batchAllocd = 0
-	st.batchRefs = nil
+	st.batchRefs = st.batchRefs[:0]
 	if fill == 0 && !final {
 		return
 	}
@@ -148,21 +71,5 @@ func (r *runner) flushBatch(st *appState, w int, final bool) {
 		return
 	}
 	st.pendingFlushes[w]++
-	r.raiseAndTransfer(r.mcu, r.cpu, fill, func() {
-		r.res.BatchFlushes++
-		r.obs.Inc(obs.BatchFlushes)
-	}, func(delivered bool) {
-		// Uploaded-mode windows stage their delivered bytes for the edge
-		// upload; a frame the link swallowed never reaches the batch the
-		// radio will carry up.
-		if delivered && st.uploadBytes != nil {
-			st.uploadBytes[w] += fill
-		}
-		st.pendingFlushes[w]--
-		if final && st.pendingFlushes[w] == 0 {
-			// Re-resolve the placement: a window degraded Uploaded→Batched
-			// computes locally, not on a tier the ladder just abandoned.
-			r.placeCompute(st, w, st.policyFor(w))
-		}
-	})
+	r.startXfer(r.allocXfer(xfer{kind: xfBatch, n: fill, st: st, w: w, fill: fill, final: final}))
 }

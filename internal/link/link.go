@@ -51,8 +51,27 @@ func DefaultParams() Params {
 type Link struct {
 	params Params
 	sched  *sim.Scheduler
+	meter  *energy.Meter
+	name   string
 	track  *energy.Track
 	obs    *obs.Recorder
+}
+
+// Ops for the link's scheduled wire power transitions (see OnEvent).
+const (
+	opWireOn  = 1 // I0 carries the routine the wire power is attributed to
+	opWireOff = 2
+)
+
+// OnEvent flips the wire's power state at the scheduled instant without a
+// per-frame closure.
+func (l *Link) OnEvent(a sim.Arg) {
+	switch a.Op {
+	case opWireOn:
+		l.track.Set(l.params.WireW, energy.Routine(a.I0))
+	case opWireOff:
+		l.track.Set(0, energy.Idle)
+	}
 }
 
 // Observe attaches an observability recorder: frame/byte/stall/retransmit
@@ -60,21 +79,42 @@ type Link struct {
 // attempt.
 func (l *Link) Observe(r *obs.Recorder) { l.obs = r }
 
-// New returns a link using the given meter track.
-func New(sched *sim.Scheduler, meter *energy.Meter, name string, params Params) (*Link, error) {
+func validateParams(params Params) error {
 	if params.BytesPerSec <= 0 {
-		return nil, fmt.Errorf("link: BytesPerSec = %v, want > 0", params.BytesPerSec)
+		return fmt.Errorf("link: BytesPerSec = %v, want > 0", params.BytesPerSec)
 	}
 	if params.FrameOverhead < 0 {
-		return nil, fmt.Errorf("link: negative FrameOverhead %v", params.FrameOverhead)
+		return fmt.Errorf("link: negative FrameOverhead %v", params.FrameOverhead)
 	}
 	if params.CRCBytes < 0 {
-		return nil, fmt.Errorf("link: negative CRCBytes %d", params.CRCBytes)
+		return fmt.Errorf("link: negative CRCBytes %d", params.CRCBytes)
 	}
 	if params.LossTimeout < 0 {
-		return nil, fmt.Errorf("link: negative LossTimeout %v", params.LossTimeout)
+		return fmt.Errorf("link: negative LossTimeout %v", params.LossTimeout)
 	}
-	return &Link{params: params, sched: sched, track: meter.Track(name)}, nil
+	return nil
+}
+
+// New returns a link using the given meter track.
+func New(sched *sim.Scheduler, meter *energy.Meter, name string, params Params) (*Link, error) {
+	if err := validateParams(params); err != nil {
+		return nil, err
+	}
+	return &Link{params: params, sched: sched, meter: meter, name: name, track: meter.Track(name)}, nil
+}
+
+// Reset reinitializes the link in place for a new run, exactly as New would
+// construct it: the scheduler and meter must have been reset first, and the
+// track is re-requested so it registers at this call's position in the
+// meter's component order.
+func (l *Link) Reset(params Params) error {
+	if err := validateParams(params); err != nil {
+		return err
+	}
+	l.params = params
+	l.track = l.meter.Track(l.name)
+	l.obs = nil
+	return nil
 }
 
 // Params returns the link's calibration constants.
@@ -107,7 +147,7 @@ func (l *Link) Transmit(n int, r energy.Routine) (time.Duration, error) {
 		now := l.sched.Now()
 		l.obs.Span("link", "frame", now, now.Add(wire))
 		l.track.Set(l.params.WireW, r)
-		if _, err := l.sched.After(wire, func() { l.track.Set(0, energy.Idle) }); err != nil {
+		if _, err := l.sched.AfterCall(wire, l, sim.Arg{Op: opWireOff}); err != nil {
 			return 0, fmt.Errorf("link: schedule wire-off: %w", err)
 		}
 	}
@@ -187,10 +227,10 @@ func (l *Link) TransmitReliable(n int, r energy.Routine, pol RetryPolicy, check 
 			on := elapsed
 			start := l.sched.Now().Add(on)
 			l.obs.Span("link", "frame", start, start.Add(wire))
-			if _, err := l.sched.After(on, func() { l.track.Set(l.params.WireW, r) }); err != nil {
+			if _, err := l.sched.AfterCall(on, l, sim.Arg{Op: opWireOn, I0: int64(r)}); err != nil {
 				return rep, fmt.Errorf("link: schedule wire-on: %w", err)
 			}
-			if _, err := l.sched.After(on+wire, func() { l.track.Set(0, energy.Idle) }); err != nil {
+			if _, err := l.sched.AfterCall(on+wire, l, sim.Arg{Op: opWireOff}); err != nil {
 				return rep, fmt.Errorf("link: schedule wire-off: %w", err)
 			}
 		}

@@ -66,16 +66,26 @@ var (
 type workItem struct {
 	d       time.Duration
 	r       energy.Routine
-	done    func()
+	done    sim.Done
 	startAt sim.Time // execution start, for routine spans
 }
 
+// opEnd is the MCU's one typed event: the running item finished. The L106
+// is a single core, so the item is always m.current — no slot needed.
+const opEnd = 1
+
 // MCU is one micro-controller board instance.
 type MCU struct {
-	sched   *sim.Scheduler
-	track   *energy.Track
-	params  Params
+	sched *sim.Scheduler
+	meter *energy.Meter
+	name  string
+	track *energy.Track
+
+	params Params
+	// The work queue is a ring buffer: head advances on pop instead of
+	// reslicing, so the backing array is reused forever.
 	queue   []workItem
+	head    int
 	running bool
 	ramUsed int
 	busy    map[energy.Routine]time.Duration
@@ -91,25 +101,62 @@ type MCU struct {
 	highWater int // peak RAM allocation, for the buffer high-water counter
 }
 
-// New returns an idle MCU metered on the named track.
-func New(sched *sim.Scheduler, meter *energy.Meter, name string, params Params) (*MCU, error) {
+func validateParams(params Params) error {
 	if params.UsableRAM() <= 0 {
-		return nil, fmt.Errorf("mcu: usable RAM %d bytes, want > 0", params.UsableRAM())
+		return fmt.Errorf("mcu: usable RAM %d bytes, want > 0", params.UsableRAM())
 	}
 	if params.BaseSlowdown <= 0 {
-		return nil, fmt.Errorf("mcu: BaseSlowdown = %v, want > 0", params.BaseSlowdown)
+		return fmt.Errorf("mcu: BaseSlowdown = %v, want > 0", params.BaseSlowdown)
 	}
 	if params.RebootTime < 0 || params.RebootW < 0 {
-		return nil, fmt.Errorf("mcu: negative reboot calibration (%v, %v W)", params.RebootTime, params.RebootW)
+		return fmt.Errorf("mcu: negative reboot calibration (%v, %v W)", params.RebootTime, params.RebootW)
+	}
+	return nil
+}
+
+// New returns an idle MCU metered on the named track.
+func New(sched *sim.Scheduler, meter *energy.Meter, name string, params Params) (*MCU, error) {
+	if err := validateParams(params); err != nil {
+		return nil, err
 	}
 	m := &MCU{
 		sched:  sched,
+		meter:  meter,
+		name:   name,
 		track:  meter.Track(name),
 		params: params,
 		busy:   make(map[energy.Routine]time.Duration),
 	}
 	m.track.Set(params.IdleW, energy.Idle)
 	return m, nil
+}
+
+// Reset reinitializes the board in place for a new run, exactly as New would
+// construct it: the scheduler and meter must have been reset first, and the
+// track is re-requested so it registers at this call's position in the
+// meter's component order. Queue and busy-map capacity is kept.
+func (m *MCU) Reset(params Params) error {
+	if err := validateParams(params); err != nil {
+		return err
+	}
+	m.track = m.meter.Track(m.name)
+	m.params = params
+	for i := range m.queue {
+		m.queue[i] = workItem{}
+	}
+	m.queue = m.queue[:0]
+	m.head = 0
+	m.running = false
+	m.ramUsed = 0
+	clear(m.busy)
+	m.rebooting = false
+	m.crashes = 0
+	m.current = workItem{}
+	m.endEv = sim.EventID{}
+	m.obs = nil
+	m.highWater = 0
+	m.track.Set(params.IdleW, energy.Idle)
+	return nil
 }
 
 // Observe attaches an observability recorder: work and reboot spans are
@@ -125,7 +172,9 @@ func (m *MCU) RAMHighWater() int { return m.highWater }
 func (m *MCU) Params() Params { return m.params }
 
 // Busy reports whether work is executing or queued.
-func (m *MCU) Busy() bool { return m.running || len(m.queue) > 0 }
+func (m *MCU) Busy() bool { return m.running || m.queued() > 0 }
+
+func (m *MCU) queued() int { return len(m.queue) - m.head }
 
 // RAMUsed reports currently allocated bytes.
 func (m *MCU) RAMUsed() int { return m.ramUsed }
@@ -179,6 +228,12 @@ func (m *MCU) BusyByRoutine() map[energy.Routine]time.Duration {
 // Exec queues d of work attributed to routine r; done (may be nil) runs on
 // completion. Work is serialized FIFO — the L106 is a single core.
 func (m *MCU) Exec(d time.Duration, r energy.Routine, done func()) error {
+	return m.ExecCall(d, r, sim.Call(done))
+}
+
+// ExecCall is Exec taking the completion as a pre-bound sim.Done — the
+// allocation-free form for hot paths that would otherwise close over state.
+func (m *MCU) ExecCall(d time.Duration, r energy.Routine, done sim.Done) error {
 	if d < 0 {
 		return fmt.Errorf("mcu: negative work duration %v", d)
 	}
@@ -187,16 +242,21 @@ func (m *MCU) Exec(d time.Duration, r energy.Routine, done func()) error {
 }
 
 func (m *MCU) maybeStart() error {
-	if m.running || m.rebooting || len(m.queue) == 0 {
+	if m.running || m.rebooting || m.queued() == 0 {
 		return nil
 	}
 	m.running = true
-	item := m.queue[0]
-	m.queue = m.queue[1:]
+	item := m.queue[m.head]
+	m.queue[m.head] = workItem{}
+	m.head++
+	if m.head == len(m.queue) {
+		m.queue = m.queue[:0]
+		m.head = 0
+	}
+	item.startAt = m.sched.Now()
 	m.current = item
 	m.track.Set(m.params.ActiveW, item.r)
-	item.startAt = m.sched.Now()
-	ev, err := m.sched.After(item.d, func() { m.endWork(item) })
+	ev, err := m.sched.AfterCall(item.d, m, sim.Arg{Op: opEnd})
 	if err != nil {
 		return fmt.Errorf("mcu: schedule work end: %w", err)
 	}
@@ -204,16 +264,23 @@ func (m *MCU) maybeStart() error {
 	return nil
 }
 
+// OnEvent dispatches the board's one typed event — work completion — without
+// a per-event closure. The running item is m.current: a crash cancels the
+// completion event before touching it, so the pairing cannot skew.
+func (m *MCU) OnEvent(a sim.Arg) {
+	if a.Op == opEnd {
+		m.endWork(m.current)
+	}
+}
+
 func (m *MCU) endWork(item workItem) {
 	m.busy[item.r] += item.d
 	m.obs.Span("mcu", item.r.String(), item.startAt, m.sched.Now())
 	m.running = false
-	if len(m.queue) == 0 {
+	if m.queued() == 0 {
 		m.track.Set(m.params.IdleW, energy.Idle)
 	}
-	if item.done != nil {
-		item.done()
-	}
+	item.done.Invoke()
 	if err := m.maybeStart(); err != nil {
 		m.sched.Stop()
 	}
@@ -238,7 +305,16 @@ func (m *MCU) Crash(d time.Duration, onAlive func()) error {
 	if m.running {
 		m.sched.Cancel(m.endEv)
 		m.running = false
-		m.queue = append([]workItem{m.current}, m.queue...)
+		// Requeue at the head of the ring: reuse the popped slot when one
+		// exists, otherwise shift (rare — only when the queue was full).
+		if m.head > 0 {
+			m.head--
+			m.queue[m.head] = m.current
+		} else {
+			m.queue = append(m.queue, workItem{})
+			copy(m.queue[1:], m.queue)
+			m.queue[0] = m.current
+		}
 	}
 	m.ramUsed = 0
 	m.rebooting = true
@@ -247,7 +323,7 @@ func (m *MCU) Crash(d time.Duration, onAlive func()) error {
 	_, err := m.sched.After(d, func() {
 		m.rebooting = false
 		m.obs.Span("mcu", "reboot", crashAt, m.sched.Now())
-		if len(m.queue) == 0 {
+		if m.queued() == 0 {
 			m.track.Set(m.params.IdleW, energy.Idle)
 		}
 		if onAlive != nil {

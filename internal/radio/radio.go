@@ -75,6 +75,7 @@ type outage struct{ from, until sim.Time }
 type Radio struct {
 	params Params
 	sched  *sim.Scheduler
+	meter  *energy.Meter
 	track  *energy.Track
 	name   string // track name, doubles as the span track ("radio:main")
 	obs    *obs.Recorder
@@ -96,9 +97,31 @@ func New(sched *sim.Scheduler, meter *energy.Meter, name string, params Params) 
 	if err := params.Validate(); err != nil {
 		return nil, err
 	}
-	r := &Radio{params: params, sched: sched, track: meter.Track(name), name: name}
+	r := &Radio{params: params, sched: sched, meter: meter, track: meter.Track(name), name: name}
 	r.track.Set(params.IdleW, energy.Idle)
 	return r, nil
+}
+
+// Reset reinitializes the radio in place for a new run, exactly as New would
+// construct it: the scheduler and meter must have been reset first, and the
+// track is re-requested so it registers at this call's position in the
+// meter's component order. Outage-list capacity is kept.
+func (r *Radio) Reset(params Params) error {
+	if err := params.Validate(); err != nil {
+		return err
+	}
+	r.params = params
+	r.track = r.meter.Track(r.name)
+	r.obs = nil
+	r.busyUntil = 0
+	r.outages = r.outages[:0]
+	r.queueLimit = 0
+	r.queuedBytes = 0
+	r.deferred = 0
+	r.droppedBursts = 0
+	r.droppedBytes = 0
+	r.track.Set(params.IdleW, energy.Idle)
+	return nil
 }
 
 // Observe attaches an observability recorder: burst/byte counters and

@@ -44,13 +44,69 @@ func (t Time) Add(d time.Duration) Time { return t + Time(d) }
 // before the event queue drained.
 var ErrStopped = errors.New("simulation stopped")
 
+// Arg is the context an event carries to a Callback: a small operation
+// discriminator plus two integer and two pointer payloads. It rides inside
+// the event's arena slot, so scheduling with AtCall/AfterCall captures no
+// closure — the allocation-free alternative to At/After for hot paths that
+// fire the same handler with different context millions of times per run.
+type Arg struct {
+	// Op discriminates event kinds when one Callback handles several
+	// (typically a switch in OnEvent).
+	Op     int
+	I0, I1 int64
+	P0, P1 any
+}
+
+// Callback is the closure-free event handler: OnEvent receives the Arg the
+// event was scheduled with. Model objects implement it once and dispatch on
+// Arg.Op, so a long-lived object schedules unbounded events with zero
+// per-event allocations.
+type Callback interface {
+	OnEvent(Arg)
+}
+
+// Done is a completion notification value: a Callback plus the Arg to
+// deliver. It replaces `done func()` parameters on hot execution paths —
+// being a value, it is copied into work queues without allocating. The zero
+// Done means "no notification".
+type Done struct {
+	CB  Callback
+	Arg Arg
+}
+
+// Invoke delivers the notification; a zero Done is a no-op.
+func (d Done) Invoke() {
+	if d.CB != nil {
+		d.CB.OnEvent(d.Arg)
+	}
+}
+
+// funcCB adapts a plain func() to Callback. Func values are pointer-shaped,
+// so the conversion to the interface does not allocate.
+type funcCB func()
+
+func (f funcCB) OnEvent(Arg) { f() }
+
+// Call wraps a plain completion func as a Done, so func-based convenience
+// APIs can delegate to their Done-based siblings. A nil fn yields the zero
+// (no-op) Done.
+func Call(fn func()) Done {
+	if fn == nil {
+		return Done{}
+	}
+	return Done{CB: funcCB(fn)}
+}
+
 // event is one arena slot. A slot is live while it sits in the heap
 // (pos >= 0) and free otherwise; gen increments every time the slot is
 // released, which invalidates any EventID minted for an earlier occupancy.
+// Exactly one of fn and cb is set on a live slot.
 type event struct {
 	at  Time
 	seq uint64 // tie-breaker: schedule order
 	fn  func()
+	cb  Callback
+	arg Arg
 	gen uint32
 	pos int32 // heap index, -1 while the slot is free or executing
 }
@@ -99,16 +155,9 @@ func (s *Scheduler) Now() Time { return s.now }
 // Pending reports how many events are currently scheduled.
 func (s *Scheduler) Pending() int { return len(s.heap) }
 
-// At schedules fn to run at instant t. Scheduling in the past (t < Now) is a
-// programming error in the model and returns an error; the event is not
-// scheduled.
-func (s *Scheduler) At(t Time, fn func()) (EventID, error) {
-	if t < s.now {
-		return EventID{}, fmt.Errorf("sim: schedule at %v before now %v", t, s.now)
-	}
-	if fn == nil {
-		return EventID{}, errors.New("sim: schedule nil callback")
-	}
+// alloc claims an arena slot for an event at instant t and returns its
+// index, ready for the caller to attach the callback form.
+func (s *Scheduler) alloc(t Time) (int32, *event) {
 	var idx int32
 	if n := len(s.free); n > 0 {
 		idx = s.free[n-1]
@@ -120,9 +169,23 @@ func (s *Scheduler) At(t Time, fn func()) (EventID, error) {
 	ev := &s.arena[idx]
 	ev.at = t
 	ev.seq = s.seq
-	ev.fn = fn
 	s.seq++
 	s.scheduled++
+	return idx, ev
+}
+
+// At schedules fn to run at instant t. Scheduling in the past (t < Now) is a
+// programming error in the model and returns an error; the event is not
+// scheduled.
+func (s *Scheduler) At(t Time, fn func()) (EventID, error) {
+	if t < s.now {
+		return EventID{}, fmt.Errorf("sim: schedule at %v before now %v", t, s.now)
+	}
+	if fn == nil {
+		return EventID{}, errors.New("sim: schedule nil callback")
+	}
+	idx, ev := s.alloc(t)
+	ev.fn = fn
 	s.heapPush(idx)
 	return EventID{slot: idx + 1, gen: ev.gen}, nil
 }
@@ -134,6 +197,33 @@ func (s *Scheduler) After(d time.Duration, fn func()) (EventID, error) {
 		d = 0
 	}
 	return s.At(s.now.Add(d), fn)
+}
+
+// AtCall schedules cb.OnEvent(arg) at instant t. The context rides in the
+// event's arena slot, so — unlike At with a capturing closure — steady-state
+// scheduling performs zero allocations. Dispatch order is identical to At:
+// the two forms share one (at, seq) sequence.
+func (s *Scheduler) AtCall(t Time, cb Callback, arg Arg) (EventID, error) {
+	if t < s.now {
+		return EventID{}, fmt.Errorf("sim: schedule at %v before now %v", t, s.now)
+	}
+	if cb == nil {
+		return EventID{}, errors.New("sim: schedule nil callback")
+	}
+	idx, ev := s.alloc(t)
+	ev.cb = cb
+	ev.arg = arg
+	s.heapPush(idx)
+	return EventID{slot: idx + 1, gen: ev.gen}, nil
+}
+
+// AfterCall schedules cb.OnEvent(arg) d after the current virtual time.
+// Negative d is clamped to zero, mirroring After.
+func (s *Scheduler) AfterCall(d time.Duration, cb Callback, arg Arg) (EventID, error) {
+	if d < 0 {
+		d = 0
+	}
+	return s.AtCall(s.now.Add(d), cb, arg)
 }
 
 // Cancel removes a scheduled event. Cancelling an event that already ran or
@@ -156,14 +246,35 @@ func (s *Scheduler) Cancel(id EventID) bool {
 }
 
 // release returns an arena slot to the free list. Bumping gen here is what
-// invalidates outstanding EventIDs; clearing fn releases the callback's
-// closure to the collector.
+// invalidates outstanding EventIDs; clearing fn/cb/arg releases the
+// callback's closure and context pointers to the collector.
 func (s *Scheduler) release(idx int32) {
 	ev := &s.arena[idx]
 	ev.fn = nil
+	ev.cb = nil
+	ev.arg = Arg{}
 	ev.pos = -1
 	ev.gen++
 	s.free = append(s.free, idx)
+}
+
+// Reset rewinds the scheduler to its post-NewScheduler state — clock at
+// zero, queue empty, counters zeroed — while keeping the arena, free-list,
+// and heap capacity, so a pooled scheduler re-runs a scenario without
+// re-growing its slabs. EventIDs minted before the Reset must not be used
+// afterwards: slots restart at generation zero, so a stale ID could collide
+// with a new occupancy (holders reset alongside the scheduler, so none
+// survive in practice). Must not be called from inside Run.
+func (s *Scheduler) Reset() {
+	s.now = 0
+	s.seq = 0
+	s.arena = s.arena[:0]
+	s.free = s.free[:0]
+	s.heap = s.heap[:0]
+	s.stopped = false
+	s.running = false
+	s.scheduled = 0
+	s.cancelled = 0
 }
 
 // Stop halts the simulation: the currently executing event finishes and Run
@@ -204,9 +315,15 @@ func (s *Scheduler) run(keep func(Time) bool) error {
 		}
 		s.popTop()
 		fn := s.arena[top].fn
+		cb := s.arena[top].cb
+		arg := s.arena[top].arg
 		s.release(top)
 		s.now = at
-		fn()
+		if fn != nil {
+			fn()
+		} else {
+			cb.OnEvent(arg)
+		}
 	}
 	return nil
 }
