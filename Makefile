@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt check lint-scheme fuzz fleet-smoke service-smoke obs-smoke opt-smoke bench bench-json bench-diff bench-smoke experiments ablations examples clean
+.PHONY: all build test race vet fmt check lint-scheme fuzz fleet-smoke service-smoke obs-smoke observer-smoke opt-smoke bench bench-json bench-diff bench-smoke experiments ablations examples clean
 
 all: build vet test check
 
@@ -35,10 +35,10 @@ lint-scheme:
 	fi; echo "lint-scheme: ok"
 
 # check is the pre-merge gate: static analysis, the scheme-placement lint,
-# the race detector, the optimizer determinism smoke, and a short fuzz pass
-# over the CoAP wire parser (the one decoder that consumes attacker-shaped
-# bytes).
-check: vet lint-scheme race opt-smoke fuzz
+# the race detector, the optimizer determinism smoke, the observer-effect
+# smoke, and a short fuzz pass over the CoAP wire parser (the one decoder
+# that consumes attacker-shaped bytes).
+check: vet lint-scheme race opt-smoke observer-smoke fuzz
 
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzUnmarshal -fuzztime 10s ./internal/coapmsg
@@ -68,6 +68,16 @@ obs-smoke:
 		-chaos "seed=7; link-corrupt:prob=0.05; mcu-crash:at=700ms,for=80ms" \
 		-trace $(OBS_TMP)/obs-chaos-trace.json -counters -flight
 	$(GO) test -run 'TestObs|TestChromeTrace' ./internal/hub ./internal/obs
+
+# Observer-effect smoke: the abl-observer ablation enforces its own gates —
+# the External/zero-cost asymptote is byte-identical to the unobserved run,
+# energy inflation grows strictly with the sampling rate within every scheme,
+# and per-sample schemes inflate strictly more than batched ones — so simply
+# running it (plus the asymptote/chaos/analytic test suite) is the gate.
+observer-smoke:
+	$(GO) run ./cmd/experiments -id abl-observer > /dev/null
+	$(GO) test -run 'TestMeter' ./internal/hub ./internal/obs
+	@echo "observer-smoke: ok"
 
 # Optimizer determinism smoke: run the committed example search twice, demand
 # the two emitted plans are byte-identical AND equal to the committed plan,

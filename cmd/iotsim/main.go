@@ -57,6 +57,8 @@ func run(args []string, out io.Writer) (retErr error) {
 	traceOut := fs.String("trace", "", "write a Perfetto-loadable Chrome trace-event JSON of the run's routine spans to this file")
 	counters := fs.Bool("counters", false, "print the hardware counter registry after the run (oprofile-style)")
 	flight := fs.Bool("flight", false, "print the flight recorder — the last hub events as JSON lines — after the run")
+	meterRate := fs.Float64("meter-rate", 0, "arm an in-situ energy meter sampling at this rate in Hz (0 = free external meter)")
+	meterPreset := fs.String("meter-preset", "insitu", "in-situ meter cost preset: external, insitu, eco")
 	battery := fs.Float64("battery-mah", 0, "project battery lifetime for this workload (mAh at 5 V; single app only)")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the simulation to this file")
 	memProfile := fs.String("memprofile", "", "write an allocation profile of the simulation to this file")
@@ -101,6 +103,13 @@ func run(args []string, out io.Writer) (retErr error) {
 		p := hub.DefaultParams()
 		p.Obs = rec
 		cfg.Params = &p
+	}
+	if *meterRate > 0 {
+		model, err := obs.Preset(*meterPreset, *meterRate)
+		if err != nil {
+			return err
+		}
+		cfg.Meter = &model
 	}
 	if *failEvery > 0 {
 		plan := &hub.FaultPlan{ReadFailEvery: map[sensor.ID]int{}, MaxRetries: 1}
@@ -148,6 +157,10 @@ func run(args []string, out io.Writer) (retErr error) {
 	printSummary(out, res, *windows)
 	if res.ReadRetries > 0 || res.DroppedSamples > 0 {
 		fmt.Fprintf(out, "faults: %d retries, %d dropped samples\n\n", res.ReadRetries, res.DroppedSamples)
+	}
+	if res.MeterSamples > 0 || res.MeterDroppedSamples > 0 {
+		fmt.Fprintf(out, "meter: %d samples (%d dropped), %d MCU cycles, %d flushes, %d B persisted\n\n",
+			res.MeterSamples, res.MeterDroppedSamples, res.MeterCycles, res.MeterFlushes, res.MeterBytes)
 	}
 	if *check {
 		printCheck(out, res)

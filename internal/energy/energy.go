@@ -218,6 +218,16 @@ func (tr *Track) Set(watts float64, r Routine) {
 	}
 }
 
+// Deposit attributes j joules to routine r at the current instant — a point
+// mass on the waveform for costs that are energies, not power levels (an ADC
+// conversion, a flash write burst). The interval so far is settled first, so
+// deposits never disturb the piecewise-constant integration or the trace.
+func (tr *Track) Deposit(j float64, r Routine) {
+	tr.settle()
+	tr.joules[r] += j
+	tr.touched |= 1 << uint(r)
+}
+
 // Watts reports the component's current power draw.
 func (tr *Track) Watts() float64 { return tr.watts }
 

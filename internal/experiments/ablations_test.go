@@ -4,8 +4,8 @@ import "testing"
 
 func TestAblationsListAndByID(t *testing.T) {
 	abls := Ablations()
-	if len(abls) != 9 {
-		t.Fatalf("ablations = %d, want 9", len(abls))
+	if len(abls) != 10 {
+		t.Fatalf("ablations = %d, want 10", len(abls))
 	}
 	for _, e := range abls {
 		got, err := ByID(e.ID)

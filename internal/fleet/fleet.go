@@ -227,6 +227,8 @@ func Run(spec Spec, opt Options) (*Result, error) {
 					outcomes <- outcome{index: i, err: err.Error()}
 					continue
 				}
+				gauges.MeterObserved(int64(r.MeterSamples), int64(r.MeterDroppedSamples),
+					r.MeterCycles, int64(r.MeterFlushes), int64(r.MeterBytes))
 				outcomes <- outcome{index: i, metrics: Metrics(r, s.Windows)}
 			}
 		}()

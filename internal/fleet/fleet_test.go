@@ -10,6 +10,7 @@ import (
 
 	"iothub/internal/apps"
 	"iothub/internal/hub"
+	"iothub/internal/obs"
 )
 
 // testSpec is a small sweep over light apps: 2 mixes x 2 schemes x 2 QoS
@@ -75,6 +76,55 @@ func TestExpandOrderAndSeeds(t *testing.T) {
 	}
 	if scens[9].Seed != ScenarioSeed(spec.Seed, 9) {
 		t.Errorf("zero-seed explicit scenario got %d, want derived %d", scens[9].Seed, ScenarioSeed(spec.Seed, 9))
+	}
+}
+
+// TestExpandMeterAxis pins the meters grid axis: it nests innermost, the
+// zero model expands to a meter-free scenario (so old grids are unchanged),
+// and an armed model lands in the label and survives spec JSON.
+func TestExpandMeterAxis(t *testing.T) {
+	spec := testSpec()
+	spec.Grid.QoS = []float64{1}
+	spec.Grid.Meters = []obs.MeterModel{{}, obs.Insitu(100)}
+	scens, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scens) != 8 {
+		t.Fatalf("expanded to %d scenarios, want 8 (2 mixes x 2 schemes x 2 meters)", len(scens))
+	}
+	wantFirst := []string{
+		"A2/Baseline/w1", "A2/Baseline/w1/m100",
+		"A2/Batching/w1", "A2/Batching/w1/m100",
+	}
+	for i, want := range wantFirst {
+		if got := scens[i].Label(); got != want {
+			t.Errorf("scenario %d = %s, want %s", i, got, want)
+		}
+	}
+	if scens[0].Meter != nil {
+		t.Errorf("zero meter model should expand meter-free, got %+v", scens[0].Meter)
+	}
+	if scens[1].Meter == nil || scens[1].Meter.RateHz != 100 {
+		t.Errorf("armed meter lost in expansion: %+v", scens[1].Meter)
+	}
+	// The meter axis round-trips through spec JSON.
+	blob, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseSpec(strings.NewReader(string(blob)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rescens, err := back.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range scens {
+		if scens[i].Label() != rescens[i].Label() {
+			t.Errorf("scenario %d label changed across spec JSON: %s vs %s", i, scens[i].Label(), rescens[i].Label())
+		}
 	}
 }
 

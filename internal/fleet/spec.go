@@ -26,6 +26,7 @@ import (
 
 	"iothub/internal/apps"
 	"iothub/internal/hub"
+	"iothub/internal/obs"
 )
 
 // Grid declares a cartesian sweep: every combination of app mix, scheme,
@@ -46,6 +47,9 @@ type Grid struct {
 	// Faults lists fault schedules in faults.ParseSchedule text form
 	// (defaults to [""], i.e. fault-free).
 	Faults []string `json:"faults,omitempty"`
+	// Meters lists in-situ meter models to sweep (the innermost axis;
+	// defaults to the free external meter, i.e. unobserved runs).
+	Meters []obs.MeterModel `json:"meters,omitempty"`
 	// SkipAppCompute applies to every grid scenario (pure-energy sweeps).
 	SkipAppCompute bool `json:"skipCompute,omitempty"`
 }
@@ -107,6 +111,10 @@ func (s Spec) Expand() ([]hub.Scenario, error) {
 		if len(fault) == 0 {
 			fault = []string{""}
 		}
+		meters := g.Meters
+		if len(meters) == 0 {
+			meters = []obs.MeterModel{{}}
+		}
 		for _, mix := range g.Apps {
 			for _, name := range g.Schemes {
 				scheme, err := hub.ParseScheme(name)
@@ -119,11 +127,20 @@ func (s Spec) Expand() ([]hub.Scenario, error) {
 					}
 					for _, q := range qos {
 						for _, f := range fault {
-							out = append(out, hub.Scenario{
-								Apps: mix, Scheme: scheme, Windows: w,
-								QoSMult: q, Faults: f,
-								SkipAppCompute: g.SkipAppCompute,
-							})
+							for mi := range meters {
+								sc := hub.Scenario{
+									Apps: mix, Scheme: scheme, Windows: w,
+									QoSMult: q, Faults: f,
+									SkipAppCompute: g.SkipAppCompute,
+								}
+								// The zero model is the default external
+								// meter: leave it nil so meter-free grids
+								// expand (and serialize) exactly as before.
+								if meters[mi] != (obs.MeterModel{}) {
+									sc.Meter = &meters[mi]
+								}
+								out = append(out, sc)
+							}
 						}
 					}
 				}

@@ -71,6 +71,9 @@ func (a *Arena) Run(cfg Config) (*RunResult, error) {
 	if err := r.armFaults(); err != nil {
 		return nil, err
 	}
+	if err := r.armMeter(); err != nil {
+		return nil, err
+	}
 	r.prime()
 	if err := r.scheduleAll(); err != nil {
 		return nil, err
@@ -135,6 +138,16 @@ func (r *runner) renew(cfg Config, params Params, reuse bool) error {
 	r.gapHint = 0
 	r.allowDeep = false
 	r.edge = nil
+	r.meterOn = false
+	r.meterPeriod = 0
+	r.meterSampleT = 0
+	r.meterFlushT = 0
+	r.meterHookT = 0
+	r.meterTrack = nil
+	r.meterIdx = 0
+	r.meterPend = 0
+	r.meterAllocd = 0
+	r.meterGen = 0
 	r.runErr = nil
 
 	r.cfg = cfg

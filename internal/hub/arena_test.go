@@ -13,6 +13,7 @@ import (
 	"iothub/internal/apps"
 	"iothub/internal/faults"
 	"iothub/internal/hub"
+	"iothub/internal/obs"
 )
 
 // TestArenaReuseMatchesGolden drives every golden corpus entry — all schemes,
@@ -106,26 +107,40 @@ const arenaAllocBudget = 100
 // TestArenaSteadyStateAllocs pins the per-scenario allocation count of a
 // warmed arena.
 func TestArenaSteadyStateAllocs(t *testing.T) {
-	s := hub.Scenario{
-		Apps:           []apps.ID{apps.StepCounter},
-		Scheme:         hub.Batching,
-		Windows:        1,
-		Seed:           7,
-		SkipAppCompute: true,
+	meter := obs.Insitu(500)
+	for _, tc := range []struct {
+		name  string
+		meter *obs.MeterModel
+	}{
+		{"plain", nil},
+		// The armed meter's sampling ticks, flush completions, and track all
+		// come from pooled storage: observing a run must not buy allocations.
+		{"metered", &meter},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			s := hub.Scenario{
+				Apps:           []apps.ID{apps.StepCounter},
+				Scheme:         hub.Batching,
+				Windows:        1,
+				Seed:           7,
+				SkipAppCompute: true,
+				Meter:          tc.meter,
+			}
+			arena := hub.NewArena()
+			for i := 0; i < 3; i++ {
+				if _, err := arena.RunScenario(s); err != nil {
+					t.Fatal(err)
+				}
+			}
+			allocs := testing.AllocsPerRun(10, func() {
+				if _, err := arena.RunScenario(s); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if allocs > arenaAllocBudget {
+				t.Errorf("steady-state RunScenario = %.0f allocs, budget %d", allocs, arenaAllocBudget)
+			}
+			t.Logf("steady-state RunScenario = %.0f allocs (budget %d)", allocs, arenaAllocBudget)
+		})
 	}
-	arena := hub.NewArena()
-	for i := 0; i < 3; i++ {
-		if _, err := arena.RunScenario(s); err != nil {
-			t.Fatal(err)
-		}
-	}
-	allocs := testing.AllocsPerRun(10, func() {
-		if _, err := arena.RunScenario(s); err != nil {
-			t.Fatal(err)
-		}
-	})
-	if allocs > arenaAllocBudget {
-		t.Errorf("steady-state RunScenario = %.0f allocs, budget %d", allocs, arenaAllocBudget)
-	}
-	t.Logf("steady-state RunScenario = %.0f allocs (budget %d)", allocs, arenaAllocBudget)
 }

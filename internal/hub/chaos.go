@@ -136,6 +136,9 @@ func (r *runner) onMCUCrash(d time.Duration) {
 			r.checkOffloadBudget(st, w, now.Add(d))
 		}
 	}
+	// The in-situ meter's sample buffer lives in the same RAM: the crash
+	// drops it in one burst and resets the instrument's duty-cycle phase.
+	r.meterOnCrash()
 	if err := r.mcu.Crash(d, func() { r.afterReboot(redo) }); err != nil {
 		r.fail(err)
 		return

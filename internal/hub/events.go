@@ -30,6 +30,8 @@ const (
 	opComputeDone              // P0 *appState, I0 window: CPU computation done
 	opOffloadDone              // P0 *appState, I0 window: MCU computation done
 	opGovern                   // re-apply the CPU idle policy
+	opMeterTick                // in-situ meter sampling instant (meter.go)
+	opMeterFlushed             // I0 sample count, I1 crash generation: flush done
 )
 
 // OnEvent dispatches the runner's typed events (see the ops above).
@@ -75,6 +77,10 @@ func (r *runner) OnEvent(a sim.Arg) {
 		r.startXfer(r.allocXfer(xfer{kind: xfResult, n: r.params.ResultBytes, st: st, w: w}))
 	case opGovern:
 		r.governCPU()
+	case opMeterTick:
+		r.meterTick()
+	case opMeterFlushed:
+		r.meterFlushed(int(a.I0), a.I1)
 	}
 }
 
@@ -129,6 +135,7 @@ func (r *runner) xferRaised(slot int) {
 	x := &r.xfers[slot]
 	r.res.Interrupts++
 	r.obs.Inc(obs.InterruptsRaised)
+	r.meterOnInterrupt()
 	if x.kind == xfBatch {
 		r.res.BatchFlushes++
 		r.obs.Inc(obs.BatchFlushes)

@@ -30,6 +30,7 @@ import (
 	"iothub/internal/apps"
 	"iothub/internal/energy"
 	"iothub/internal/faults"
+	"iothub/internal/obs"
 	"iothub/internal/scheme"
 	"iothub/internal/sensor"
 	"iothub/internal/sim"
@@ -105,6 +106,10 @@ type Config struct {
 	// watchdog, degradation ladder, buffers). Nil means DefaultResilience
 	// when FaultSchedule is active, and no resilience machinery otherwise.
 	Resilience *ResiliencePolicy
+	// Meter optionally overrides Params.Meter with an in-situ measurement
+	// instrument (DESIGN.md §13); nil leaves the params' meter (default: the
+	// free external one) in effect.
+	Meter *obs.MeterModel
 }
 
 // NoRetries is the FaultPlan.MaxRetries sentinel for "drop on first
@@ -206,6 +211,19 @@ type RunResult struct {
 	// EdgeUpstreamBytes counts window outputs that egressed directly from
 	// the edge (a subset of UpstreamBytes).
 	EdgeUpstreamBytes int `json:",omitempty"`
+
+	// In-situ meter accounting (DESIGN.md §13); all zero (and absent from
+	// JSON) unless a MeterModel is armed, which keeps the unobserved golden
+	// corpus byte-identical.
+	// MeterSamples / MeterDroppedSamples count readings taken and lost (RAM
+	// pressure or MCU reboots); MeterCycles is the MCU cycle budget the
+	// instrument consumed; MeterFlushes / MeterBytes count buffer flushes
+	// and the record bytes they persisted.
+	MeterSamples        int   `json:",omitempty"`
+	MeterDroppedSamples int   `json:",omitempty"`
+	MeterCycles         int64 `json:",omitempty"`
+	MeterFlushes        int   `json:",omitempty"`
+	MeterBytes          int   `json:",omitempty"`
 
 	// Sample ledger (run invariant: ScheduledSamples + RecollectedSamples ==
 	// DeliveredSamples + DroppedSamples + DownshiftSkipped).
@@ -389,6 +407,9 @@ func (c *Config) validate() (Params, error) {
 	params := DefaultParams()
 	if c.Params != nil {
 		params = *c.Params
+	}
+	if c.Meter != nil {
+		params.Meter = *c.Meter
 	}
 	if err := params.Validate(); err != nil {
 		return Params{}, fmt.Errorf("%w: %v", ErrConfig, err)

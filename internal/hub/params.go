@@ -49,6 +49,12 @@ type Params struct {
 	// instrumentation point; the recorder only observes, never schedules, so
 	// simulation output is identical either way.
 	Obs *obs.Recorder `json:"-"`
+	// Meter is the in-situ measurement instrument (DESIGN.md §13). Unlike
+	// Obs it is a physical model, not a software probe: when armed, its
+	// sampling runs as scheduled DES events on the MCU and costs real energy.
+	// The zero value is the free external bench meter — runs under it are
+	// byte-identical to unobserved runs, counters included.
+	Meter obs.MeterModel
 }
 
 // DefaultParams returns the Raspberry Pi 3B + ESP8266 calibration.
@@ -89,6 +95,9 @@ func (p Params) Validate() error {
 	}
 	if err := p.Edge.Validate(); err != nil {
 		return fmt.Errorf("hub: edge: %w", err)
+	}
+	if err := p.Meter.Validate(); err != nil {
+		return fmt.Errorf("hub: meter: %w", err)
 	}
 	return nil
 }

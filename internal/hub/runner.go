@@ -80,6 +80,19 @@ type runner struct {
 	xfers    []xfer
 	xferFree []int32
 
+	// In-situ meter runtime (meter.go); all zero unless params.Meter is
+	// armed, so unobserved runs stay byte-identical.
+	meterOn      bool
+	meterPeriod  time.Duration
+	meterSampleT time.Duration // MCU busy time per timed sample
+	meterFlushT  time.Duration // MCU busy time per flush
+	meterHookT   time.Duration // MCU busy time per event-attribution hook
+	meterTrack   *energy.Track
+	meterIdx     int64 // tick index since arm or reboot (duty-cycle phase)
+	meterPend    int   // samples buffered since the last flush
+	meterAllocd  int   // MCU RAM the meter currently holds
+	meterGen     int64 // bumped on crash: outstanding flush completions go stale
+
 	// Arena pools (arena.go): scrubbed per-run objects recycled across runs.
 	// All empty on a fresh runner, so first use constructs exactly what the
 	// pre-arena Run constructed.

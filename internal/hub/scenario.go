@@ -8,6 +8,7 @@ import (
 	"iothub/internal/apps"
 	"iothub/internal/apps/catalog"
 	"iothub/internal/faults"
+	"iothub/internal/obs"
 	"iothub/internal/scheme"
 )
 
@@ -42,6 +43,10 @@ type Scenario struct {
 	// SkipAppCompute skips the real user-level computations (energy/timing
 	// are still modeled) — the usual setting for pure-energy sweeps.
 	SkipAppCompute bool `json:"skipCompute,omitempty"`
+	// Meter arms an in-situ measurement instrument for the run (DESIGN.md
+	// §13); nil is the free external meter, today's asymptote. Serialized so
+	// fleet sweeps and the optimizer can sweep sampling rates.
+	Meter *obs.MeterModel `json:"meter,omitempty"`
 	// Tag optionally overrides the scenario's aggregation label; empty means
 	// the fleet aggregates this run under its scheme name.
 	Tag string `json:"tag,omitempty"`
@@ -65,6 +70,10 @@ func (s Scenario) Label() string {
 	if s.Faults != "" {
 		b.WriteString("/chaos")
 	}
+	if s.Meter != nil && s.Meter.Armed() {
+		b.WriteString("/m")
+		b.WriteString(strconv.FormatFloat(s.Meter.RateHz, 'g', -1, 64))
+	}
 	return b.String()
 }
 
@@ -81,6 +90,7 @@ func (s Scenario) Config() (Config, error) {
 		Windows:        s.Windows,
 		Assign:         s.Assign,
 		SkipAppCompute: s.SkipAppCompute,
+		Meter:          s.Meter,
 	}
 	for _, id := range s.Apps {
 		a, err := catalog.New(id, s.Seed)

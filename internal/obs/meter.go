@@ -1,0 +1,187 @@
+// The in-situ measurement model: what it costs to *take* the measurements
+// the rest of this package records. The Recorder is the paper's idealized
+// external instrument — a Monsoon monitor on the power rail plus an oprofile
+// kernel whose overhead the authors subtract out — and the hub proves it
+// never perturbs a run. Real deployments have no such luxury: "Eco: In Situ
+// Power Measurement on Low-end IoT Systems" and "Evaluating Task Execution
+// Performance Under Energy Measurement Overhead" both show on-device meters
+// spending CPU cycles, RAM, and energy of the very board they observe. A
+// MeterModel prices that observer: the hub schedules its samples as real DES
+// events on the MCU, so measurement contends with app work and the observer
+// effect becomes a first-class, per-scheme result (see hub/meter.go and the
+// abl-observer ablation).
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// MCUClockHz is the observed board's core clock (ESP8266: 80 MHz); it
+// converts a meter's per-sample cycle budget into MCU busy time, so
+// meter_cpu_cycles counts literal cycles of the paper's testbed part.
+const MCUClockHz = 80_000_000
+
+// MeterModel describes one in-situ measurement instrument. The zero value is
+// the External preset: a free bench instrument outside the device's power
+// envelope — today's asymptote, byte-identical to running unobserved. Every
+// field is serializable so fleet sweeps and the optimizer can sweep sampling
+// rates like any other scenario axis.
+type MeterModel struct {
+	// RateHz is the sampling rate in Hz of *virtual* time (the instrument
+	// samples the simulated timeline, not the host clock). 0 disarms the
+	// meter entirely.
+	RateHz float64 `json:"rateHz,omitempty"`
+	// PerSampleCycles is the MCU driver work per sample — ADC setup, the
+	// conversion wait, fixed-point scaling — in cycles at MCUClockHz. The
+	// work executes on the MCU's FIFO core, so it delays app work behind it.
+	PerSampleCycles int64 `json:"perSampleCycles,omitempty"`
+	// PerSampleRAM is the bytes each buffered sample record holds against
+	// the MCU's usable RAM until the next flush (visible in the RAM
+	// high-water mark, and gone when a crash wipes the RAM).
+	PerSampleRAM int `json:"perSampleRam,omitempty"`
+	// SenseJ is the analog front-end energy per sample (shunt amplifier +
+	// ADC conversion), deposited on the dedicated "meter" energy track.
+	SenseJ float64 `json:"senseJoules,omitempty"`
+	// FlushEvery flushes the sample buffer after this many samples (0 =
+	// never flush: records are kept resident, costing RAM only).
+	FlushEvery int `json:"flushEvery,omitempty"`
+	// FlushCycles is the MCU work per flush — the UART/flash driver pushing
+	// the buffered records out — in cycles at MCUClockHz.
+	FlushCycles int64 `json:"flushCycles,omitempty"`
+	// FlushBytes is the persisted record size per sample; a flush writes
+	// FlushBytes × buffered samples (counted in meter_bytes).
+	FlushBytes int `json:"flushBytes,omitempty"`
+	// HookCycles arms event-triggered attribution, the second half of a real
+	// energy profiler: besides the timed samples, the instrument snoops the
+	// MCU's interrupt line and logs one record per raised interrupt (reading
+	// the ADC, timestamping, classifying the running task, appending to the
+	// buffer) at this cycle cost. 0 = timer-only sampling. This is where the
+	// probe effect becomes workload-shaped: the hook's cost scales with the
+	// host's event rate, and per-sample schemes raise orders of magnitude
+	// more interrupts than batched ones.
+	HookCycles int64 `json:"hookCycles,omitempty"`
+	// DutyOn/DutyOff duty-cycle the instrument Eco-style: sample for DutyOn
+	// attempts (timed ticks and event hooks alike), power down for DutyOff,
+	// repeat. Both zero = continuous.
+	DutyOn  int `json:"dutyOn,omitempty"`
+	DutyOff int `json:"dutyOff,omitempty"`
+}
+
+// External is the zero-cost bench instrument outside the device — the
+// configuration every energy number in the paper (and this repo's golden
+// corpus) assumes. It never arms, so runs under it are byte-identical to
+// unobserved runs.
+func External() MeterModel { return MeterModel{} }
+
+// Insitu is a continuously sampling on-device meter calibrated after the
+// shunt-resistor + ADC instruments of the measurement-overhead literature:
+// 1600 cycles (20 µs at 80 MHz) of driver work and 2 µJ of conversion energy
+// per timed sample, 8-byte records buffered in MCU RAM, flushed to local
+// flash every 64 samples at 40k cycles (0.5 ms) per flush; plus per-event
+// attribution at 8000 cycles (100 µs) per raised interrupt — the oprofile
+// half of the rig, which reads the ADC and classifies the interrupting task
+// so energy can be attributed per app.
+func Insitu(rateHz float64) MeterModel {
+	return MeterModel{
+		RateHz:          rateHz,
+		PerSampleCycles: 1600,
+		PerSampleRAM:    8,
+		SenseJ:          2e-6,
+		FlushEvery:      64,
+		FlushCycles:     40_000,
+		FlushBytes:      8,
+		HookCycles:      8000,
+	}
+}
+
+// Eco is Insitu duty-cycled 1-in-4 — sample one tick, power down for three —
+// the Eco paper's low-duty operating point: the same instrument at a quarter
+// of the samples, a quarter of the overhead, and 4× the aliasing.
+func Eco(rateHz float64) MeterModel {
+	m := Insitu(rateHz)
+	m.DutyOn, m.DutyOff = 1, 3
+	return m
+}
+
+// Preset resolves a CLI preset name ("external", "insitu", "eco") at the
+// given sampling rate. External ignores the rate: a bench instrument costs
+// the device nothing at any rate.
+func Preset(name string, rateHz float64) (MeterModel, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "", "external":
+		m := External()
+		m.RateHz = rateHz
+		return m, nil
+	case "insitu":
+		return Insitu(rateHz), nil
+	case "eco":
+		return Eco(rateHz), nil
+	}
+	return MeterModel{}, fmt.Errorf("obs: unknown meter preset %q (want external, insitu, or eco)", name)
+}
+
+// Armed reports whether the model actually observes: a positive sampling
+// rate AND some nonzero cost. A disarmed meter is fully inert — the hub
+// schedules no events and registers no track for it — which is what makes
+// rate→0 (and External at any rate) reproduce unobserved runs byte for byte,
+// counters included.
+func (m MeterModel) Armed() bool {
+	if m.RateHz <= 0 {
+		return false
+	}
+	perSample := m.PerSampleCycles > 0 || m.PerSampleRAM > 0 || m.SenseJ > 0
+	flush := m.FlushEvery > 0 && (m.FlushCycles > 0 || m.FlushBytes > 0)
+	return perSample || flush || m.HookCycles > 0
+}
+
+// Validate rejects physically meaningless models.
+func (m MeterModel) Validate() error {
+	if m.RateHz < 0 {
+		return fmt.Errorf("obs: meter rate %g Hz", m.RateHz)
+	}
+	if m.RateHz > 1e8 {
+		return fmt.Errorf("obs: meter rate %g Hz above the %d Hz clock", m.RateHz, MCUClockHz)
+	}
+	if m.PerSampleCycles < 0 || m.FlushCycles < 0 || m.HookCycles < 0 {
+		return fmt.Errorf("obs: negative meter cycle budget")
+	}
+	if m.PerSampleRAM < 0 || m.FlushBytes < 0 {
+		return fmt.Errorf("obs: negative meter byte budget")
+	}
+	if m.SenseJ < 0 {
+		return fmt.Errorf("obs: negative meter sense energy")
+	}
+	if m.FlushEvery < 0 {
+		return fmt.Errorf("obs: meter FlushEvery %d", m.FlushEvery)
+	}
+	if m.DutyOn < 0 || m.DutyOff < 0 {
+		return fmt.Errorf("obs: negative meter duty phase")
+	}
+	if m.DutyOn == 0 && m.DutyOff > 0 {
+		return fmt.Errorf("obs: meter duty cycle %d/%d never samples", m.DutyOn, m.DutyOff)
+	}
+	return nil
+}
+
+// Period is the virtual-time sampling interval (0 when disarmed by rate).
+func (m MeterModel) Period() time.Duration {
+	if m.RateHz <= 0 {
+		return 0
+	}
+	return time.Duration(float64(time.Second) / m.RateHz)
+}
+
+// PerSampleTime converts the per-sample cycle budget into MCU busy time.
+func (m MeterModel) PerSampleTime() time.Duration { return cyclesToTime(m.PerSampleCycles) }
+
+// FlushTime converts the per-flush cycle budget into MCU busy time.
+func (m MeterModel) FlushTime() time.Duration { return cyclesToTime(m.FlushCycles) }
+
+// HookTime converts the per-event attribution budget into MCU busy time.
+func (m MeterModel) HookTime() time.Duration { return cyclesToTime(m.HookCycles) }
+
+func cyclesToTime(c int64) time.Duration {
+	return time.Duration(c * int64(time.Second) / MCUClockHz)
+}

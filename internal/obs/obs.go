@@ -91,6 +91,16 @@ const (
 	EdgeUploadBytes
 	EdgeColdStarts
 	EdgeUpstreamBytes
+	// MeterSamples / MeterDroppedSamples count the in-situ meter's readings
+	// taken and lost (RAM pressure, MCU reboots); MeterCPUCycles is the MCU
+	// cycle budget the instrument consumed; MeterFlushes / MeterBytes count
+	// buffer flushes and the record bytes they persisted. All zero unless a
+	// MeterModel is armed (see meter.go).
+	MeterSamples
+	MeterDroppedSamples
+	MeterCPUCycles
+	MeterFlushes
+	MeterBytes
 
 	numCounters
 )
@@ -125,6 +135,11 @@ var counterNames = [numCounters]string{
 	EdgeUploadBytes:     "edge_upload_bytes",
 	EdgeColdStarts:      "edge_cold_starts",
 	EdgeUpstreamBytes:   "edge_upstream_bytes",
+	MeterSamples:        "meter_samples",
+	MeterDroppedSamples: "meter_dropped_samples",
+	MeterCPUCycles:      "meter_cpu_cycles",
+	MeterFlushes:        "meter_flushes",
+	MeterBytes:          "meter_bytes",
 }
 
 // String returns the counter's oprofile-style name.

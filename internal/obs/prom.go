@@ -32,6 +32,15 @@ type Gauges struct {
 	degradeLevel  atomic.Int64 // coordinator degradation-ladder level
 	workersLive   atomic.Int64 // workers heard from within the liveness window
 
+	// In-situ meter totals across the sweep's runs (zero when no scenario
+	// arms a MeterModel) — observer cost on /metrics, per the self-metering
+	// mandate: the measurement layer reports what measuring costs.
+	meterSamples atomic.Int64
+	meterDropped atomic.Int64
+	meterCycles  atomic.Int64
+	meterFlushes atomic.Int64
+	meterBytes   atomic.Int64
+
 	mu          sync.Mutex
 	start       time.Time
 	fingerprint string
@@ -145,6 +154,19 @@ func (g *Gauges) SetWorkersLive(n int) {
 	g.workersLive.Store(int64(n))
 }
 
+// MeterObserved folds one completed run's in-situ meter accounting into the
+// sweep totals (all-zero calls from unobserved runs are free no-ops).
+func (g *Gauges) MeterObserved(samples, dropped, cycles, flushes, bytes int64) {
+	if g == nil || samples|dropped|cycles|flushes|bytes == 0 {
+		return
+	}
+	g.meterSamples.Add(samples)
+	g.meterDropped.Add(dropped)
+	g.meterCycles.Add(cycles)
+	g.meterFlushes.Add(flushes)
+	g.meterBytes.Add(bytes)
+}
+
 // Snapshot is one consistent read of the gauges.
 type Snapshot struct {
 	Total, Done, Errors int64
@@ -162,6 +184,9 @@ type Snapshot struct {
 	LeaseExpiries             int64
 	SubmitDuplicates          int64
 	DegradeLevel, WorkersLive int64
+	// In-situ meter totals (zero when no scenario armed a MeterModel).
+	MeterSamples, MeterDropped            int64
+	MeterCycles, MeterFlushes, MeterBytes int64
 }
 
 // Read takes a snapshot.
@@ -186,6 +211,11 @@ func (g *Gauges) Read() Snapshot {
 		SubmitDuplicates: g.submitDupes.Load(),
 		DegradeLevel:     g.degradeLevel.Load(),
 		WorkersLive:      g.workersLive.Load(),
+		MeterSamples:     g.meterSamples.Load(),
+		MeterDropped:     g.meterDropped.Load(),
+		MeterCycles:      g.meterCycles.Load(),
+		MeterFlushes:     g.meterFlushes.Load(),
+		MeterBytes:       g.meterBytes.Load(),
 	}
 	elapsed := time.Since(start).Seconds()
 	if elapsed > 0 && s.Done > 0 {
@@ -224,6 +254,11 @@ func (g *Gauges) WritePrometheus(w io.Writer) error {
 		{"iothub_fleetd_submit_duplicates_total", "Submissions ignored by the idempotency check.", float64(s.SubmitDuplicates)},
 		{"iothub_fleetd_degrade_level", "Coordinator degradation-ladder level.", float64(s.DegradeLevel)},
 		{"iothub_fleetd_workers_live", "Workers heard from within the liveness window.", float64(s.WorkersLive)},
+		{"iothub_meter_samples_total", "In-situ meter samples taken across the sweep's runs.", float64(s.MeterSamples)},
+		{"iothub_meter_dropped_samples_total", "In-situ meter samples lost to RAM pressure or MCU reboots.", float64(s.MeterDropped)},
+		{"iothub_meter_cpu_cycles_total", "MCU cycles the in-situ meters consumed.", float64(s.MeterCycles)},
+		{"iothub_meter_flushes_total", "In-situ meter buffer flushes.", float64(s.MeterFlushes)},
+		{"iothub_meter_bytes_total", "Record bytes the in-situ meters persisted.", float64(s.MeterBytes)},
 	}
 	for _, sr := range series {
 		if err := promGauge(w, sr.name, sr.help, sr.value); err != nil {
