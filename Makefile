@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt check lint-scheme fuzz fleet-smoke service-smoke obs-smoke observer-smoke opt-smoke bench bench-json bench-diff bench-smoke experiments ablations examples clean
+.PHONY: all build test race vet fmt check lint-scheme fuzz fleet-smoke service-smoke obs-smoke observer-smoke opt-smoke harvest-smoke bench bench-json bench-diff bench-smoke experiments ablations examples clean
 
 all: build vet test check
 
@@ -36,12 +36,14 @@ lint-scheme:
 
 # check is the pre-merge gate: static analysis, the scheme-placement lint,
 # the race detector, the optimizer determinism smoke, the observer-effect
-# smoke, and a short fuzz pass over the CoAP wire parser (the one decoder
-# that consumes attacker-shaped bytes).
-check: vet lint-scheme race opt-smoke observer-smoke fuzz
+# smoke, the battery/harvest smoke, and short fuzz passes over the two
+# text decoders that consume user-shaped bytes (CoAP wire format, harvest
+# trace grammar).
+check: vet lint-scheme race opt-smoke observer-smoke harvest-smoke fuzz
 
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzUnmarshal -fuzztime 10s ./internal/coapmsg
+	$(GO) test -run '^$$' -fuzz FuzzParseTrace -fuzztime 10s ./internal/power
 
 # Tiny end-to-end fleet sweep (8 scenarios) under the race detector: exercises
 # the worker pool, reorder-buffer aggregation, the Prometheus endpoint (the
@@ -94,6 +96,16 @@ opt-smoke:
 	cmp $(OPT_TMP)/opt-smoke-1.json internal/optimizer/testdata/example.plan.json
 	$(GO) run ./cmd/iotfleet optimize -check-replay internal/optimizer/testdata/example.plan.json
 	@echo "opt-smoke: ok"
+
+# Battery/harvest smoke: the abl-harvest ablation enforces its own gates —
+# the shared supply browns out at least one scheme and spares at least one,
+# survivors' survival equals the horizon, reruns are byte-identical, and the
+# fleet reproduces identical per-scenario records for any worker count — so
+# running it (plus the asymptote/brownout suite) is the gate.
+harvest-smoke:
+	$(GO) run ./cmd/experiments -id abl-harvest > /dev/null
+	$(GO) test -run 'TestBattery|TestArenaReuseBatteryArmed|TestBrownoutUnderChaos' ./internal/hub ./internal/power
+	@echo "harvest-smoke: ok"
 
 fmt:
 	gofmt -l -w .

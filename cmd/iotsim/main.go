@@ -27,6 +27,7 @@ import (
 	"iothub/internal/faults"
 	"iothub/internal/hub"
 	"iothub/internal/obs"
+	"iothub/internal/power"
 	"iothub/internal/profiling"
 	"iothub/internal/report"
 	"iothub/internal/scheme"
@@ -59,7 +60,9 @@ func run(args []string, out io.Writer) (retErr error) {
 	flight := fs.Bool("flight", false, "print the flight recorder — the last hub events as JSON lines — after the run")
 	meterRate := fs.Float64("meter-rate", 0, "arm an in-situ energy meter sampling at this rate in Hz (0 = free external meter)")
 	meterPreset := fs.String("meter-preset", "insitu", "in-situ meter cost preset: external, insitu, eco")
-	battery := fs.Float64("battery-mah", 0, "project battery lifetime for this workload (mAh at 5 V; single app only)")
+	battery := fs.Float64("battery-mah", 0, "battery capacity in mAh at 5 V: alone it projects lifetime (single app only); with -harvest it powers the run live")
+	harvest := fs.String("harvest", "", "run on the battery live with this harvest profile: a preset ("+
+		strings.Join(power.PresetNames(), ", ")+"), a raw trace like \"const:w=0.1\", or \"none\" for battery-only")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the simulation to this file")
 	memProfile := fs.String("memprofile", "", "write an allocation profile of the simulation to this file")
 	if err := fs.Parse(args); err != nil {
@@ -104,12 +107,29 @@ func run(args []string, out io.Writer) (retErr error) {
 		p.Obs = rec
 		cfg.Params = &p
 	}
+	// The preset name is validated even at rate 0 (when the meter stays
+	// disarmed), so a typo fails loudly instead of silently measuring nothing.
+	model, err := obs.Preset(*meterPreset, *meterRate)
+	if err != nil {
+		return err
+	}
 	if *meterRate > 0 {
-		model, err := obs.Preset(*meterPreset, *meterRate)
-		if err != nil {
-			return err
-		}
 		cfg.Meter = &model
+	}
+	// Same contract for -harvest: resolve the profile up front so an unknown
+	// preset errors (listing the valid names) even without -battery-mah.
+	harvestTrace, err := resolveHarvest(*harvest)
+	if err != nil {
+		return err
+	}
+	if *harvest != "" {
+		if *battery <= 0 {
+			return fmt.Errorf("-harvest needs -battery-mah > 0 to power the run")
+		}
+		cfg.Power = &power.Supply{
+			Battery: power.Battery{CapacityMAh: *battery, Volts: 5},
+			Harvest: harvestTrace,
+		}
 	}
 	if *failEvery > 0 {
 		plan := &hub.FaultPlan{ReadFailEvery: map[sensor.ID]int{}, MaxRetries: 1}
@@ -162,10 +182,17 @@ func run(args []string, out io.Writer) (retErr error) {
 		fmt.Fprintf(out, "meter: %d samples (%d dropped), %d MCU cycles, %d flushes, %d B persisted\n\n",
 			res.MeterSamples, res.MeterDroppedSamples, res.MeterCycles, res.MeterFlushes, res.MeterBytes)
 	}
+	if res.BatteryCapacityJ > 0 {
+		fmt.Fprintf(out, "battery: %.2f J usable, final SoC %.1f%% (low water %.1f%%), harvested %.2f J, "+
+			"survival %v, %d brownouts (%v dark)\n\n",
+			res.BatteryCapacityJ, res.BatterySoCJ/res.BatteryCapacityJ*100,
+			res.BatteryMinSoCJ/res.BatteryCapacityJ*100, res.BatteryHarvestJ,
+			res.BatterySurvival.Round(time.Millisecond), res.Brownouts, res.BrownoutTime.Round(time.Millisecond))
+	}
 	if *check {
 		printCheck(out, res)
 	}
-	if *battery > 0 {
+	if *battery > 0 && cfg.Power == nil {
 		if len(list) != 1 {
 			return fmt.Errorf("-battery-mah projects single-app workloads only")
 		}
@@ -183,6 +210,24 @@ func run(args []string, out io.Writer) (retErr error) {
 		printTimeline(out, res, *windows)
 	}
 	return exportObs(out, rec, *traceOut, *counters, *flight)
+}
+
+// resolveHarvest turns the -harvest flag into ParseTrace text: a preset name
+// resolves through power.Preset (unknown names error listing the valid ones),
+// raw trace text (anything containing ':') is validated by the parser, and
+// ""/"none" mean battery-only operation.
+func resolveHarvest(flag string) (string, error) {
+	switch {
+	case flag == "" || flag == "none":
+		return "", nil
+	case strings.Contains(flag, ":"):
+		if _, err := power.ParseTrace(flag); err != nil {
+			return "", err
+		}
+		return flag, nil
+	default:
+		return power.Preset(flag)
+	}
 }
 
 // exportObs dumps whatever the run's recorder captured: the Chrome

@@ -1,16 +1,19 @@
 package core
 
 import (
-	"fmt"
 	"time"
 
 	"iothub/internal/apps"
 	"iothub/internal/hub"
+	"iothub/internal/power"
 )
 
 // Battery describes the energy source powering a deployed hub — the unit
 // deployment planning actually cares about (the paper's motivation: billions
-// of devices whose batteries someone has to change).
+// of devices whose batteries someone has to change). It is a thin planning
+// wrapper over power.Battery, the live supply model the simulator draws down
+// at run time; the arithmetic lives there so the analytic projection and the
+// in-run physics can never disagree.
 type Battery struct {
 	// CapacityMAh is the rated capacity in milliamp-hours.
 	CapacityMAh float64
@@ -26,19 +29,15 @@ func TypicalPowerBank() Battery {
 	return Battery{CapacityMAh: 10_000, Volts: 5}
 }
 
+// Supply converts the planning battery into the simulator's live supply
+// model (internal/power), ready to arm a hub.Scenario.
+func (b Battery) Supply() power.Battery {
+	return power.Battery{CapacityMAh: b.CapacityMAh, Volts: b.Volts, DerateFraction: b.DerateFraction}
+}
+
 // UsableJoules is the battery's deliverable energy.
 func (b Battery) UsableJoules() (float64, error) {
-	if b.CapacityMAh <= 0 || b.Volts <= 0 {
-		return 0, fmt.Errorf("core: battery %v mAh @ %v V", b.CapacityMAh, b.Volts)
-	}
-	derate := b.DerateFraction
-	if derate == 0 {
-		derate = 0.85
-	}
-	if derate <= 0 || derate > 1 {
-		return 0, fmt.Errorf("core: derate %v outside (0, 1]", derate)
-	}
-	return b.CapacityMAh / 1000 * 3600 * b.Volts * derate, nil
+	return b.Supply().UsableJoules()
 }
 
 // LifetimeEstimate is the projected runtime per scheme for one workload.

@@ -451,6 +451,25 @@ func (m *Meter) Total() Breakdown {
 	return out
 }
 
+// TotalJoules integrates every live track up to now and returns the
+// meter-wide energy as one scalar, without materializing a Breakdown — the
+// allocation-free form for callers that poll the meter, like the battery
+// ledger settling at every tick. Summation runs over the same name-sorted
+// track order as Total, so the value is a deterministic function of the
+// run — identical across replays and arena reuse.
+func (m *Meter) TotalJoules() float64 {
+	var sum float64
+	for _, tr := range m.sorted {
+		tr.settle()
+		for _, r := range Routines {
+			if tr.touched&(1<<uint(r)) != 0 {
+				sum += tr.joules[r]
+			}
+		}
+	}
+	return sum
+}
+
 // ByComponent integrates up to now and returns per-component totals (all
 // routines summed), keyed by track name. Only live tracks are reported —
 // after a Reset, pooled tracks that have not been re-requested are invisible.

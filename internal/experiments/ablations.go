@@ -29,6 +29,7 @@ func Ablations() []Experiment {
 		{ID: "abl-profile", Title: "Ablation: measured Go implementations vs calibration", Run: AblProfile},
 		{ID: "abl-fleet12", Title: "Ablation: Fig. 12 savings vs QoS rate (fleet sweep)", Run: AblFleet12},
 		{ID: "abl-observer", Title: "Ablation: observer effect of in-situ measurement", Run: AblObserver},
+		{ID: "abl-harvest", Title: "Ablation: scheme survival on battery + harvest power", Run: AblHarvest},
 	}
 }
 

@@ -4,8 +4,8 @@ import "testing"
 
 func TestAblationsListAndByID(t *testing.T) {
 	abls := Ablations()
-	if len(abls) != 10 {
-		t.Fatalf("ablations = %d, want 10", len(abls))
+	if len(abls) != 11 {
+		t.Fatalf("ablations = %d, want 11", len(abls))
 	}
 	for _, e := range abls {
 		got, err := ByID(e.ID)
@@ -164,5 +164,39 @@ func TestAblProfileMeasuresRealCode(t *testing.T) {
 	if res.Values["alloc:A9"] < res.Values["alloc:A2"] {
 		t.Errorf("JPEG (%v B) allocates less than step counter (%v B)",
 			res.Values["alloc:A9"], res.Values["alloc:A2"])
+	}
+}
+
+func TestAblHarvestSurvivalRanking(t *testing.T) {
+	// AblHarvest enforces its own hard gates (contrast, consistency, replay,
+	// worker independence) — mustRun failing IS the test. On top of that,
+	// pin the headline physics of the current calibration.
+	res := mustRun(t, AblHarvest)
+	if res.Values["brownoutSchemes"] < 1 || res.Values["survivorSchemes"] < 1 {
+		t.Fatalf("calibration lost contrast: %v brownouts, %v survivors",
+			res.Values["brownoutSchemes"], res.Values["survivorSchemes"])
+	}
+	// The frugal schemes outlive the hungry ones: COM survives with the most
+	// charge left, while BCOM — the energy tables' heavy-weight winner —
+	// browns out first. The survival ranking is not the energy ranking.
+	if res.Values["survival:com"] <= res.Values["survival:bcom"] {
+		t.Errorf("com survives %vs <= bcom %vs",
+			res.Values["survival:com"], res.Values["survival:bcom"])
+	}
+	if res.Values["brownouts:bcom"] < 1 {
+		t.Errorf("bcom browned out %v times, want >= 1", res.Values["brownouts:bcom"])
+	}
+	if res.Values["soc:com"] <= res.Values["soc:batching"] {
+		t.Errorf("com final SoC %v <= batching %v",
+			res.Values["soc:com"], res.Values["soc:batching"])
+	}
+	// Brownout downtime costs delivered samples; survivors deliver in full.
+	if res.Values["delivered:batching"] != 1 {
+		t.Errorf("batching delivered %v, want 1 (it never browned out)",
+			res.Values["delivered:batching"])
+	}
+	if res.Values["delivered:bcom"] >= 1 {
+		t.Errorf("bcom delivered %v, want < 1 (it spent time dark)",
+			res.Values["delivered:bcom"])
 	}
 }

@@ -15,20 +15,25 @@ import (
 
 // MetricNames are the per-run metrics extracted from every scenario, in
 // report order: the four per-window energy stages and their total (joules per
-// window), plus the QoS-facing pair the optimizer constrains on — mean output
-// latency (seconds past window close) and the run's QoS violation count. Each
-// aggregate key is "<tag>/<metric>" where tag is the scenario's Tag (or its
-// scheme name when untagged).
-var MetricNames = []string{"collection", "interrupt", "transfer", "compute", "total", "latency", "qos"}
+// window), the QoS-facing pair the optimizer constrains on — mean output
+// latency (seconds past window close) and the run's QoS violation count — and
+// the battery-ledger trio (survival seconds, brownout count, final SoC
+// fraction), present only for power-armed runs so mains sweeps aggregate
+// exactly as before. Each aggregate key is "<tag>/<metric>" where tag is the
+// scenario's Tag (or its scheme name when untagged).
+var MetricNames = []string{"collection", "interrupt", "transfer", "compute", "total", "latency", "qos",
+	"survival", "brownouts", "soc"}
 
 // Metrics extracts a run's per-window energy numbers (joules per window) and
-// its latency/QoS observations.
+// its latency/QoS observations. Power-armed runs additionally report their
+// battery ledger; Apply skips metric names absent from the map, so the
+// conditional keys never perturb a mains-powered sweep's aggregates.
 func Metrics(res *hub.RunResult, windows int) map[string]float64 {
 	w := float64(windows)
 	if w <= 0 {
 		w = 1
 	}
-	return map[string]float64{
+	m := map[string]float64{
 		"collection": res.Energy[energy.DataCollection] / w,
 		"interrupt":  res.Energy[energy.Interrupt] / w,
 		"transfer":   res.Energy[energy.DataTransfer] / w,
@@ -37,6 +42,12 @@ func Metrics(res *hub.RunResult, windows int) map[string]float64 {
 		"latency":    res.OutputLatency().Mean.Seconds(),
 		"qos":        float64(res.QoSViolations),
 	}
+	if res.BatteryCapacityJ > 0 {
+		m["survival"] = res.BatterySurvival.Seconds()
+		m["brownouts"] = float64(res.Brownouts)
+		m["soc"] = res.BatterySoCJ / res.BatteryCapacityJ
+	}
+	return m
 }
 
 // Tag is the aggregation bucket a scenario's metrics land in.

@@ -229,6 +229,8 @@ func Run(spec Spec, opt Options) (*Result, error) {
 				}
 				gauges.MeterObserved(int64(r.MeterSamples), int64(r.MeterDroppedSamples),
 					r.MeterCycles, int64(r.MeterFlushes), int64(r.MeterBytes))
+				gauges.PowerObserved(int64(r.Brownouts), int64(r.BrownoutTime),
+					int64(r.BatteryHarvestJ*1e6))
 				outcomes <- outcome{index: i, metrics: Metrics(r, s.Windows)}
 			}
 		}()

@@ -27,6 +27,7 @@ import (
 	"iothub/internal/apps"
 	"iothub/internal/hub"
 	"iothub/internal/obs"
+	"iothub/internal/power"
 )
 
 // Grid declares a cartesian sweep: every combination of app mix, scheme,
@@ -47,9 +48,12 @@ type Grid struct {
 	// Faults lists fault schedules in faults.ParseSchedule text form
 	// (defaults to [""], i.e. fault-free).
 	Faults []string `json:"faults,omitempty"`
-	// Meters lists in-situ meter models to sweep (the innermost axis;
-	// defaults to the free external meter, i.e. unobserved runs).
+	// Meters lists in-situ meter models to sweep (defaults to the free
+	// external meter, i.e. unobserved runs).
 	Meters []obs.MeterModel `json:"meters,omitempty"`
+	// Power lists battery/harvest supplies to sweep (the innermost axis;
+	// defaults to mains power, i.e. unconstrained runs).
+	Power []power.Supply `json:"power,omitempty"`
 	// SkipAppCompute applies to every grid scenario (pure-energy sweeps).
 	SkipAppCompute bool `json:"skipCompute,omitempty"`
 }
@@ -115,6 +119,10 @@ func (s Spec) Expand() ([]hub.Scenario, error) {
 		if len(meters) == 0 {
 			meters = []obs.MeterModel{{}}
 		}
+		supplies := g.Power
+		if len(supplies) == 0 {
+			supplies = []power.Supply{{}}
+		}
 		for _, mix := range g.Apps {
 			for _, name := range g.Schemes {
 				scheme, err := hub.ParseScheme(name)
@@ -128,18 +136,26 @@ func (s Spec) Expand() ([]hub.Scenario, error) {
 					for _, q := range qos {
 						for _, f := range fault {
 							for mi := range meters {
-								sc := hub.Scenario{
-									Apps: mix, Scheme: scheme, Windows: w,
-									QoSMult: q, Faults: f,
-									SkipAppCompute: g.SkipAppCompute,
+								for pi := range supplies {
+									sc := hub.Scenario{
+										Apps: mix, Scheme: scheme, Windows: w,
+										QoSMult: q, Faults: f,
+										SkipAppCompute: g.SkipAppCompute,
+									}
+									// The zero model is the default external
+									// meter: leave it nil so meter-free grids
+									// expand (and serialize) exactly as before.
+									if meters[mi] != (obs.MeterModel{}) {
+										sc.Meter = &meters[mi]
+									}
+									// Same for the zero supply: nil means
+									// mains power, so battery-free grids
+									// expand exactly as before.
+									if supplies[pi] != (power.Supply{}) {
+										sc.Power = &supplies[pi]
+									}
+									out = append(out, sc)
 								}
-								// The zero model is the default external
-								// meter: leave it nil so meter-free grids
-								// expand (and serialize) exactly as before.
-								if meters[mi] != (obs.MeterModel{}) {
-									sc.Meter = &meters[mi]
-								}
-								out = append(out, sc)
 							}
 						}
 					}

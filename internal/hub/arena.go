@@ -74,6 +74,9 @@ func (a *Arena) Run(cfg Config) (*RunResult, error) {
 	if err := r.armMeter(); err != nil {
 		return nil, err
 	}
+	if err := r.armPower(); err != nil {
+		return nil, err
+	}
 	r.prime()
 	if err := r.scheduleAll(); err != nil {
 		return nil, err
@@ -148,6 +151,25 @@ func (r *runner) renew(cfg Config, params Params, reuse bool) error {
 	r.meterPend = 0
 	r.meterAllocd = 0
 	r.meterGen = 0
+	r.powerOn = false
+	r.battCapJ = 0
+	r.battSoCJ = 0
+	r.battMinJ = 0
+	r.battHarvestJ = 0
+	r.battDemandJ = 0
+	r.battHarvestW = 0
+	r.battDegradeJ = 0
+	r.battRecoverJ = 0
+	r.battPrevSoC = 0
+	r.battPeriod = 0
+	r.battLastAt = 0
+	r.battBrownoutAt = 0
+	r.battDegraded = false
+	r.battBrownout = false
+	r.battTrack = nil
+	// battSteps / battTraceSrc / battTraceHzn survive: they cache the
+	// compiled harvest trace across runs (armPower revalidates the key).
+	r.battRedo = r.battRedo[:0]
 	r.runErr = nil
 
 	r.cfg = cfg

@@ -16,8 +16,10 @@ import (
 	"iothub/internal/sim"
 )
 
-// collect finalizes the result after the event queue drains.
+// collect finalizes the result after the event queue drains. The power
+// ledger settles first so its final counters are visible to the recorder.
 func (r *runner) collect() {
+	r.collectPower()
 	r.collectObs()
 	r.res.Energy = r.meter.Total()
 	for _, name := range r.meter.Components() {
@@ -69,6 +71,14 @@ func (r *runner) collectObs() {
 	r.obs.SetMax(obs.MCUBufferHighWater, uint64(r.mcu.RAMHighWater()))
 	r.obs.Store(obs.MCUCrashes, uint64(r.mcu.Crashes()))
 	r.obs.Add(obs.FaultActivations, r.engine.Activations())
+	if r.powerOn {
+		r.obs.Store(obs.BatteryBrownouts, uint64(r.res.Brownouts))
+		r.obs.Store(obs.BatteryBrownoutTimeNs, uint64(r.res.BrownoutTime))
+		if r.battCapJ > 0 {
+			r.obs.Store(obs.BatterySoCPermille, uint64(r.battSoCJ/r.battCapJ*1000))
+		}
+		r.obs.Store(obs.BatteryHarvestedMicroJ, uint64(r.battHarvestJ*1e6))
+	}
 	r.obs.Span("hub", r.cfg.Scheme.String(), 0, r.sched.Now())
 }
 

@@ -32,6 +32,8 @@ const (
 	opGovern                   // re-apply the CPU idle policy
 	opMeterTick                // in-situ meter sampling instant (meter.go)
 	opMeterFlushed             // I0 sample count, I1 crash generation: flush done
+	opPowerTick                // supply ledger settlement instant (power.go)
+	opPowerStep                // I0 step index: harvest trace level change
 )
 
 // OnEvent dispatches the runner's typed events (see the ops above).
@@ -81,6 +83,10 @@ func (r *runner) OnEvent(a sim.Arg) {
 		r.meterTick()
 	case opMeterFlushed:
 		r.meterFlushed(int(a.I0), a.I1)
+	case opPowerTick:
+		r.powerTick()
+	case opPowerStep:
+		r.powerStep(int(a.I0))
 	}
 }
 

@@ -31,6 +31,7 @@ import (
 	"iothub/internal/energy"
 	"iothub/internal/faults"
 	"iothub/internal/obs"
+	"iothub/internal/power"
 	"iothub/internal/scheme"
 	"iothub/internal/sensor"
 	"iothub/internal/sim"
@@ -110,6 +111,10 @@ type Config struct {
 	// instrument (DESIGN.md §13); nil leaves the params' meter (default: the
 	// free external one) in effect.
 	Meter *obs.MeterModel
+	// Power optionally overrides Params.Power with a battery + harvest
+	// supply (DESIGN.md §14); nil leaves the params' supply (default: mains
+	// power, the golden-corpus asymptote) in effect.
+	Power *power.Supply
 }
 
 // NoRetries is the FaultPlan.MaxRetries sentinel for "drop on first
@@ -224,6 +229,24 @@ type RunResult struct {
 	MeterCycles         int64 `json:",omitempty"`
 	MeterFlushes        int   `json:",omitempty"`
 	MeterBytes          int   `json:",omitempty"`
+
+	// Battery/harvest ledger accounting (DESIGN.md §14); all zero (and
+	// absent from JSON) unless a power.Supply is armed, which keeps the
+	// mains-powered golden corpus byte-identical.
+	// BatteryCapacityJ is the usable capacity the run started from;
+	// BatterySoCJ / BatteryMinSoCJ are the final and lowest state of charge
+	// the ledger observed; BatteryHarvestJ is the total harvested income.
+	BatteryCapacityJ float64 `json:",omitempty"`
+	BatterySoCJ      float64 `json:",omitempty"`
+	BatteryMinSoCJ   float64 `json:",omitempty"`
+	BatteryHarvestJ  float64 `json:",omitempty"`
+	// Brownouts counts SoC-zero power gates; BrownoutTime is the total
+	// virtual time the board spent gated; BatterySurvival is the time of
+	// the first zero crossing (the run's Duration when charge never ran
+	// out — the abl-harvest ranking metric).
+	Brownouts       int           `json:",omitempty"`
+	BrownoutTime    time.Duration `json:",omitempty"`
+	BatterySurvival time.Duration `json:",omitempty"`
 
 	// Sample ledger (run invariant: ScheduledSamples + RecollectedSamples ==
 	// DeliveredSamples + DroppedSamples + DownshiftSkipped).
@@ -410,6 +433,9 @@ func (c *Config) validate() (Params, error) {
 	}
 	if c.Meter != nil {
 		params.Meter = *c.Meter
+	}
+	if c.Power != nil {
+		params.Power = *c.Power
 	}
 	if err := params.Validate(); err != nil {
 		return Params{}, fmt.Errorf("%w: %v", ErrConfig, err)

@@ -130,6 +130,23 @@ func (r *RunResult) CheckInvariants() error {
 		r.DeliveredSamples+r.DroppedSamples+r.DownshiftSkipped; in != out {
 		return fmt.Errorf("sample ledger broken: %d scheduled+recollected, %d delivered+dropped+skipped", in, out)
 	}
+
+	// Battery ledger sanity (power-armed runs only).
+	if r.BatteryCapacityJ > 0 {
+		if r.BatterySoCJ < -invariantEps || r.BatterySoCJ > r.BatteryCapacityJ+invariantEps {
+			return fmt.Errorf("battery SoC %g J outside [0, %g J]", r.BatterySoCJ, r.BatteryCapacityJ)
+		}
+		if r.BatteryMinSoCJ < -invariantEps || r.BatteryMinSoCJ > r.BatterySoCJ+invariantEps {
+			return fmt.Errorf("battery min SoC %g J outside [0, final %g J]", r.BatteryMinSoCJ, r.BatterySoCJ)
+		}
+		if r.BatteryHarvestJ < 0 || r.Brownouts < 0 || r.BrownoutTime < 0 || r.BatterySurvival < 0 {
+			return fmt.Errorf("negative battery counter (harvest %g J, %d brownouts, %v down, %v survival)",
+				r.BatteryHarvestJ, r.Brownouts, r.BrownoutTime, r.BatterySurvival)
+		}
+		if r.Brownouts == 0 && r.BrownoutTime != 0 {
+			return fmt.Errorf("brownout time %v with no brownouts", r.BrownoutTime)
+		}
+	}
 	return nil
 }
 
@@ -139,5 +156,6 @@ func (r *RunResult) faulty() bool {
 	return r.ReadRetries > 0 || r.DroppedSamples > 0 || r.MCUCrashes > 0 ||
 		r.RecollectedSamples > 0 || r.DownshiftSkipped > 0 ||
 		r.LinkCorruptFrames > 0 || r.LinkLostFrames > 0 || r.LinkAbortedTransfers > 0 ||
-		r.RadioDroppedBursts > 0 || r.RadioDeferred > 0 || r.SlowReads > 0
+		r.RadioDroppedBursts > 0 || r.RadioDeferred > 0 || r.SlowReads > 0 ||
+		r.Brownouts > 0
 }

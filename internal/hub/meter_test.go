@@ -92,7 +92,7 @@ func TestMeterAsymptoteGolden(t *testing.T) {
 					t.Errorf("counters diverged from golden under a disarmed meter:\ngot:\n%s\nwant:\n%s", counters, want)
 				}
 				digest := fmt.Sprintf("sha256:%x %d bytes\n", sha256.Sum256(trace), len(trace))
-				if want := mustGolden(t, tc.name + ".trace.sha256"); digest != string(want) {
+				if want := mustGolden(t, tc.name+".trace.sha256"); digest != string(want) {
 					t.Errorf("trace digest diverged from golden under a disarmed meter:\ngot:  %swant: %s", digest, want)
 				}
 			})

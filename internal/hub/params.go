@@ -9,6 +9,7 @@ import (
 	"iothub/internal/link"
 	"iothub/internal/mcu"
 	"iothub/internal/obs"
+	"iothub/internal/power"
 	"iothub/internal/radio"
 )
 
@@ -55,6 +56,11 @@ type Params struct {
 	// The zero value is the free external bench meter — runs under it are
 	// byte-identical to unobserved runs, counters included.
 	Meter obs.MeterModel
+	// Power is the supply side of the ledger (DESIGN.md §14): a finite
+	// battery plus a deterministic harvest trace, settled as scheduled DES
+	// events against the meter's demand. The zero value is mains power —
+	// runs under it are byte-identical to every pre-power result.
+	Power power.Supply
 }
 
 // DefaultParams returns the Raspberry Pi 3B + ESP8266 calibration.
@@ -98,6 +104,9 @@ func (p Params) Validate() error {
 	}
 	if err := p.Meter.Validate(); err != nil {
 		return fmt.Errorf("hub: meter: %w", err)
+	}
+	if err := p.Power.Validate(); err != nil {
+		return fmt.Errorf("hub: power: %w", err)
 	}
 	return nil
 }

@@ -1,0 +1,303 @@
+package hub
+
+// The supply-side power ledger runtime: the hub-side execution of
+// power.Supply (DESIGN.md §14). Where the meter (demand side) only records
+// what the components draw, the ledger closes the loop: a finite battery is
+// drawn down by the meter's demand, credited by a deterministic harvest
+// trace, and its state of charge feeds back into execution — one scheme
+// ladder step when the charge crosses the low-SoC threshold, and a physics
+// brownout (the MCU power-gates with no scheduled recovery) when it reaches
+// zero. Recharge — if the harvest can outpace the surviving draw — reboots
+// the board and re-collects what the outage destroyed, composing with the
+// chaos layer's crash machinery through the same mcu seam.
+//
+// Settlement runs as scheduled DES events: a periodic opPowerTick at the
+// supply's ledger rate, plus one opPowerStep per harvest trace level change
+// (the trace is compiled once and cached across arena reuses). Battery
+// self-discharge is modeled as a real draw on a dedicated "battery" energy
+// track, so leakage flows through the meter's conservation ledger and stays
+// separable in PerComponent.
+//
+// A disarmed supply (no battery) arms nothing: no events, no track, no
+// counters. Mains power therefore recovers the unobserved run byte for byte,
+// which TestBatteryAsymptoteGolden pins against the committed golden corpus.
+
+import (
+	"fmt"
+	"time"
+
+	"iothub/internal/energy"
+	"iothub/internal/obs"
+	"iothub/internal/power"
+	"iothub/internal/sim"
+)
+
+// battRedo identifies one batch-resident sample a brownout wiped. Unlike the
+// chaos layer's crash path, the rewind/re-collection accounting is deferred
+// to restore time: a terminal brownout (the harvest never lifts the charge
+// back) must leave the sample ledger balanced, so nothing is rewound until
+// the board actually comes back to redo the work.
+type battRedo struct {
+	st *appState
+	s  *stream
+	k  int
+}
+
+// armPower brings up the supply ledger. Called after armMeter (the "battery"
+// track must register at a fixed pipeline point, fresh arena or reused) and
+// after armFaults (it reads the run horizon and the resilience policy's SoC
+// thresholds).
+func (r *runner) armPower() error {
+	s := &r.params.Power
+	r.powerOn = s.Armed()
+	if !r.powerOn {
+		return nil
+	}
+	capJ, err := s.Battery.UsableJoules()
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrConfig, err)
+	}
+	r.battCapJ = capJ
+	soc := capJ
+	if s.Battery.InitialSoC > 0 {
+		soc = capJ * s.Battery.InitialSoC
+	}
+	r.battSoCJ = soc
+	r.battMinJ = soc
+	r.battPrevSoC = soc
+	// A battery-armed, fault-free run still needs SoC thresholds; the
+	// power-only default policy keeps every fault-side knob inert.
+	if r.pol == nil {
+		r.pol = defaultPowerResilience()
+	}
+	r.battDegradeJ = r.pol.SoCDegradeFrac * capJ
+	r.battRecoverJ = r.pol.SoCRecoverFrac * capJ
+	r.battPeriod = s.LedgerPeriod()
+	r.battTrack = r.meter.Track("battery")
+	if s.Battery.LeakageW > 0 {
+		r.battTrack.Set(s.Battery.LeakageW, energy.Idle)
+	}
+	// Compile the harvest trace, cached across arena reuses keyed on the
+	// spec text and horizon so steady-state sweeps never re-parse.
+	if s.Harvest != r.battTraceSrc || r.horizon != r.battTraceHzn {
+		r.battSteps = r.battSteps[:0]
+		if s.Harvest != "" {
+			tr, err := power.ParseTrace(s.Harvest)
+			if err != nil {
+				return fmt.Errorf("%w: %v", ErrConfig, err)
+			}
+			r.battSteps = tr.AppendSteps(r.battSteps, r.horizon)
+		}
+		r.battTraceSrc = s.Harvest
+		r.battTraceHzn = r.horizon
+	}
+	for i, stp := range r.battSteps {
+		if stp.At == 0 {
+			r.battHarvestW = stp.Watts
+			continue
+		}
+		if _, err := r.sched.AtCall(sim.Time(stp.At), r, sim.Arg{Op: opPowerStep, I0: int64(i)}); err != nil {
+			return err
+		}
+	}
+	_, err = r.sched.AtCall(sim.Time(r.battPeriod), r, sim.Arg{Op: opPowerTick})
+	return err
+}
+
+// powerSettle brings the ledger up to now: the interval's metered demand is
+// drawn from the charge, the harvest level's income is credited (clipped at
+// capacity — a full battery sheds the surplus), and the charge clamps at
+// zero (the deficit inside one settlement interval is the discretization the
+// ledger rate bounds).
+func (r *runner) powerSettle(now sim.Time) {
+	dt := (now - r.battLastAt).Duration().Seconds()
+	r.battLastAt = now
+	demand := r.meter.TotalJoules()
+	drawn := demand - r.battDemandJ
+	r.battDemandJ = demand
+	soc := r.battSoCJ - drawn
+	if income := r.battHarvestW * dt; income > 0 {
+		credited := income
+		if soc+credited > r.battCapJ {
+			credited = r.battCapJ - soc
+			if credited < 0 {
+				credited = 0
+			}
+		}
+		r.battHarvestJ += credited
+		soc += credited
+	}
+	if soc < 0 {
+		soc = 0
+	}
+	r.battSoCJ = soc
+	if soc < r.battMinJ {
+		r.battMinJ = soc
+	}
+}
+
+// powerCheck applies the SoC feedback after a settle: one scheme ladder step
+// the first time the charge crosses the degrade threshold, a brownout at
+// zero, and — while browned out — the reboot once the harvest lifts the
+// charge past the recovery threshold.
+func (r *runner) powerCheck(now sim.Time) {
+	if !r.battBrownout {
+		if !r.battDegraded && r.battDegradeJ > 0 && r.battSoCJ <= r.battDegradeJ {
+			r.battDegraded = true
+			r.degradeAll("soc low")
+		}
+		if r.battSoCJ <= 0 {
+			r.onBrownout(now)
+		}
+		return
+	}
+	if r.battSoCJ > r.battRecoverJ {
+		r.onRecharge(now)
+	}
+}
+
+// powerTick is one periodic settlement instant. Inside the run horizon the
+// tick always re-arms; past it, it keeps ticking only while a brownout is
+// open and the charge actually climbed over the last interval — the harvest
+// trace is constant past the horizon, so a flat or falling charge there is a
+// terminal brownout and the board stays down.
+func (r *runner) powerTick() {
+	now := r.sched.Now()
+	r.powerSettle(now)
+	r.powerCheck(now)
+	next := now.Add(r.battPeriod)
+	if next <= sim.Time(r.horizon) || (r.battBrownout && r.battSoCJ > r.battPrevSoC) {
+		if _, err := r.sched.AtCall(next, r, sim.Arg{Op: opPowerTick}); err != nil {
+			r.fail(err)
+			return
+		}
+	}
+	r.battPrevSoC = r.battSoCJ
+}
+
+// powerStep switches the harvest income to the trace's next level, settling
+// the outgoing level's interval first so each level is credited exactly over
+// its own span.
+func (r *runner) powerStep(i int) {
+	now := r.sched.Now()
+	r.powerSettle(now)
+	r.battHarvestW = r.battSteps[i].Watts
+	r.powerCheck(now)
+}
+
+// onBrownout power-gates the board at SoC zero. Batch-resident samples are
+// stashed (their RAM evaporates with the gate) but NOT yet rewound or
+// counted re-collected — that accounting belongs to the restore, which may
+// never come. The in-situ meter's buffer lives in the same RAM and drops in
+// one burst, exactly as under a crash.
+func (r *runner) onBrownout(now sim.Time) {
+	r.battBrownout = true
+	r.battBrownoutAt = now
+	r.res.Brownouts++
+	if r.res.Brownouts == 1 {
+		r.res.BatterySurvival = now.Duration()
+	}
+	r.obs.Inc(obs.BatteryBrownouts)
+	if r.obs.Enabled() {
+		r.obs.Note("brownout", fmt.Sprintf("SoC zero in window %d", r.windowAt(now)))
+	}
+	for _, st := range r.states {
+		for _, ref := range st.batchRefs {
+			r.battRedo = append(r.battRedo, battRedo{st: st, s: ref.s, k: ref.k})
+		}
+		st.batchRefs = st.batchRefs[:0]
+		st.batchFill = 0
+		st.batchAllocd = 0
+	}
+	r.meterOnCrash()
+	if err := r.mcu.PowerGate(); err != nil {
+		r.fail(err)
+	}
+}
+
+// onRecharge ends the brownout interval and reboots the board through the
+// same seam a crash uses — an alive callback absorbed from an overlapping
+// injected crash runs first, so the board reboots exactly once. The reboot
+// itself draws RebootW: if the harvest cannot carry that, the ledger gates
+// the board again mid-reboot and the cycle repeats at the next recharge.
+func (r *runner) onRecharge(now sim.Time) {
+	r.battBrownout = false
+	r.res.BrownoutTime += (now - r.battBrownoutAt).Duration()
+	if r.obs.Enabled() {
+		r.obs.Note("recharge", fmt.Sprintf("SoC back above %.3g J after %v", r.battRecoverJ, (now-r.battBrownoutAt).Duration()))
+	}
+	if err := r.mcu.PowerRestore(r.afterRecharge); err != nil {
+		r.fail(err)
+	}
+}
+
+// afterRecharge runs once the rebooted board is alive again. Only here does
+// the deferred re-collection accounting apply — the outage's lost samples
+// rewind their windows' progress and count as re-collected, mirroring the
+// crash path — because only now is the redo actually going to happen: a
+// brownout that re-opens mid-reboot holds this callback with the gate, so
+// nothing is ever rewound twice. The offload footprint is re-reserved (the
+// binary reloads from flash) unless an absorbed crash's own alive callback
+// already did, and in-flight offloaded windows re-enter the planner's
+// time-budget check.
+func (r *runner) afterRecharge() {
+	now := r.sched.Now()
+	if n := len(r.battRedo); n > 0 {
+		for _, ref := range r.battRedo {
+			ref.st.readsDone[ref.k/ref.s.perWindow]--
+		}
+		r.res.RecollectedSamples += n
+		r.windowFault(r.windowAt(now)).Recollected += n
+	}
+	// RAMUsed < offloadNeed means the footprint is not resident: the chained
+	// crash callback (if any) ran a moment ago in this same instant, so no
+	// other allocation can have landed in between.
+	if r.offloadNeed > 0 && r.mcu.RAMUsed() < r.offloadNeed && r.anyOffloadedAhead() {
+		if err := r.mcu.Alloc(r.offloadNeed); err != nil {
+			r.fail(err)
+			return
+		}
+	}
+	for _, st := range r.states {
+		for w := range st.offloadInFlight {
+			r.checkOffloadBudget(st, w, now)
+		}
+	}
+	for i, ref := range r.battRedo {
+		ref := ref
+		delay := time.Duration(i) * ref.s.spec.ReadTime
+		if _, err := r.sched.After(delay, func() { r.startRead(ref.s, ref.k) }); err != nil {
+			r.fail(err)
+			return
+		}
+	}
+	r.battRedo = r.battRedo[:0]
+}
+
+// collectPower finalizes the ledger into the result: one last settle at the
+// drained clock, the open brownout interval (a terminal brownout never saw
+// its restore), and — because a terminal brownout strands whatever was
+// mid-flight on the gated board (queued formatting, unfired re-reads) — the
+// stranded samples are accounted as dropped so the sample ledger balances.
+func (r *runner) collectPower() {
+	if !r.powerOn {
+		return
+	}
+	now := r.sched.Now()
+	r.powerSettle(now)
+	r.res.BatteryCapacityJ = r.battCapJ
+	r.res.BatterySoCJ = r.battSoCJ
+	r.res.BatteryMinSoCJ = r.battMinJ
+	r.res.BatteryHarvestJ = r.battHarvestJ
+	if r.battBrownout {
+		r.res.BrownoutTime += (now - r.battBrownoutAt).Duration()
+		stranded := r.res.ScheduledSamples + r.res.RecollectedSamples -
+			r.res.DeliveredSamples - r.res.DroppedSamples - r.res.DownshiftSkipped
+		if stranded > 0 {
+			r.res.DroppedSamples += stranded
+		}
+	}
+	if r.res.Brownouts == 0 {
+		r.res.BatterySurvival = r.horizon
+	}
+}

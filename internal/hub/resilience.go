@@ -35,6 +35,16 @@ type ResiliencePolicy struct {
 	// RadioBufferBytes bounds each radio's driver queue during uplink
 	// outages; overflowing bursts are dropped and accounted (0 = unbounded).
 	RadioBufferBytes int
+	// SoCDegradeFrac steps every app one rung down the scheme ladder the
+	// first time the battery's state of charge falls below this fraction of
+	// usable capacity — the power-side twin of DegradeOnCrash. Only
+	// consulted when a power.Supply is armed (0 disables).
+	SoCDegradeFrac float64
+	// SoCRecoverFrac gates the brownout reboot: a board power-gated at SoC
+	// zero boots again once charge climbs back above this fraction, so it
+	// does not flap at the zero crossing (0 = reboot at first positive
+	// charge the ledger observes).
+	SoCRecoverFrac float64
 }
 
 // DefaultResilience returns the policy used when a fault schedule is active
@@ -47,7 +57,16 @@ func DefaultResilience() *ResiliencePolicy {
 		FlushAtRAMFrac:       0.9,
 		RetryBudgetPerWindow: 0,
 		RadioBufferBytes:     4096,
+		SoCDegradeFrac:       0.2,
+		SoCRecoverFrac:       0.05,
 	}
+}
+
+// defaultPowerResilience is the policy a battery-armed, fault-free run uses:
+// only the SoC thresholds are set, so none of the fault-side machinery
+// (early flush, retry budgets) activates just because a battery is present.
+func defaultPowerResilience() *ResiliencePolicy {
+	return &ResiliencePolicy{SoCDegradeFrac: 0.2, SoCRecoverFrac: 0.05}
 }
 
 // Validate checks the policy's bounds.
@@ -66,6 +85,12 @@ func (p *ResiliencePolicy) Validate() error {
 	}
 	if p.RetryBudgetPerWindow < 0 || p.RadioBufferBytes < 0 {
 		return fmt.Errorf("resilience: negative budget")
+	}
+	if p.SoCDegradeFrac < 0 || p.SoCDegradeFrac > 1 {
+		return fmt.Errorf("resilience: SoCDegradeFrac %v outside [0,1]", p.SoCDegradeFrac)
+	}
+	if p.SoCRecoverFrac < 0 || p.SoCRecoverFrac > 1 {
+		return fmt.Errorf("resilience: SoCRecoverFrac %v outside [0,1]", p.SoCRecoverFrac)
 	}
 	return nil
 }

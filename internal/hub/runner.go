@@ -21,6 +21,7 @@ import (
 	"iothub/internal/link"
 	"iothub/internal/mcu"
 	"iothub/internal/obs"
+	"iothub/internal/power"
 	"iothub/internal/radio"
 	"iothub/internal/scheme"
 	"iothub/internal/sensor"
@@ -92,6 +93,29 @@ type runner struct {
 	meterPend    int   // samples buffered since the last flush
 	meterAllocd  int   // MCU RAM the meter currently holds
 	meterGen     int64 // bumped on crash: outstanding flush completions go stale
+
+	// Supply/demand power ledger runtime (power.go); all zero unless
+	// params.Power is armed, so mains-powered runs stay byte-identical.
+	powerOn        bool
+	battCapJ       float64 // usable capacity in joules
+	battSoCJ       float64 // current state of charge
+	battMinJ       float64 // low-water mark over the run
+	battHarvestJ   float64 // harvest energy actually credited (cap-clipped)
+	battDemandJ    float64 // meter-wide joules at the last settle
+	battHarvestW   float64 // harvest income level currently in force
+	battDegradeJ   float64 // SoC that takes one ladder step (0 disables)
+	battRecoverJ   float64 // SoC that reboots a browned-out board
+	battPrevSoC    float64 // SoC at the previous tick (terminal detection)
+	battPeriod     time.Duration
+	battLastAt     sim.Time // instant of the last settle
+	battBrownoutAt sim.Time // start of the open brownout interval
+	battDegraded   bool     // the SoC ladder step fires once per run
+	battBrownout   bool
+	battTrack      *energy.Track
+	battSteps      []power.Step // compiled harvest trace (cached across runs)
+	battTraceSrc   string       // cache key: the Harvest spec battSteps compiled from
+	battTraceHzn   time.Duration
+	battRedo       []battRedo // batch refs a brownout wiped, redone at restore
 
 	// Arena pools (arena.go): scrubbed per-run objects recycled across runs.
 	// All empty on a fresh runner, so first use constructs exactly what the
@@ -302,6 +326,13 @@ func (r *runner) scheduleAll() error {
 // rate-downshifted: every other remaining read is skipped so the deadline
 // survives.
 func (r *runner) startRead(s *stream, k int) {
+	if r.battBrownout {
+		// The board is power-gated: the sensor is unpowered, the read never
+		// happens, and no energy is spent. Accounted as an ordinary drop so
+		// the sample ledger stays balanced however long the outage lasts.
+		r.dropSample(s, k)
+		return
+	}
 	w := k / s.perWindow
 	if s.downshifted[w] && (k%s.perWindow)%2 == 1 {
 		r.res.DownshiftSkipped++

@@ -9,6 +9,7 @@ import (
 	"iothub/internal/apps/catalog"
 	"iothub/internal/faults"
 	"iothub/internal/obs"
+	"iothub/internal/power"
 	"iothub/internal/scheme"
 )
 
@@ -47,6 +48,10 @@ type Scenario struct {
 	// §13); nil is the free external meter, today's asymptote. Serialized so
 	// fleet sweeps and the optimizer can sweep sampling rates.
 	Meter *obs.MeterModel `json:"meter,omitempty"`
+	// Power arms a finite battery + deterministic harvest supply for the run
+	// (DESIGN.md §14); nil is mains power, today's asymptote. Serialized so
+	// fleet sweeps can grid over supply scenarios.
+	Power *power.Supply `json:"power,omitempty"`
 	// Tag optionally overrides the scenario's aggregation label; empty means
 	// the fleet aggregates this run under its scheme name.
 	Tag string `json:"tag,omitempty"`
@@ -74,6 +79,10 @@ func (s Scenario) Label() string {
 		b.WriteString("/m")
 		b.WriteString(strconv.FormatFloat(s.Meter.RateHz, 'g', -1, 64))
 	}
+	if s.Power != nil && s.Power.Armed() {
+		b.WriteString("/b")
+		b.WriteString(strconv.FormatFloat(s.Power.Battery.CapacityMAh, 'g', -1, 64))
+	}
 	return b.String()
 }
 
@@ -91,6 +100,7 @@ func (s Scenario) Config() (Config, error) {
 		Assign:         s.Assign,
 		SkipAppCompute: s.SkipAppCompute,
 		Meter:          s.Meter,
+		Power:          s.Power,
 	}
 	for _, id := range s.Apps {
 		a, err := catalog.New(id, s.Seed)

@@ -70,9 +70,14 @@ type workItem struct {
 	startAt sim.Time // execution start, for routine spans
 }
 
-// opEnd is the MCU's one typed event: the running item finished. The L106
-// is a single core, so the item is always m.current — no slot needed.
-const opEnd = 1
+// The MCU's typed events: the running item finished (the L106 is a single
+// core, so the item is always m.current — no slot needed), and a reboot
+// completed. Keeping the reboot end as a typed, cancellable event is what
+// lets the supply layer absorb it into a power gate.
+const (
+	opEnd = iota + 1
+	opReboot
+)
 
 // MCU is one micro-controller board instance.
 type MCU struct {
@@ -91,11 +96,17 @@ type MCU struct {
 	busy    map[energy.Routine]time.Duration
 
 	// Crash/reboot state: while rebooting no work starts, RAM contents are
-	// gone, and new Exec items queue until the board comes back.
+	// gone, and new Exec items queue until the board comes back. A power
+	// gate (brownout) is a reboot with no scheduled end: gated marks it,
+	// and PowerRestore starts the actual reboot timer.
 	rebooting bool
+	gated     bool
 	crashes   int
 	current   workItem // the running item, so a crash can requeue it
 	endEv     sim.EventID
+	rebootEv  sim.EventID
+	downAt    sim.Time // reboot/gate start, for the recovery spans
+	pendAlive func()   // runs once the board is next alive
 
 	obs       *obs.Recorder
 	highWater int // peak RAM allocation, for the buffer high-water counter
@@ -150,9 +161,13 @@ func (m *MCU) Reset(params Params) error {
 	m.ramUsed = 0
 	clear(m.busy)
 	m.rebooting = false
+	m.gated = false
 	m.crashes = 0
 	m.current = workItem{}
 	m.endEv = sim.EventID{}
+	m.rebootEv = sim.EventID{}
+	m.downAt = 0
+	m.pendAlive = nil
 	m.obs = nil
 	m.highWater = 0
 	m.track.Set(params.IdleW, energy.Idle)
@@ -264,12 +279,16 @@ func (m *MCU) maybeStart() error {
 	return nil
 }
 
-// OnEvent dispatches the board's one typed event — work completion — without
-// a per-event closure. The running item is m.current: a crash cancels the
-// completion event before touching it, so the pairing cannot skew.
+// OnEvent dispatches the board's typed events — work completion and reboot
+// end — without per-event closures. The running item is m.current: a crash
+// cancels the completion event before touching it, so the pairing cannot
+// skew.
 func (m *MCU) OnEvent(a sim.Arg) {
-	if a.Op == opEnd {
+	switch a.Op {
+	case opEnd:
 		m.endWork(m.current)
+	case opReboot:
+		m.endReboot()
 	}
 }
 
@@ -302,6 +321,23 @@ func (m *MCU) Crash(d time.Duration, onAlive func()) error {
 		d = m.params.RebootTime
 	}
 	m.crashes++
+	m.takeDown()
+	m.rebooting = true
+	m.pendAlive = onAlive
+	m.track.Set(m.params.RebootW, energy.Idle)
+	m.downAt = m.sched.Now()
+	ev, err := m.sched.AfterCall(d, m, sim.Arg{Op: opReboot})
+	if err != nil {
+		return fmt.Errorf("mcu: schedule reboot end: %w", err)
+	}
+	m.rebootEv = ev
+	return nil
+}
+
+// takeDown interrupts the running item (requeued at the head: it restarts
+// from scratch, partial progress genuinely spent) and wipes the RAM — the
+// shared first half of Crash and PowerGate.
+func (m *MCU) takeDown() {
 	if m.running {
 		m.sched.Cancel(m.endEv)
 		m.running = false
@@ -317,27 +353,79 @@ func (m *MCU) Crash(d time.Duration, onAlive func()) error {
 		}
 	}
 	m.ramUsed = 0
-	m.rebooting = true
+}
+
+// endReboot brings the board back: the stored alive callback runs once, then
+// queued work resumes.
+func (m *MCU) endReboot() {
+	m.rebooting = false
+	m.obs.Span("mcu", "reboot", m.downAt, m.sched.Now())
+	if m.queued() == 0 {
+		m.track.Set(m.params.IdleW, energy.Idle)
+	}
+	cb := m.pendAlive
+	m.pendAlive = nil
+	if cb != nil {
+		cb()
+	}
+	if err := m.maybeStart(); err != nil {
+		m.sched.Stop()
+	}
+}
+
+// PowerGate forces the board down with no scheduled recovery — the supply
+// layer's brownout, where only recharge decides when there is energy to boot
+// with. Like Crash it requeues the interrupted item and wipes RAM, but the
+// board then draws nothing (it is unpowered, not rebooting), and a pending
+// reboot end — the gate arriving mid-reboot — is cancelled and absorbed: its
+// alive callback is held and runs after PowerRestore's reboot instead, so a
+// crash overlapped by a brownout still reboots exactly once. Gating a gated
+// board is a no-op. PowerGate does not count into Crashes: brownouts are
+// accounted by the supply layer, and the watchdog's once-per-crash ladder
+// must not fire for a board that is down for lack of joules.
+func (m *MCU) PowerGate() error {
+	if m.gated {
+		return nil
+	}
+	if m.rebooting {
+		m.sched.Cancel(m.rebootEv)
+	} else {
+		m.takeDown()
+		m.rebooting = true
+	}
+	m.gated = true
+	m.track.Set(0, energy.Idle)
+	m.downAt = m.sched.Now()
+	return nil
+}
+
+// PowerRestore ends a power gate: the board reboots (RebootTime at RebootW),
+// then any alive callback absorbed from an interrupted crash runs, then
+// onAlive, then queued work resumes. A no-op when the board is not gated.
+func (m *MCU) PowerRestore(onAlive func()) error {
+	if !m.gated {
+		return nil
+	}
+	m.gated = false
+	m.obs.Span("mcu", "browned-out", m.downAt, m.sched.Now())
+	if prev := m.pendAlive; prev != nil && onAlive != nil {
+		next := onAlive
+		m.pendAlive = func() { prev(); next() }
+	} else if onAlive != nil {
+		m.pendAlive = onAlive
+	}
 	m.track.Set(m.params.RebootW, energy.Idle)
-	crashAt := m.sched.Now()
-	_, err := m.sched.After(d, func() {
-		m.rebooting = false
-		m.obs.Span("mcu", "reboot", crashAt, m.sched.Now())
-		if m.queued() == 0 {
-			m.track.Set(m.params.IdleW, energy.Idle)
-		}
-		if onAlive != nil {
-			onAlive()
-		}
-		if err := m.maybeStart(); err != nil {
-			m.sched.Stop()
-		}
-	})
+	m.downAt = m.sched.Now()
+	ev, err := m.sched.AfterCall(m.params.RebootTime, m, sim.Arg{Op: opReboot})
 	if err != nil {
 		return fmt.Errorf("mcu: schedule reboot end: %w", err)
 	}
+	m.rebootEv = ev
 	return nil
 }
+
+// Gated reports whether the board is held down by a power gate.
+func (m *MCU) Gated() bool { return m.gated }
 
 // Alive reports whether the board is up (false while rebooting) — the
 // hub-side watchdog's probe.

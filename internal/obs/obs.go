@@ -101,6 +101,15 @@ const (
 	MeterCPUCycles
 	MeterFlushes
 	MeterBytes
+	// BatteryBrownouts / BatteryBrownoutTimeNs count SoC-zero power gates and
+	// the virtual time spent gated; BatterySoCPermille is the final state of
+	// charge in thousandths of usable capacity; BatteryHarvestedMicroJ is the
+	// harvest energy actually credited. All zero unless a power.Supply is
+	// armed (see internal/hub/power.go).
+	BatteryBrownouts
+	BatteryBrownoutTimeNs
+	BatterySoCPermille
+	BatteryHarvestedMicroJ
 
 	numCounters
 )
@@ -108,38 +117,42 @@ const (
 // counterNames are the oprofile-style labels, indexed by Counter. Names are
 // stable: they appear in -counters output, DESIGN.md, and tests.
 var counterNames = [numCounters]string{
-	SimEventsScheduled:  "sim_events_scheduled",
-	SimEventsCancelled:  "sim_events_cancelled",
-	CPUTicksActive:      "cpu_ticks_active_ns",
-	CPUTicksWFI:         "cpu_ticks_wfi_ns",
-	CPUTicksSleep:       "cpu_ticks_sleep_ns",
-	CPUTicksDeepSleep:   "cpu_ticks_deepsleep_ns",
-	CPUTicksWaking:      "cpu_ticks_waking_ns",
-	CPUWakes:            "cpu_wakes",
-	InterruptsRaised:    "interrupts_raised",
-	InterruptsCoalesced: "interrupts_coalesced",
-	UARTFrames:          "uart_frames",
-	UARTBytes:           "uart_bytes",
-	UARTStalls:          "uart_stalls",
-	UARTRetransmits:     "uart_retransmits",
-	MCUBufferHighWater:  "mcu_buffer_highwater_bytes",
-	MCUCrashes:          "mcu_crashes",
-	SensorReads:         "sensor_reads",
-	SamplesDropped:      "samples_dropped",
-	BatchFlushes:        "batch_flushes",
-	RadioBursts:         "radio_bursts",
-	RadioBytes:          "radio_bytes",
-	UpstreamBytes:       "upstream_bytes",
-	FaultActivations:    "fault_activations",
-	EdgeUploads:         "edge_uploads",
-	EdgeUploadBytes:     "edge_upload_bytes",
-	EdgeColdStarts:      "edge_cold_starts",
-	EdgeUpstreamBytes:   "edge_upstream_bytes",
-	MeterSamples:        "meter_samples",
-	MeterDroppedSamples: "meter_dropped_samples",
-	MeterCPUCycles:      "meter_cpu_cycles",
-	MeterFlushes:        "meter_flushes",
-	MeterBytes:          "meter_bytes",
+	SimEventsScheduled:     "sim_events_scheduled",
+	SimEventsCancelled:     "sim_events_cancelled",
+	CPUTicksActive:         "cpu_ticks_active_ns",
+	CPUTicksWFI:            "cpu_ticks_wfi_ns",
+	CPUTicksSleep:          "cpu_ticks_sleep_ns",
+	CPUTicksDeepSleep:      "cpu_ticks_deepsleep_ns",
+	CPUTicksWaking:         "cpu_ticks_waking_ns",
+	CPUWakes:               "cpu_wakes",
+	InterruptsRaised:       "interrupts_raised",
+	InterruptsCoalesced:    "interrupts_coalesced",
+	UARTFrames:             "uart_frames",
+	UARTBytes:              "uart_bytes",
+	UARTStalls:             "uart_stalls",
+	UARTRetransmits:        "uart_retransmits",
+	MCUBufferHighWater:     "mcu_buffer_highwater_bytes",
+	MCUCrashes:             "mcu_crashes",
+	SensorReads:            "sensor_reads",
+	SamplesDropped:         "samples_dropped",
+	BatchFlushes:           "batch_flushes",
+	RadioBursts:            "radio_bursts",
+	RadioBytes:             "radio_bytes",
+	UpstreamBytes:          "upstream_bytes",
+	FaultActivations:       "fault_activations",
+	EdgeUploads:            "edge_uploads",
+	EdgeUploadBytes:        "edge_upload_bytes",
+	EdgeColdStarts:         "edge_cold_starts",
+	EdgeUpstreamBytes:      "edge_upstream_bytes",
+	MeterSamples:           "meter_samples",
+	MeterDroppedSamples:    "meter_dropped_samples",
+	MeterCPUCycles:         "meter_cpu_cycles",
+	MeterFlushes:           "meter_flushes",
+	MeterBytes:             "meter_bytes",
+	BatteryBrownouts:       "battery_brownouts",
+	BatteryBrownoutTimeNs:  "battery_brownout_ns",
+	BatterySoCPermille:     "battery_soc_permille",
+	BatteryHarvestedMicroJ: "battery_harvested_uj",
 }
 
 // String returns the counter's oprofile-style name.

@@ -41,6 +41,13 @@ type Gauges struct {
 	meterFlushes atomic.Int64
 	meterBytes   atomic.Int64
 
+	// Battery ledger totals across the sweep's runs (zero when no scenario
+	// arms a power.Supply): brownout count, gated virtual time, and harvest
+	// energy credited.
+	battBrownouts atomic.Int64
+	battDownNs    atomic.Int64
+	battHarvestUJ atomic.Int64
+
 	mu          sync.Mutex
 	start       time.Time
 	fingerprint string
@@ -167,6 +174,17 @@ func (g *Gauges) MeterObserved(samples, dropped, cycles, flushes, bytes int64) {
 	g.meterBytes.Add(bytes)
 }
 
+// PowerObserved folds one completed run's battery ledger accounting into the
+// sweep totals (all-zero calls from mains-powered runs are free no-ops).
+func (g *Gauges) PowerObserved(brownouts, downNs, harvestMicroJ int64) {
+	if g == nil || brownouts|downNs|harvestMicroJ == 0 {
+		return
+	}
+	g.battBrownouts.Add(brownouts)
+	g.battDownNs.Add(downNs)
+	g.battHarvestUJ.Add(harvestMicroJ)
+}
+
 // Snapshot is one consistent read of the gauges.
 type Snapshot struct {
 	Total, Done, Errors int64
@@ -187,6 +205,8 @@ type Snapshot struct {
 	// In-situ meter totals (zero when no scenario armed a MeterModel).
 	MeterSamples, MeterDropped            int64
 	MeterCycles, MeterFlushes, MeterBytes int64
+	// Battery ledger totals (zero when no scenario armed a power.Supply).
+	BatteryBrownouts, BatteryDownNs, BatteryHarvestUJ int64
 }
 
 // Read takes a snapshot.
@@ -216,6 +236,9 @@ func (g *Gauges) Read() Snapshot {
 		MeterCycles:      g.meterCycles.Load(),
 		MeterFlushes:     g.meterFlushes.Load(),
 		MeterBytes:       g.meterBytes.Load(),
+		BatteryBrownouts: g.battBrownouts.Load(),
+		BatteryDownNs:    g.battDownNs.Load(),
+		BatteryHarvestUJ: g.battHarvestUJ.Load(),
 	}
 	elapsed := time.Since(start).Seconds()
 	if elapsed > 0 && s.Done > 0 {
@@ -259,6 +282,9 @@ func (g *Gauges) WritePrometheus(w io.Writer) error {
 		{"iothub_meter_cpu_cycles_total", "MCU cycles the in-situ meters consumed.", float64(s.MeterCycles)},
 		{"iothub_meter_flushes_total", "In-situ meter buffer flushes.", float64(s.MeterFlushes)},
 		{"iothub_meter_bytes_total", "Record bytes the in-situ meters persisted.", float64(s.MeterBytes)},
+		{"iothub_battery_brownouts_total", "SoC-zero power gates across the sweep's runs.", float64(s.BatteryBrownouts)},
+		{"iothub_battery_brownout_ns_total", "Virtual nanoseconds spent power-gated.", float64(s.BatteryDownNs)},
+		{"iothub_battery_harvested_uj_total", "Harvest energy credited to batteries, in microjoules.", float64(s.BatteryHarvestUJ)},
 	}
 	for _, sr := range series {
 		if err := promGauge(w, sr.name, sr.help, sr.value); err != nil {
